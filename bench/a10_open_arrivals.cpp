@@ -1,0 +1,79 @@
+// Ablation A10: open arrivals -- response time vs offered load.
+//
+// The paper's batch experiment answers "who clears 16 simultaneous jobs
+// fastest"; the open-system question the cited SIGMETRICS literature asks
+// is "who keeps responses low under a sustained stream". This bench runs a
+// Poisson arrival stream of the matmul mix through the static, hybrid and
+// adaptive space-sharing policies at increasing load.
+#include <iostream>
+
+#include "core/open_arrivals.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace tmc;
+
+core::OpenArrivalConfig make_config(sched::PolicyKind kind,
+                                    double arrivals_per_second,
+                                    std::uint64_t seed) {
+  core::OpenArrivalConfig config;
+  config.machine.topology = net::TopologyKind::kMesh;
+  config.machine.policy.kind = kind;
+  config.machine.policy.partition_size = 4;
+  config.machine.max_sim_time = sim::SimTime::seconds(3000);
+  config.mix = workload::default_batch(workload::App::kMatMul,
+                                       sched::SoftwareArch::kAdaptive);
+  config.arrivals_per_second = arrivals_per_second;
+  config.warmup_jobs = 16;
+  config.measured_jobs = 96;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tmc;
+  std::cout << "Ablation A10: open Poisson arrivals, matmul mix (75% small / "
+               "25% large),\nmean response over 96 measured jobs (16 warm-up) "
+               "x 3 seeds; partition size 4.\n";
+
+  core::Table table({"arrivals/s", "offered load", "static (s)", "hybrid (s)",
+                     "adaptive (s)"});
+  for (const double rate : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
+    double load = 0.0;
+    std::string cells[3];
+    const sched::PolicyKind kinds[] = {sched::PolicyKind::kStatic,
+                                       sched::PolicyKind::kHybrid,
+                                       sched::PolicyKind::kAdaptiveStatic};
+    for (int k = 0; k < 3; ++k) {
+      sim::OnlineStats over_seeds;
+      bool saturated = false;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        try {
+          const auto run =
+              core::run_open_arrivals(make_config(kinds[k], rate, seed));
+          over_seeds.add(run.response_all.mean());
+          load = run.offered_load;
+        } catch (const std::runtime_error&) {
+          saturated = true;  // stream outran the policy: unstable
+        }
+      }
+      cells[k] = saturated ? "unstable" : core::fmt_seconds(over_seeds.mean());
+      std::cout << "." << std::flush;
+    }
+    table.add_row({core::fmt_ratio(rate), core::fmt_ratio(load), cells[0],
+                   cells[1], cells[2]});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the policies agree at light load "
+               "(responses ~ a lone job's\nspan) and the ordering FLIPS "
+               "toward saturation: static's run-to-completion\nqueueing "
+               "grows fastest, hybrid's rotation lets short jobs through, "
+               "and adaptive\nspace-sharing (which sizes partitions to the "
+               "instantaneous backlog) wins --\nthe batch experiment and "
+               "the open system crown different policies.\n";
+  return 0;
+}

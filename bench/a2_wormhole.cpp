@@ -1,0 +1,58 @@
+// Ablation A2: wormhole routing.
+//
+// Section 5.2 of the paper predicts that wormhole routing, by eliminating
+// store-and-forward buffering at intermediate processors, would both reduce
+// buffer demand and flatten the policies' sensitivity to topology. This
+// bench runs the communication-heavy matmul batch (fixed architecture,
+// pure time-sharing on one 16-node partition) under both transports and
+// reports the topology spread.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace tmc;
+
+double run_point(net::TopologyKind topology, bool wormhole) {
+  auto config =
+      core::figure_point(workload::App::kMatMul, sched::SoftwareArch::kFixed,
+                         sched::PolicyKind::kTimeSharing, 16, topology);
+  config.machine.wormhole = wormhole;
+  return core::run_experiment(config).mean_response_s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A2: store-and-forward vs wormhole routing\n"
+               "(matmul batch, fixed architecture, pure time-sharing on one "
+               "16-node partition)\n";
+
+  core::Table table(
+      {"topology", "store-fwd MRT (s)", "wormhole MRT (s)", "speedup"});
+  double sf_min = 1e300, sf_max = 0, wh_min = 1e300, wh_max = 0;
+  for (const auto topology :
+       {net::TopologyKind::kLinear, net::TopologyKind::kRing,
+        net::TopologyKind::kMesh}) {
+    const double sf = run_point(topology, false);
+    const double wh = run_point(topology, true);
+    sf_min = std::min(sf_min, sf);
+    sf_max = std::max(sf_max, sf);
+    wh_min = std::min(wh_min, wh);
+    wh_max = std::max(wh_max, wh);
+    table.add_row({topology_name(topology), core::fmt_seconds(sf),
+                   core::fmt_seconds(wh), core::fmt_ratio(sf / wh)});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nTopology spread (worst/best MRT): store-and-forward "
+            << core::fmt_ratio(sf_max / sf_min) << ", wormhole "
+            << core::fmt_ratio(wh_max / wh_min)
+            << "\nExpected shape: wormhole is faster everywhere and its "
+               "spread is much closer to 1\n(the paper's predicted loss of "
+               "topology sensitivity).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A3: the hybrid policy's set size.
+//
+// Section 2.3 calls the number of jobs mapped to one partition "a tuning
+// parameter". The paper runs with the whole batch dealt out (set size
+// effectively unbounded); this bench sweeps the bound. Set size 1
+// degenerates to static space-sharing with time-sliced processes; large set
+// sizes approach the paper's hybrid.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace tmc;
+  std::cout << "Ablation A3: hybrid set-size sweep\n"
+               "(matmul batch, adaptive architecture, partition size 4, "
+               "mesh)\n";
+
+  core::Table table({"set size", "MRT (s)", "small (s)", "large (s)",
+                     "peak MPL"});
+  for (const int set_size : {1, 2, 4, 8, 16}) {
+    auto config =
+        core::figure_point(workload::App::kMatMul,
+                           sched::SoftwareArch::kAdaptive,
+                           sched::PolicyKind::kHybrid, 4,
+                           net::TopologyKind::kMesh);
+    config.machine.policy.set_size = set_size;
+    const auto run =
+        core::run_batch(config, workload::BatchOrder::kInterleaved);
+    // Peak MPL equals min(set size, jobs per partition) by construction;
+    // report the configured bound alongside the measured response.
+    table.add_row({std::to_string(set_size),
+                   core::fmt_seconds(run.mean_response_s()),
+                   core::fmt_seconds(run.response_small.mean()),
+                   core::fmt_seconds(run.response_large.mean()),
+                   std::to_string(std::min(set_size, 4))});
+    std::cout << "." << std::flush;
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\nExpected shape: small set sizes behave like space sharing "
+               "(low contention,\nqueueing waits); large set sizes trade "
+               "wait for memory/link contention. For this\nlow-variance "
+               "batch, small set sizes win -- consistent with static "
+               "beating TS.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "figure_common.h"
+
+#include <cstring>
+#include <iostream>
+
+#include "core/report.h"
+
+namespace tmc::bench {
+
+FigureOptions parse_figure_options(int argc, char** argv) {
+  FigureOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
+    if (std::strcmp(argv[i], "--with-16h") == 0) options.with_16h = true;
+  }
+  return options;
+}
+
+namespace {
+
+constexpr net::TopologyKind kAllTopologies[] = {
+    net::TopologyKind::kLinear, net::TopologyKind::kRing,
+    net::TopologyKind::kMesh, net::TopologyKind::kHypercube};
+
+}  // namespace
+
+std::vector<FigureRow> run_figure_sweep(workload::App app,
+                                        sched::SoftwareArch arch,
+                                        const FigureOptions& options,
+                                        std::ostream& progress) {
+  std::vector<FigureRow> rows;
+  for (const int p : options.partition_sizes) {
+    for (const auto topology : kAllTopologies) {
+      if (p == 16 && topology == net::TopologyKind::kHypercube &&
+          !options.with_16h) {
+        continue;
+      }
+      // With one processor per partition there are no links; the topology
+      // letter is meaningless, so emit a single "1" row.
+      if (p == 1 && topology != net::TopologyKind::kLinear) continue;
+
+      FigureRow row;
+      row.label = p == 1 ? "1" : std::to_string(p) + net::topology_letter(topology);
+
+      const auto static_result = core::run_experiment(core::figure_point(
+          app, arch, sched::PolicyKind::kStatic, p, topology));
+      row.static_mrt = static_result.mean_response_s;
+      row.static_best = static_result.primary.mean_response_s();
+      row.static_worst = static_result.worst->mean_response_s();
+
+      // The paper's "TS" line: pure time-sharing at p=16, hybrid below.
+      const auto ts_policy = p == 16 ? sched::PolicyKind::kTimeSharing
+                                     : sched::PolicyKind::kHybrid;
+      const auto ts_result = core::run_experiment(
+          core::figure_point(app, arch, ts_policy, p, topology));
+      row.ts_mrt = ts_result.mean_response_s;
+
+      progress << "." << std::flush;
+      rows.push_back(row);
+    }
+  }
+  progress << "\n";
+  return rows;
+}
+
+void print_figure(std::ostream& os, const std::string& title,
+                  const std::vector<FigureRow>& rows, bool csv) {
+  core::banner(os, title);
+  core::Table table({"config", "static MRT (s)", "TS/hybrid MRT (s)",
+                     "TS/static", "static best (s)", "static worst (s)"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, core::fmt_seconds(row.static_mrt),
+                   core::fmt_seconds(row.ts_mrt),
+                   core::fmt_ratio(row.ts_mrt / row.static_mrt),
+                   core::fmt_seconds(row.static_best),
+                   core::fmt_seconds(row.static_worst)});
+  }
+  table.print(os);
+  if (csv) {
+    os << "\n";
+    table.csv(os);
+  }
+}
+
+}  // namespace tmc::bench

@@ -1,0 +1,47 @@
+// tmcsim -- shared driver for the paper's figure benches.
+//
+// Each of figures 3-6 plots mean response time against partition size
+// (1, 2, 4, 8, 16) with the per-partition topology letter (L/R/M/H), one
+// line for the static policy and one for time-sharing (the pure TS policy
+// at partition size 16; the hybrid policy below it -- paper section 5.2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tmc::bench {
+
+struct FigureOptions {
+  /// The real machine could not wire a 16-node hypercube (one Transputer
+  /// serves the host link); follow the paper and skip 16H by default.
+  bool with_16h = false;
+  /// Also emit CSV after the table.
+  bool csv = false;
+  /// Partition sizes to sweep.
+  std::vector<int> partition_sizes{1, 2, 4, 8, 16};
+};
+
+/// Parses --csv / --with-16h flags (used by every figure bench binary).
+[[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv);
+
+struct FigureRow {
+  std::string label;        // e.g. "8L"
+  double static_mrt = 0.0;  // seconds
+  double ts_mrt = 0.0;      // hybrid below p=16, pure TS at p=16
+  double static_best = 0.0;
+  double static_worst = 0.0;
+};
+
+/// Runs the full sweep for one application/architecture combination.
+[[nodiscard]] std::vector<FigureRow> run_figure_sweep(
+    workload::App app, sched::SoftwareArch arch, const FigureOptions& options,
+    std::ostream& progress);
+
+/// Prints the sweep in the paper's row layout.
+void print_figure(std::ostream& os, const std::string& title,
+                  const std::vector<FigureRow>& rows, bool csv);
+
+}  // namespace tmc::bench

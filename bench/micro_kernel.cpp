@@ -1,0 +1,140 @@
+// Simulator-kernel microbenchmarks (google-benchmark).
+//
+// These measure the engine itself -- event queue throughput, allocator
+// costs, routing-table construction, RNG, and a full miniature batch -- so
+// regressions in simulator performance are visible independently of the
+// modelled results.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "mem/mmu.h"
+#include "net/routing.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace tmc;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < batch; ++i) {
+      queue.schedule(sim::SimTime::nanoseconds((i * 7919) % 1000), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(256)->Arg(4096);
+
+void BM_SimulationEventChain(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t remaining = depth;
+    sim::UniqueFunction<void()> step;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) {
+        sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+      }
+    };
+    sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+void BM_MmuAllocFree(benchmark::State& state) {
+  sim::Simulation sim;
+  mem::Mmu mmu(sim, 4 << 20);
+  for (auto _ : state) {
+    auto a = mmu.try_alloc(4096);
+    auto b = mmu.try_alloc(512);
+    auto c = mmu.try_alloc(65536);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_MmuAllocFree);
+
+void BM_MmuFragmentedAlloc(benchmark::State& state) {
+  sim::Simulation sim;
+  mem::Mmu mmu(sim, 4 << 20);
+  // Build a fragmented free list: allocate many, free every other one.
+  std::vector<mem::Block> held;
+  std::vector<mem::Block> pinned;
+  for (int i = 0; i < 256; ++i) {
+    auto block = mmu.try_alloc(8192);
+    if (!block) break;
+    (i % 2 == 0 ? held : pinned).push_back(std::move(*block));
+  }
+  held.clear();  // punch holes
+  for (auto _ : state) {
+    auto block = mmu.try_alloc(8192);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_MmuFragmentedAlloc);
+
+void BM_RoutingTableConstruction(benchmark::State& state) {
+  const auto topo = net::Topology::hypercube(16);
+  for (auto _ : state) {
+    net::RoutingTable table(topo);
+    benchmark::DoNotOptimize(table.distance(0, 15));
+  }
+}
+BENCHMARK(BM_RoutingTableConstruction);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngHyperexponential(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.hyperexponential(1.0, 4.0));
+  }
+}
+BENCHMARK(BM_RngHyperexponential);
+
+void BM_TinyBatchEndToEnd(benchmark::State& state) {
+  auto config = core::figure_point(
+      workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+      sched::PolicyKind::kHybrid, 4, net::TopologyKind::kMesh);
+  config.batch.small_size = 12;
+  config.batch.large_size = 20;
+  for (auto _ : state) {
+    const auto run =
+        core::run_batch(config, workload::BatchOrder::kInterleaved);
+    benchmark::DoNotOptimize(run.mean_response_s());
+  }
+}
+BENCHMARK(BM_TinyBatchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_FullFigurePoint(benchmark::State& state) {
+  // One full-size figure point (the unit of work behind figures 3-6).
+  const auto config = core::figure_point(
+      workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+      sched::PolicyKind::kHybrid, 4, net::TopologyKind::kMesh);
+  for (auto _ : state) {
+    const auto run =
+        core::run_batch(config, workload::BatchOrder::kInterleaved);
+    benchmark::DoNotOptimize(run.mean_response_s());
+  }
+}
+BENCHMARK(BM_FullFigurePoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Sort architecture study: section 5.3's headline effect.
+//
+// Selection sort is O(n^2), so splitting an array into 16 chunks costs
+// ~1/16 of the work of sorting it whole: the FIXED architecture (always 16
+// processes) dramatically outperforms the ADAPTIVE one on small partitions,
+// the opposite of the matmul result. This example quantifies that across
+// partition sizes.
+
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace tmc;
+  std::cout << "Sort batch (12 x 6000 + 4 x 14000 elements, selection-sort "
+               "workers)\nstatic policy, per-partition mesh.\n\n";
+
+  core::Table table({"partition", "fixed MRT (s)", "adaptive MRT (s)",
+                     "adaptive/fixed"});
+  for (const int p : {1, 2, 4, 8, 16}) {
+    const auto fixed = core::run_experiment(
+        core::figure_point(workload::App::kSort, sched::SoftwareArch::kFixed,
+                           sched::PolicyKind::kStatic, p,
+                           net::TopologyKind::kMesh));
+    const auto adaptive = core::run_experiment(core::figure_point(
+        workload::App::kSort, sched::SoftwareArch::kAdaptive,
+        sched::PolicyKind::kStatic, p, net::TopologyKind::kMesh));
+    table.add_row({std::to_string(p),
+                   core::fmt_seconds(fixed.mean_response_s),
+                   core::fmt_seconds(adaptive.mean_response_s),
+                   core::fmt_ratio(adaptive.mean_response_s /
+                                   fixed.mean_response_s)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nAt one processor per partition the adaptive architecture runs "
+         "each job as a\nsingle serial selection sort -- quadratic in the "
+         "array size -- while the fixed\narchitecture still splits into 16 "
+         "chunks (communicating through self-sends on\nthe same node!) and "
+         "wins by an order of magnitude. At 16 processors the two\n"
+         "architectures coincide. This is why the paper concludes the fixed\n"
+         "architecture suits divide-and-conquer workloads with superlinear "
+         "kernels.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// tmc_cli: run any single experiment from the command line.
+//
+//   tmc_cli [--app matmul|sort] [--arch fixed|adaptive]
+//           [--policy static|ts|hybrid|adaptive] [--partition N]
+//           [--topology linear|ring|mesh|hypercube|torus|tree] [--quantum MS]
+//           [--memory MB] [--packet BYTES] [--wormhole] [--rotate-placement]
+//           [--no-gang] [--set-size N] [--order interleaved|sjf|ljf]
+//           [--csv] [--jobs]
+//
+// Examples:
+//   tmc_cli --app sort --arch fixed --policy static --partition 8 --topology ring
+//   tmc_cli --policy ts --topology linear --wormhole --jobs
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace tmc;
+
+[[noreturn]] void usage(const char* msg) {
+  std::cerr << "tmc_cli: " << msg
+            << "\nrun with the options listed at the top of examples/tmc_cli.cpp\n";
+  std::exit(2);
+}
+
+const char* next_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage("missing value after option");
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tmc;
+
+  workload::App app = workload::App::kMatMul;
+  sched::SoftwareArch arch = sched::SoftwareArch::kAdaptive;
+  sched::PolicyKind policy = sched::PolicyKind::kStatic;
+  int partition = 4;
+  net::TopologyKind topology = net::TopologyKind::kMesh;
+  auto order = workload::BatchOrder::kInterleaved;
+  bool explicit_order = false;
+  bool csv = false;
+  bool show_jobs = false;
+
+  core::ExperimentConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string opt = argv[i];
+    if (opt == "--app") {
+      const std::string v = next_value(argc, argv, i);
+      if (v == "matmul") app = workload::App::kMatMul;
+      else if (v == "sort") app = workload::App::kSort;
+      else usage("unknown app");
+    } else if (opt == "--arch") {
+      const std::string v = next_value(argc, argv, i);
+      if (v == "fixed") arch = sched::SoftwareArch::kFixed;
+      else if (v == "adaptive") arch = sched::SoftwareArch::kAdaptive;
+      else usage("unknown arch");
+    } else if (opt == "--policy") {
+      const std::string v = next_value(argc, argv, i);
+      if (v == "static") policy = sched::PolicyKind::kStatic;
+      else if (v == "ts") policy = sched::PolicyKind::kTimeSharing;
+      else if (v == "hybrid") policy = sched::PolicyKind::kHybrid;
+      else if (v == "adaptive") policy = sched::PolicyKind::kAdaptiveStatic;
+      else usage("unknown policy");
+    } else if (opt == "--partition") {
+      partition = std::atoi(next_value(argc, argv, i));
+    } else if (opt == "--topology") {
+      const std::string v = next_value(argc, argv, i);
+      if (v == "linear") topology = net::TopologyKind::kLinear;
+      else if (v == "ring") topology = net::TopologyKind::kRing;
+      else if (v == "mesh") topology = net::TopologyKind::kMesh;
+      else if (v == "hypercube") topology = net::TopologyKind::kHypercube;
+      else if (v == "torus") topology = net::TopologyKind::kTorus;
+      else if (v == "tree") topology = net::TopologyKind::kTree;
+      else usage("unknown topology");
+    } else if (opt == "--quantum") {
+      config.machine.policy.basic_quantum =
+          sim::SimTime::milliseconds(std::atoi(next_value(argc, argv, i)));
+    } else if (opt == "--memory") {
+      config.machine.memory_per_node =
+          static_cast<std::size_t>(std::atoi(next_value(argc, argv, i))) << 20;
+    } else if (opt == "--packet") {
+      config.machine.network.packet_bytes =
+          static_cast<std::size_t>(std::atol(next_value(argc, argv, i)));
+    } else if (opt == "--set-size") {
+      config.machine.policy.set_size = std::atoi(next_value(argc, argv, i));
+    } else if (opt == "--wormhole") {
+      config.machine.wormhole = true;
+    } else if (opt == "--rotate-placement") {
+      config.machine.partition_sched.rotate_placement = true;
+    } else if (opt == "--no-gang") {
+      config.machine.policy.gang_scheduling = false;
+    } else if (opt == "--order") {
+      const std::string v = next_value(argc, argv, i);
+      explicit_order = true;
+      if (v == "interleaved") order = workload::BatchOrder::kInterleaved;
+      else if (v == "sjf") order = workload::BatchOrder::kSmallestFirst;
+      else if (v == "ljf") order = workload::BatchOrder::kLargestFirst;
+      else usage("unknown order");
+    } else if (opt == "--csv") {
+      csv = true;
+    } else if (opt == "--jobs") {
+      show_jobs = true;
+    } else if (opt == "--help" || opt == "-h") {
+      usage("usage");
+    } else {
+      usage(("unknown option " + opt).c_str());
+    }
+  }
+
+  // Fill in the workload/policy selection on top of the tuned knobs.
+  {
+    auto base = core::figure_point(app, arch, policy, partition, topology);
+    config.batch = base.batch;
+    config.name = base.name;
+    config.machine.topology = topology;
+    config.machine.policy.kind = policy;
+    config.machine.policy.partition_size = partition;
+  }
+
+  if (explicit_order) {
+    const auto run = core::run_batch(config, order);
+    std::cout << config.name << " order=" << workload::to_string(order)
+              << "\nmean response: " << core::fmt_seconds(run.mean_response_s())
+              << " s (small " << core::fmt_seconds(run.response_small.mean())
+              << ", large " << core::fmt_seconds(run.response_large.mean())
+              << "), makespan " << core::fmt_seconds(run.makespan_s) << " s\n";
+    if (show_jobs) {
+      core::Table table({"job", "class", "wait (s)", "response (s)"});
+      for (const auto& job : run.jobs) {
+        table.add_row({std::to_string(job.id), job.large ? "large" : "small",
+                       core::fmt_seconds(job.wait_s),
+                       core::fmt_seconds(job.response_s)});
+      }
+      table.print(std::cout);
+    }
+    return 0;
+  }
+
+  const auto result = core::run_experiment(config);
+  core::Table table({"experiment", "MRT (s)", "small (s)", "large (s)",
+                     "cpu util", "peak mem (KB)", "mem blocked"});
+  const auto& run = result.primary;
+  table.add_row({config.name, core::fmt_seconds(result.mean_response_s),
+                 core::fmt_seconds(run.response_small.mean()),
+                 core::fmt_seconds(run.response_large.mean()),
+                 core::fmt_ratio(run.machine.avg_cpu_utilization),
+                 std::to_string(run.machine.peak_node_memory / 1024),
+                 std::to_string(run.machine.mem_blocked_requests)});
+  table.print(std::cout);
+  if (csv) table.csv(std::cout);
+  if (show_jobs) {
+    core::Table jobs({"job", "class", "wait (s)", "response (s)"});
+    for (const auto& job : run.jobs) {
+      jobs.add_row({std::to_string(job.id), job.large ? "large" : "small",
+                    core::fmt_seconds(job.wait_s),
+                    core::fmt_seconds(job.response_s)});
+    }
+    jobs.print(std::cout);
+  }
+  return 0;
+}

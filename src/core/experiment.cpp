@@ -1,0 +1,76 @@
+#include "core/experiment.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace tmc::core {
+
+RunResult run_batch(const ExperimentConfig& config,
+                    workload::BatchOrder order) {
+  Multicomputer machine(config.machine);
+  auto specs = workload::make_batch(config.batch, order);
+
+  std::vector<std::unique_ptr<sched::Job>> jobs;
+  jobs.reserve(specs.size());
+  sched::JobId next_id = 1;
+  for (auto& spec : specs) {
+    jobs.push_back(std::make_unique<sched::Job>(next_id++, std::move(spec)));
+  }
+  // The whole batch arrives together at t = 0 (paper section 5.1).
+  for (auto& job : jobs) machine.submit(*job);
+  machine.run_to_completion();
+
+  RunResult result;
+  result.order = order;
+  for (const auto& job : jobs) {
+    if (!job->completed()) {
+      throw std::logic_error("job did not complete");
+    }
+    JobOutcome outcome;
+    outcome.id = job->id();
+    outcome.large = job->spec().large;
+    outcome.response_s = job->response_time().to_seconds();
+    outcome.wait_s = job->wait_time().to_seconds();
+    outcome.cpu_s = job->consumed_cpu().to_seconds();
+    result.jobs.push_back(outcome);
+    result.response_all.add(outcome.response_s);
+    (outcome.large ? result.response_large : result.response_small)
+        .add(outcome.response_s);
+    result.makespan_s =
+        std::max(result.makespan_s, job->completion_time().to_seconds());
+  }
+  result.machine = machine.stats();
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  ExperimentResult result;
+  result.config = config;
+  if (config.machine.policy.space_shared()) {
+    result.primary = run_batch(config, workload::BatchOrder::kSmallestFirst);
+    result.worst = run_batch(config, workload::BatchOrder::kLargestFirst);
+    result.mean_response_s = 0.5 * (result.primary.mean_response_s() +
+                                    result.worst->mean_response_s());
+  } else {
+    result.primary = run_batch(config, workload::BatchOrder::kInterleaved);
+    result.mean_response_s = result.primary.mean_response_s();
+  }
+  return result;
+}
+
+ExperimentConfig figure_point(workload::App app, sched::SoftwareArch arch,
+                              sched::PolicyKind policy, int partition_size,
+                              net::TopologyKind topology) {
+  ExperimentConfig config;
+  config.machine.topology = topology;
+  config.machine.policy.kind = policy;
+  config.machine.policy.partition_size = partition_size;
+  config.batch = workload::default_batch(app, arch);
+  config.name = std::string(workload::to_string(app)) + "/" +
+                std::string(sched::to_string(arch)) + "/" +
+                std::string(sched::to_string(policy)) + "/" +
+                config.machine.label();
+  return config;
+}
+
+}  // namespace tmc::core

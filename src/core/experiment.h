@@ -1,0 +1,72 @@
+// tmcsim -- the experiment harness.
+//
+// Runs one batch (12 small + 4 large jobs) through a configured machine and
+// policy, and reports the paper's metric: mean response time over the batch.
+// For the static policy it follows the paper's measurement rule (section
+// 5.1): the reported value is the average of the best ordering (small jobs
+// first) and the worst (large jobs first).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "sim/stats.h"
+#include "workload/batch.h"
+
+namespace tmc::core {
+
+struct ExperimentConfig {
+  MachineConfig machine{};
+  workload::BatchParams batch{};
+  std::string name;  // optional label for reports
+};
+
+/// Per-job outcome of one run.
+struct JobOutcome {
+  sched::JobId id = 0;
+  bool large = false;
+  double response_s = 0.0;
+  double wait_s = 0.0;
+  double cpu_s = 0.0;
+};
+
+/// One batch execution.
+struct RunResult {
+  workload::BatchOrder order = workload::BatchOrder::kInterleaved;
+  std::vector<JobOutcome> jobs;
+  sim::OnlineStats response_all;    // seconds
+  sim::OnlineStats response_small;
+  sim::OnlineStats response_large;
+  double makespan_s = 0.0;
+  MachineStats machine;
+
+  [[nodiscard]] double mean_response_s() const { return response_all.mean(); }
+};
+
+/// The figure-level result: what one point of the paper's plots reports.
+struct ExperimentResult {
+  ExperimentConfig config;
+  /// Mean response time following the paper's rule (static: avg of
+  /// best/worst orders; time-sharing: the interleaved run).
+  double mean_response_s = 0.0;
+  RunResult primary;                 // interleaved (TS) / best order (static)
+  std::optional<RunResult> worst;    // static only
+};
+
+/// Runs the batch once in the given submission order.
+[[nodiscard]] RunResult run_batch(const ExperimentConfig& config,
+                                  workload::BatchOrder order);
+
+/// Runs the experiment under the paper's measurement rule.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Convenience: a fully-populated config for one point of figures 3-6.
+[[nodiscard]] ExperimentConfig figure_point(workload::App app,
+                                            sched::SoftwareArch arch,
+                                            sched::PolicyKind policy,
+                                            int partition_size,
+                                            net::TopologyKind topology);
+
+}  // namespace tmc::core

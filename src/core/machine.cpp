@@ -1,0 +1,147 @@
+#include "core/machine.h"
+
+#include <stdexcept>
+
+namespace tmc::core {
+
+std::string MachineConfig::label() const {
+  return std::to_string(policy.partition_size) +
+         net::topology_letter(topology);
+}
+
+namespace {
+
+sched::PolicyConfig normalize_policy(const MachineConfig& cfg) {
+  sched::PolicyConfig policy = cfg.policy;
+  if (policy.kind == sched::PolicyKind::kTimeSharing ||
+      policy.kind == sched::PolicyKind::kAdaptiveStatic) {
+    // One machine-wide network: pure TS multiprograms the whole machine;
+    // adaptive space-sharing carves buddy blocks out of it.
+    policy.partition_size = cfg.processors;
+  }
+  if (policy.partition_size <= 0 ||
+      cfg.processors % policy.partition_size != 0) {
+    throw std::invalid_argument("partition size must divide machine size");
+  }
+  return policy;
+}
+
+}  // namespace
+
+Multicomputer::Multicomputer(MachineConfig config)
+    : cfg_(std::move(config)),
+      topo_(net::Topology::tiled(
+          cfg_.topology, normalize_policy(cfg_).partition_size,
+          cfg_.processors / normalize_policy(cfg_).partition_size)) {
+  cfg_.policy = normalize_policy(cfg_);
+
+  mmus_.reserve(static_cast<std::size_t>(cfg_.processors));
+  cpus_.reserve(static_cast<std::size_t>(cfg_.processors));
+  std::vector<mem::Mmu*> mmu_ptrs;
+  std::vector<node::Transputer*> cpu_ptrs;
+  for (int i = 0; i < cfg_.processors; ++i) {
+    mmus_.push_back(std::make_unique<mem::Mmu>(
+        sim_, cfg_.memory_per_node, cfg_.mmu_service, cfg_.mmu_discipline));
+    cpus_.push_back(
+        std::make_unique<node::Transputer>(sim_, i, *mmus_.back(), cfg_.cpu));
+    mmu_ptrs.push_back(mmus_.back().get());
+    cpu_ptrs.push_back(cpus_.back().get());
+  }
+
+  if (cfg_.wormhole) {
+    network_ = std::make_unique<net::WormholeNetwork>(sim_, topo_, mmu_ptrs,
+                                                      cfg_.network);
+  } else {
+    network_ = std::make_unique<net::StoreForwardNetwork>(
+        sim_, topo_, mmu_ptrs, cfg_.network);
+  }
+  comm_ = std::make_unique<node::CommSystem>(sim_, *network_, cpu_ptrs,
+                                             cfg_.comm);
+
+  if (cfg_.policy.kind == sched::PolicyKind::kAdaptiveStatic) {
+    scheduler_ = std::make_unique<sched::AdaptiveScheduler>(
+        sim_, cpu_ptrs, *comm_, cfg_.policy, cfg_.partition_sched);
+    return;
+  }
+  std::vector<sched::PartitionScheduler*> ps_ptrs;
+  for (auto& part :
+       sched::equal_partitions(cfg_.processors, cfg_.policy.partition_size)) {
+    partition_scheds_.push_back(std::make_unique<sched::PartitionScheduler>(
+        sim_, std::move(part), cpu_ptrs, *comm_, cfg_.policy,
+        cfg_.partition_sched));
+    ps_ptrs.push_back(partition_scheds_.back().get());
+  }
+  scheduler_ =
+      std::make_unique<sched::SuperScheduler>(sim_, ps_ptrs, cfg_.policy);
+}
+
+void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {
+  tracer_.enable(mask, std::move(sink));
+  network_->set_tracer(&tracer_);
+  for (int i = 0; i < cfg_.processors; ++i) {
+    cpus_[static_cast<std::size_t>(i)]->set_tracer(&tracer_);
+    mmus_[static_cast<std::size_t>(i)]->set_tracer(&tracer_,
+                                                   "mmu" + std::to_string(i));
+  }
+}
+
+Multicomputer::~Multicomputer() {
+  // If the machine is torn down with work in flight (e.g. after a modelled
+  // deadlock), pending events and blocked allocation requests still own
+  // Blocks referencing the MMUs. Drain both sets -- each discard round can
+  // release memory and enqueue new grants, so iterate to a fixed point --
+  // before member destruction begins.
+  bool again = true;
+  while (again) {
+    again = sim_.discard_pending() > 0;
+    for (auto& mmu : mmus_) {
+      again = mmu->discard_pending() > 0 || again;
+    }
+  }
+}
+
+std::uint64_t Multicomputer::run_to_completion() {
+  // Step (rather than run_until) so the clock stops at the last event:
+  // utilisations are then measured over the actual makespan, not the
+  // watchdog horizon.
+  std::uint64_t fired = 0;
+  while (!sim_.idle() && sim_.next_event_time() <= cfg_.max_sim_time) {
+    sim_.step();
+    ++fired;
+  }
+  if (!scheduler_->all_done()) {
+    const char* why = sim_.idle() ? "modelled deadlock" : "watchdog expired";
+    throw std::runtime_error(
+        std::string("simulation ended with unfinished jobs (") + why +
+        "): " + std::to_string(scheduler_->completed()) + "/" +
+        std::to_string(scheduler_->submitted()) + " complete");
+  }
+  return fired;
+}
+
+MachineStats Multicomputer::stats() {
+  MachineStats s;
+  s.events = sim_.fired_events();
+  s.messages = comm_->sends();
+  s.self_sends = comm_->self_sends();
+  s.total_hops = network_->total_hops();
+  for (const auto& cpu : cpus_) {
+    s.avg_cpu_utilization += cpu->utilization();
+    s.context_switches += cpu->context_switches();
+    s.high_preemptions += cpu->high_preemptions();
+    s.quantum_expiries += cpu->quantum_expiries();
+  }
+  s.avg_cpu_utilization /= static_cast<double>(cpus_.size());
+  for (const auto& mmu : mmus_) {
+    s.peak_node_memory = std::max(s.peak_node_memory, mmu->high_watermark());
+    s.mem_blocked_requests += mmu->blocked_count();
+    s.mem_block_time += mmu->total_block_time();
+  }
+  if (const auto* sf =
+          dynamic_cast<const net::StoreForwardNetwork*>(network_.get())) {
+    s.max_link_utilization = sf->max_link_utilization(sim_.now());
+  }
+  return s;
+}
+
+}  // namespace tmc::core

@@ -1,0 +1,133 @@
+// tmcsim -- the assembled multicomputer.
+//
+// Multicomputer wires the full system the paper describes: sixteen T805
+// nodes (CPU + 4 MB MMU each), the partition-local interconnect, the
+// mailbox communication system, and the three-tier scheduling hierarchy
+// configured for one policy. It is the top-level object examples and the
+// experiment harness interact with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/mmu.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "node/comm.h"
+#include "node/transputer.h"
+#include "sched/job.h"
+#include "sched/partition.h"
+#include "sched/partition_scheduler.h"
+#include "sched/policy.h"
+#include "sched/adaptive_scheduler.h"
+#include "sched/scheduler.h"
+#include "sched/super_scheduler.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace tmc::core {
+
+struct MachineConfig {
+  /// Total processors P. The paper's system has 16 (one more T805 serves as
+  /// the host link and is not schedulable).
+  int processors = 16;
+  /// Topology wired *within each partition*; partitions are disjoint
+  /// networks (paper figure labels like "8L" = two 8-node linear arrays).
+  net::TopologyKind topology = net::TopologyKind::kMesh;
+  std::size_t memory_per_node = std::size_t{4} << 20;  // 4 MB
+  sim::SimTime mmu_service = sim::SimTime::microseconds(2);
+  mem::MmuDiscipline mmu_discipline = mem::MmuDiscipline::kFirstFit;
+  /// Watchdog for run_to_completion(): self-perpetuating activity (e.g. a
+  /// gang rotation whose jobs can never allocate memory) would otherwise
+  /// keep the event loop alive forever. Generous: every modelled batch
+  /// finishes in well under a minute of simulated time.
+  sim::SimTime max_sim_time = sim::SimTime::seconds(600);
+  /// Store-and-forward (the T805's switching) or the wormhole extension.
+  bool wormhole = false;
+
+  net::NetworkParams network{};
+  node::Transputer::Params cpu{};
+  node::CommSystem::Params comm{};
+  sched::PartitionScheduler::Params partition_sched{};
+  sched::PolicyConfig policy{};
+
+  /// Figure label of this configuration, e.g. "8L".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Aggregate machine counters collected after a run.
+struct MachineStats {
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t self_sends = 0;
+  std::uint64_t total_hops = 0;
+  double avg_cpu_utilization = 0.0;
+  double max_link_utilization = 0.0;
+  std::size_t peak_node_memory = 0;      // max high watermark over nodes
+  std::uint64_t mem_blocked_requests = 0;
+  sim::SimTime mem_block_time;           // summed over nodes
+  std::uint64_t context_switches = 0;
+  std::uint64_t high_preemptions = 0;
+  std::uint64_t quantum_expiries = 0;
+};
+
+class Multicomputer {
+ public:
+  explicit Multicomputer(MachineConfig config);
+  ~Multicomputer();
+  Multicomputer(const Multicomputer&) = delete;
+  Multicomputer& operator=(const Multicomputer&) = delete;
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sched::Scheduler& scheduler() { return *scheduler_; }
+  /// The adaptive space-sharing scheduler, or nullptr under the paper's
+  /// fixed-partition policies.
+  [[nodiscard]] sched::AdaptiveScheduler* adaptive_scheduler() {
+    return dynamic_cast<sched::AdaptiveScheduler*>(scheduler_.get());
+  }
+  [[nodiscard]] node::CommSystem& comm() { return *comm_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const net::Topology& topology() const { return topo_; }
+  [[nodiscard]] node::Transputer& cpu(net::NodeId node) {
+    return *cpus_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] mem::Mmu& mmu(net::NodeId node) {
+    return *mmus_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] int partition_count() const {
+    return static_cast<int>(partition_scheds_.size());
+  }
+  [[nodiscard]] sched::PartitionScheduler& partition_scheduler(int i) {
+    return *partition_scheds_[static_cast<std::size_t>(i)];
+  }
+
+  /// Submits a job now (arrival = current simulated time).
+  void submit(sched::Job& job) { scheduler_->submit(job); }
+
+  /// Routes component traces (CPU dispatches, process exits, network sends
+  /// and parks, memory blocking) matching `mask` to `sink`.
+  void enable_tracing(unsigned mask, sim::Tracer::Sink sink);
+  void disable_tracing() { tracer_.disable(); }
+
+  /// Runs the event loop until quiescent; throws if jobs remain unfinished
+  /// (deadlock in the modelled system). Returns events fired.
+  std::uint64_t run_to_completion();
+
+  [[nodiscard]] MachineStats stats();
+
+ private:
+  MachineConfig cfg_;
+  sim::Simulation sim_;
+  sim::Tracer tracer_;
+  net::Topology topo_;
+  std::vector<std::unique_ptr<mem::Mmu>> mmus_;
+  std::vector<std::unique_ptr<node::Transputer>> cpus_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<node::CommSystem> comm_;
+  std::vector<std::unique_ptr<sched::PartitionScheduler>> partition_scheds_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+};
+
+}  // namespace tmc::core

@@ -1,0 +1,90 @@
+#include "core/open_arrivals.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workload/matmul.h"
+#include "workload/sort.h"
+
+namespace tmc::core {
+
+OpenArrivalResult run_open_arrivals(const OpenArrivalConfig& config) {
+  if (config.arrivals_per_second <= 0.0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  const int total_jobs = config.warmup_jobs + config.measured_jobs;
+  sim::Rng rng(config.seed);
+
+  Multicomputer machine(config.machine);
+
+  // Draw the job sequence and arrival instants up front (deterministic).
+  const double large_probability =
+      static_cast<double>(config.mix.large_count) /
+      static_cast<double>(config.mix.total());
+  std::vector<std::unique_ptr<sched::Job>> jobs;
+  std::vector<sim::SimTime> arrivals;
+  jobs.reserve(static_cast<std::size_t>(total_jobs));
+  double clock_s = 0.0;
+  double total_demand_s = 0.0;
+  for (int i = 0; i < total_jobs; ++i) {
+    const bool large = rng.bernoulli(large_probability);
+    const std::size_t size =
+        large ? config.mix.large_size : config.mix.small_size;
+    sched::JobSpec spec;
+    if (config.mix.app == workload::App::kMatMul) {
+      workload::MatMulParams mm;
+      mm.n = size;
+      mm.arch = config.mix.arch;
+      mm.fixed_processes = config.mix.fixed_processes;
+      mm.broadcast = config.mix.matmul_broadcast;
+      mm.costs = config.mix.costs;
+      spec = workload::make_matmul_job(mm, large);
+    } else {
+      workload::SortParams sp;
+      sp.elements = size;
+      sp.arch = config.mix.arch;
+      sp.fixed_processes = config.mix.fixed_processes;
+      sp.costs = config.mix.costs;
+      spec = workload::make_sort_job(sp, large);
+    }
+    total_demand_s += spec.demand_estimate.to_seconds();
+    jobs.push_back(std::make_unique<sched::Job>(
+        static_cast<sched::JobId>(i + 1), std::move(spec)));
+    clock_s += rng.exponential(1.0 / config.arrivals_per_second);
+    arrivals.push_back(
+        sim::SimTime::nanoseconds(static_cast<std::int64_t>(clock_s * 1e9)));
+  }
+
+  OpenArrivalResult result;
+  result.offered_load = config.arrivals_per_second *
+                        (total_demand_s / total_jobs) /
+                        config.machine.processors;
+
+  // Feed the stream through timed submissions.
+  for (int i = 0; i < total_jobs; ++i) {
+    sched::Job* job = jobs[static_cast<std::size_t>(i)].get();
+    machine.sim().schedule_at(arrivals[static_cast<std::size_t>(i)],
+                              [&machine, &result, job] {
+                                result.queue_at_arrival.add(static_cast<double>(
+                                    machine.scheduler().queued_jobs()));
+                                machine.submit(*job);
+                              });
+  }
+  machine.run_to_completion();
+
+  for (int i = config.warmup_jobs; i < total_jobs; ++i) {
+    const auto& job = *jobs[static_cast<std::size_t>(i)];
+    const double response = job.response_time().to_seconds();
+    result.response_all.add(response);
+    (job.spec().large ? result.response_large : result.response_small)
+        .add(response);
+    result.horizon_s =
+        std::max(result.horizon_s, job.completion_time().to_seconds());
+  }
+  result.machine = machine.stats();
+  return result;
+}
+
+}  // namespace tmc::core

@@ -1,0 +1,49 @@
+// tmcsim -- open-arrival experiments (extension; bench A10).
+//
+// The paper evaluates a closed 16-job batch. The scheduling literature it
+// builds on (Majumdar/Eager/Bunt, Leutenegger/Vernon, Setia et al.) works
+// with open systems: jobs arrive in a Poisson stream and the metric is
+// steady-state mean response versus offered load. This harness runs that
+// experiment on the same machine: seeded arrival stream, warm-up window
+// excluded, response statistics over the measured window.
+#pragma once
+
+#include <cstdint>
+
+#include "core/machine.h"
+#include "sim/stats.h"
+#include "workload/batch.h"
+
+namespace tmc::core {
+
+struct OpenArrivalConfig {
+  MachineConfig machine{};
+  /// Job mix: each arrival is a large job with probability
+  /// large_count/total (the batch generator's 4/16 by default).
+  workload::BatchParams mix{};
+  /// Mean arrival rate (jobs per simulated second), Poisson process.
+  double arrivals_per_second = 1.0;
+  /// Jobs excluded from statistics while the system fills.
+  int warmup_jobs = 16;
+  /// Jobs measured after warm-up.
+  int measured_jobs = 128;
+  std::uint64_t seed = 1;
+};
+
+struct OpenArrivalResult {
+  sim::OnlineStats response_all;  // seconds, measured window only
+  sim::OnlineStats response_small;
+  sim::OnlineStats response_large;
+  sim::OnlineStats queue_at_arrival;  // jobs waiting when each job arrived
+  /// Offered load estimate: arrival rate x mean serial demand / processors.
+  double offered_load = 0.0;
+  double horizon_s = 0.0;  // completion time of the last measured job
+  MachineStats machine;
+};
+
+/// Runs the open experiment; throws if the system cannot drain the stream
+/// within the machine watchdog (offered load past saturation).
+[[nodiscard]] OpenArrivalResult run_open_arrivals(
+    const OpenArrivalConfig& config);
+
+}  // namespace tmc::core

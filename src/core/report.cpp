@@ -1,0 +1,72 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tmc::core {
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+void Table::csv(std::ostream& os) const {
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << s;
+  return os.str();
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << r;
+  return os.str();
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace tmc::core

@@ -1,0 +1,37 @@
+// tmcsim -- plain-text and CSV reporting for the bench harness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tmc::core {
+
+/// Minimal fixed-width table: headers + string rows, printed aligned, with
+/// CSV export for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  void csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 3 decimals ("12.345").
+[[nodiscard]] std::string fmt_seconds(double s);
+/// Formats a ratio/utilisation with 2 decimals.
+[[nodiscard]] std::string fmt_ratio(double r);
+
+/// Prints a banner line for a bench section.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace tmc::core

@@ -1,0 +1,157 @@
+#include "mem/mmu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tmc::mem {
+
+void Block::release() {
+  if (mmu_ == nullptr) return;
+  Mmu* mmu = mmu_;
+  mmu_ = nullptr;
+  mmu->release_range(offset_, size_);
+  mmu->pump();
+}
+
+Mmu::Mmu(sim::Simulation& sim, std::size_t capacity, sim::SimTime service_time,
+         MmuDiscipline discipline)
+    : sim_(sim),
+      capacity_(capacity),
+      service_time_(service_time),
+      discipline_(discipline) {
+  if (capacity == 0) throw std::invalid_argument("Mmu capacity must be > 0");
+  free_.push_back(FreeRange{0, capacity});
+}
+
+std::optional<std::size_t> Mmu::carve(std::size_t bytes) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->size >= bytes) {
+      const std::size_t offset = it->offset;
+      it->offset += bytes;
+      it->size -= bytes;
+      if (it->size == 0) free_.erase(it);
+      used_ += bytes;
+      high_watermark_ = std::max(high_watermark_, used_);
+      usage_.update(sim_.now(), static_cast<double>(used_));
+      return offset;
+    }
+  }
+  return std::nullopt;
+}
+
+void Mmu::release_range(std::size_t offset, std::size_t size) {
+  assert(size <= used_);
+  used_ -= size;
+  usage_.update(sim_.now(), static_cast<double>(used_));
+  // Insert sorted by offset and coalesce with neighbours.
+  auto it = std::lower_bound(
+      free_.begin(), free_.end(), offset,
+      [](const FreeRange& r, std::size_t off) { return r.offset < off; });
+  it = free_.insert(it, FreeRange{offset, size});
+  // Coalesce with successor.
+  if (auto next = std::next(it);
+      next != free_.end() && it->offset + it->size == next->offset) {
+    it->size += next->size;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (it != free_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->size == it->offset) {
+      prev->size += it->size;
+      free_.erase(it);
+    }
+  }
+}
+
+void Mmu::deliver(std::size_t offset, std::size_t bytes, Grant on_grant) {
+  ++alloc_count_;
+  sim_.schedule(service_time_,
+                [this, offset, bytes, cb = std::move(on_grant)]() mutable {
+                  cb(Block(this, offset, bytes));
+                });
+}
+
+void Mmu::request(std::size_t bytes, Grant on_grant) {
+  if (bytes == 0 || bytes > capacity_) {
+    throw std::invalid_argument("Mmu request of " + std::to_string(bytes) +
+                                " bytes cannot be satisfied (capacity " +
+                                std::to_string(capacity_) + ")");
+  }
+  // kFifo never overtakes an already-blocked request; kFirstFit serves any
+  // fitting request immediately (whatever is still queued after the last
+  // pump() does not fit anyway).
+  if (queue_.empty() || discipline_ == MmuDiscipline::kFirstFit) {
+    if (auto offset = carve(bytes)) {
+      deliver(*offset, bytes, std::move(on_grant));
+      return;
+    }
+  }
+  ++blocked_count_;
+  if (tracer_ != nullptr) {
+    TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kMemory, label_,
+              "blocked request " << bytes << "B (free " << bytes_free()
+                                 << "B, queued " << queue_.size() + 1 << ")");
+  }
+  queue_.push_back(Pending{bytes, std::move(on_grant), sim_.now()});
+}
+
+std::optional<Block> Mmu::try_alloc(std::size_t bytes) {
+  if (bytes == 0 || bytes > capacity_) return std::nullopt;
+  if (!queue_.empty() && discipline_ == MmuDiscipline::kFifo) {
+    return std::nullopt;
+  }
+  if (auto offset = carve(bytes)) {
+    ++alloc_count_;
+    return Block(this, *offset, bytes);
+  }
+  return std::nullopt;
+}
+
+void Mmu::pump() {
+  if (discipline_ == MmuDiscipline::kFifo) {
+    while (!queue_.empty()) {
+      auto offset = carve(queue_.front().bytes);
+      if (!offset) break;  // head-of-line blocking
+      Pending head = std::move(queue_.front());
+      queue_.pop_front();
+      total_block_time_ += sim_.now() - head.enqueued;
+      deliver(*offset, head.bytes, std::move(head.on_grant));
+    }
+    return;
+  }
+  // First-fit scan: grant anything that fits, oldest first.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    auto offset = carve(it->bytes);
+    if (!offset) {
+      ++it;
+      continue;
+    }
+    Pending granted = std::move(*it);
+    it = queue_.erase(it);
+    total_block_time_ += sim_.now() - granted.enqueued;
+    deliver(*offset, granted.bytes, std::move(granted.on_grant));
+  }
+}
+
+std::size_t Mmu::discard_pending() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Pending head = std::move(queue_.front());
+    queue_.pop_front();
+    ++n;
+    // head.on_grant destroyed here; may release blocks and re-enter pump(),
+    // which is safe: the queue entry was already removed.
+  }
+  return n;
+}
+
+std::size_t Mmu::largest_free_range() const {
+  std::size_t best = 0;
+  for (const auto& range : free_) best = std::max(best, range.size);
+  return best;
+}
+
+}  // namespace tmc::mem

@@ -1,0 +1,54 @@
+// tmcsim -- unidirectional communication link.
+//
+// Each physical Transputer wire is full duplex; we model each direction as an
+// independent FIFO server. Transfers are granted in request order (the link
+// "busy until" horizon advances per reservation), which is exactly a FIFO
+// queue without materialising queue nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace tmc::net {
+
+class Link {
+ public:
+  /// Reserves the link for `duration` starting no earlier than `now`.
+  /// Returns the transfer's completion time; requests are served FIFO.
+  sim::SimTime reserve(sim::SimTime now, sim::SimTime duration,
+                       std::size_t bytes) {
+    const sim::SimTime start = busy_until_ > now ? busy_until_ : now;
+    queueing_ += start - now;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    ++transfers_;
+    bytes_ += bytes;
+    return busy_until_;
+  }
+
+  [[nodiscard]] sim::SimTime busy_until() const { return busy_until_; }
+  [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+  /// Total time transfers spent queued behind earlier transfers.
+  [[nodiscard]] sim::SimTime queueing_time() const { return queueing_; }
+  /// Fraction of [0, now] the link spent transferring. Reserved intervals
+  /// are disjoint, so busy time within [0, now] is the total reserved time
+  /// minus whatever extends past `now`.
+  [[nodiscard]] double utilization(sim::SimTime now) const {
+    if (now.is_zero()) return 0.0;
+    const sim::SimTime future =
+        busy_until_ > now ? busy_until_ - now : sim::SimTime::zero();
+    return (busy_time_ - future) / now;
+  }
+
+ private:
+  sim::SimTime busy_until_;
+  sim::SimTime busy_time_;
+  sim::SimTime queueing_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace tmc::net

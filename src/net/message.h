@@ -1,0 +1,27 @@
+// tmcsim -- network message descriptor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace tmc::net {
+
+/// Endpoint identifier: a process id in the scheduling layer. The network
+/// itself only routes on node ids; endpoints ride along for final delivery.
+using EndpointId = std::uint64_t;
+
+struct Message {
+  std::uint64_t id = 0;
+  NodeId src_node = kInvalidNode;
+  NodeId dst_node = kInvalidNode;
+  EndpointId src_endpoint = 0;
+  EndpointId dst_endpoint = 0;
+  /// Owning job (for coscheduling progress gates); 0 = system traffic.
+  std::uint32_t job = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+}  // namespace tmc::net

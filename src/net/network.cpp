@@ -1,0 +1,267 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tmc::net {
+namespace {
+
+sim::SimTime transfer_time(const NetworkParams& p, std::size_t payload_bytes) {
+  return p.per_hop_latency +
+         p.per_byte * static_cast<std::int64_t>(payload_bytes + p.header_bytes);
+}
+
+std::vector<Link> make_links(const Topology& topo) {
+  return std::vector<Link>(static_cast<std::size_t>(topo.link_count()));
+}
+
+void check_mmus(const Topology& topo, const std::vector<mem::Mmu*>& mmus) {
+  if (static_cast<int>(mmus.size()) != topo.node_count()) {
+    throw std::invalid_argument("network needs one MMU per node");
+  }
+}
+
+}  // namespace
+
+StoreForwardNetwork::StoreForwardNetwork(sim::Simulation& sim,
+                                         const Topology& topo,
+                                         std::vector<mem::Mmu*> mmus,
+                                         NetworkParams params)
+    : sim_(sim),
+      topo_(topo),
+      routing_(topo),
+      mmus_(std::move(mmus)),
+      params_(params),
+      links_(make_links(topo)) {
+  check_mmus(topo_, mmus_);
+}
+
+void StoreForwardNetwork::send(Message msg, mem::Block payload) {
+  assert(payload.valid() && "sender must provide the source buffer");
+  ++messages_;
+  payload_bytes_ += msg.bytes;
+  if (tracer_ != nullptr) {
+    TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kNetwork, "net",
+              "send m" << msg.id << " " << msg.src_node << "->"
+                       << msg.dst_node << " " << msg.bytes << "B tag "
+                       << msg.tag);
+  }
+  const std::size_t pkt = params_.packet_bytes;
+  if (msg.src_node == msg.dst_node || pkt == 0 || msg.bytes <= pkt) {
+    forward(msg, msg.src_node, std::move(payload), msg.bytes, nullptr);
+    return;
+  }
+  // Fragment: packets pipeline across hops independently and reassemble at
+  // the destination. The source's whole-message buffer stays pinned until
+  // the last packet has left the source node.
+  const int packets =
+      static_cast<int>((msg.bytes + pkt - 1) / pkt);
+  Reassembly& reassembly = reassembly_[msg.id];
+  reassembly.msg = msg;
+  reassembly.packets_remaining = packets;
+  auto hold = std::make_shared<mem::Block>(std::move(payload));
+  std::size_t remaining = msg.bytes;
+  for (int i = 0; i < packets; ++i) {
+    const std::size_t fragment = std::min(pkt, remaining);
+    remaining -= fragment;
+    forward(msg, msg.src_node, mem::Block{}, fragment, hold);
+  }
+}
+
+void StoreForwardNetwork::kick() {
+  std::vector<Parked> retry;
+  retry.swap(parked_);
+  for (auto& p : retry) {
+    forward(p.msg, p.at, std::move(p.held), p.fragment_bytes,
+            std::move(p.source_hold));
+  }
+}
+
+void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
+                                  std::size_t fragment_bytes,
+                                  std::shared_ptr<mem::Block> source_hold) {
+  if (at == msg.dst_node) {
+    assert(deliver_ && "no delivery handler installed");
+    if (fragment_bytes == msg.bytes) {
+      ++delivered_;
+      deliver_(msg, std::move(held));
+    } else {
+      arrive_fragment(msg, std::move(held));
+    }
+    return;
+  }
+  if (!may_progress(msg)) {
+    // The owning job is descheduled: its daemons are not running, so the
+    // message waits here, pinning its buffer at this node, until kick().
+    if (tracer_ != nullptr) {
+      TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kNetwork, "net",
+                "park m" << msg.id << " at node " << at << " (job "
+                         << msg.job << " descheduled)");
+    }
+    parked_.push_back(Parked{msg, at, std::move(held), fragment_bytes,
+                             std::move(source_hold)});
+    return;
+  }
+  const NodeId next = routing_.next_hop(at, msg.dst_node);
+  const auto link_id = topo_.link_between(at, next);
+  assert(link_id.has_value());
+
+  // Store-and-forward: the whole unit must be buffered at the next node
+  // before it can leave this one. Under memory pressure this request blocks
+  // in `next`'s MMU queue -- the delay the paper attributes to intermediate
+  // processors delaying mailbox allocation.
+  mmus_[static_cast<std::size_t>(next)]->request(
+      fragment_bytes + params_.header_bytes,
+      [this, msg, next, fragment_bytes, link_id = *link_id,
+       held = std::move(held),
+       source_hold = std::move(source_hold)](mem::Block next_buf) mutable {
+        Link& link = links_[static_cast<std::size_t>(link_id)];
+        const sim::SimTime done =
+            link.reserve(sim_.now(), transfer_time(params_, fragment_bytes),
+                         fragment_bytes + params_.header_bytes);
+        sim_.schedule_at(
+            done, [this, msg, next, fragment_bytes, held = std::move(held),
+                   source_hold = std::move(source_hold),
+                   next_buf = std::move(next_buf)]() mutable {
+              ++hops_;
+              held.release();      // the copy has left this node
+              source_hold.reset();  // last packet out frees the source
+              if (hop_hook_) hop_hook_(next, msg, fragment_bytes);
+              forward(msg, next, std::move(next_buf), fragment_bytes,
+                      nullptr);
+            });
+      });
+}
+
+void StoreForwardNetwork::arrive_fragment(const Message& msg,
+                                          mem::Block held) {
+  const auto it = reassembly_.find(msg.id);
+  assert(it != reassembly_.end());
+  Reassembly& reassembly = it->second;
+  if (!reassembly.alloc_requested) {
+    reassembly.alloc_requested = true;
+    mmus_[static_cast<std::size_t>(msg.dst_node)]->request(
+        msg.bytes + params_.header_bytes,
+        [this, id = msg.id](mem::Block big) {
+          const auto entry = reassembly_.find(id);
+          if (entry == reassembly_.end()) return;  // torn down
+          entry->second.buffer = std::move(big);
+          entry->second.fragments.clear();  // packets copied in, freed
+          try_finish_reassembly(id);
+        });
+  }
+  if (reassembly.buffer.has_value()) {
+    held.release();  // copied straight into the message buffer
+  } else {
+    reassembly.fragments.push_back(std::move(held));
+  }
+  --reassembly.packets_remaining;
+  try_finish_reassembly(msg.id);
+}
+
+void StoreForwardNetwork::try_finish_reassembly(std::uint64_t id) {
+  const auto it = reassembly_.find(id);
+  if (it == reassembly_.end()) return;
+  Reassembly& reassembly = it->second;
+  if (reassembly.packets_remaining > 0 || !reassembly.buffer.has_value()) {
+    return;
+  }
+  const Message msg = reassembly.msg;
+  mem::Block buffer = std::move(*reassembly.buffer);
+  reassembly_.erase(it);
+  ++delivered_;
+  deliver_(msg, std::move(buffer));
+}
+
+double StoreForwardNetwork::max_link_utilization(sim::SimTime now) const {
+  double best = 0.0;
+  for (const auto& link : links_) {
+    best = std::max(best, link.utilization(now));
+  }
+  return best;
+}
+
+WormholeNetwork::WormholeNetwork(sim::Simulation& sim, const Topology& topo,
+                                 std::vector<mem::Mmu*> mmus,
+                                 NetworkParams params)
+    : sim_(sim),
+      topo_(topo),
+      routing_(topo),
+      mmus_(std::move(mmus)),
+      params_(params),
+      links_(make_links(topo)) {
+  check_mmus(topo_, mmus_);
+}
+
+void WormholeNetwork::send(Message msg, mem::Block payload) {
+  assert(payload.valid());
+  ++messages_;
+  payload_bytes_ += msg.bytes;
+  launch(msg, std::move(payload));
+}
+
+void WormholeNetwork::kick() {
+  std::vector<Pending> retry;
+  retry.swap(parked_);
+  for (auto& p : retry) {
+    launch(p.msg, std::move(p.payload));
+  }
+}
+
+void WormholeNetwork::launch(Message msg, mem::Block payload) {
+  if (msg.src_node == msg.dst_node) {
+    ++delivered_;
+    deliver_(msg, std::move(payload));
+    return;
+  }
+  if (!may_progress(msg)) {
+    parked_.push_back(Pending{msg, std::move(payload)});
+    return;
+  }
+  // Only the destination buffers the message; intermediate nodes hold at
+  // most a flit, which we do not charge against their memory.
+  mmus_[static_cast<std::size_t>(msg.dst_node)]->request(
+      msg.bytes + params_.header_bytes,
+      [this, msg, payload = std::move(payload)](mem::Block dst_buf) mutable {
+        transmit(msg, std::move(payload), std::move(dst_buf));
+      });
+}
+
+void WormholeNetwork::transmit(Message msg, mem::Block src, mem::Block dst) {
+  const std::vector<NodeId> path = routing_.route(msg.src_node, msg.dst_node);
+  const auto path_hops = static_cast<std::int64_t>(path.size()) - 1;
+  // Pipelined duration: header worms through each router, payload streams
+  // behind it. Single virtual channel: the whole path is held for the
+  // duration (circuit-switching approximation of wormhole blocking).
+  const sim::SimTime duration =
+      params_.per_hop_latency * path_hops +
+      params_.per_byte *
+          static_cast<std::int64_t>(msg.bytes + params_.header_bytes);
+
+  sim::SimTime start = sim_.now();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link_id = topo_.link_between(path[i], path[i + 1]);
+    assert(link_id.has_value());
+    const Link& link = links_[static_cast<std::size_t>(*link_id)];
+    start = std::max(start, link.busy_until());
+  }
+  sim::SimTime done = start + duration;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link_id = topo_.link_between(path[i], path[i + 1]);
+    Link& link = links_[static_cast<std::size_t>(*link_id)];
+    // Reserve from the common start so the path is held as one circuit.
+    link.reserve(start, duration, msg.bytes + params_.header_bytes);
+  }
+  hops_ += static_cast<std::uint64_t>(path_hops);
+
+  sim_.schedule_at(done, [this, msg, src = std::move(src),
+                          dst = std::move(dst)]() mutable {
+    ++delivered_;
+    src.release();
+    if (hop_hook_) hop_hook_(msg.dst_node, msg, msg.bytes);
+    deliver_(msg, std::move(dst));
+  });
+}
+
+}  // namespace tmc::net

@@ -1,0 +1,203 @@
+// tmcsim -- message transport engines.
+//
+// Two engines share one interface:
+//
+//  * StoreForwardNetwork -- the paper's transport. A message crosses one
+//    link at a time; before each hop the full message must be buffered at
+//    the receiving node, so a mailbox buffer is requested from that node's
+//    MMU (blocking under memory pressure) and a per-hop software cost is
+//    charged to that node's CPU via the hop hook. This couples network load
+//    to memory contention exactly as in the paper.
+//
+//  * WormholeNetwork -- the extension the paper suggests in section 5.2:
+//    wormhole routing eliminates intermediate buffering. We approximate a
+//    single-virtual-channel wormhole as circuit-style occupancy of every
+//    link on the path for the (pipelined) transfer duration, with a buffer
+//    allocated only at the destination.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mmu.h"
+#include "net/link.h"
+#include "net/message.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+
+namespace tmc::net {
+
+/// Timing and framing parameters of the transport.
+struct NetworkParams {
+  /// Transfer time per payload byte. T805 links run at 20 Mbit/s with an
+  /// effective unidirectional payload rate of ~1.74 MB/s => ~575 ns/byte.
+  sim::SimTime per_byte = sim::SimTime::nanoseconds(575);
+  /// Fixed per-hop latency (link startup + switch transit).
+  sim::SimTime per_hop_latency = sim::SimTime::microseconds(5);
+  /// Protocol header added to every message buffer.
+  std::size_t header_bytes = 16;
+  /// Store-and-forward fragmentation: 0 forwards whole messages (the
+  /// paper's mailbox package); > 0 splits payloads into packets of this
+  /// size that pipeline across hops independently and reassemble at the
+  /// destination (bench A11's virtual-cut-through middle ground).
+  std::size_t packet_bytes = 0;
+};
+
+/// Common interface of the transport engines.
+class Network {
+ public:
+  /// Invoked at the destination node with the message and the buffer that
+  /// holds it; the receiver owns the buffer (frees it on consumption).
+  using DeliveryHandler =
+      std::function<void(const Message&, mem::Block buffer)>;
+  /// Invoked at every node a transfer unit (whole message or packet)
+  /// arrives at -- intermediate hops and the destination; the node layer
+  /// charges CPU time for buffer management. `bytes` is the payload of the
+  /// unit that just crossed the link (a fragment for packetised messages).
+  using HopHook =
+      std::function<void(NodeId node, const Message&, std::size_t bytes)>;
+
+  virtual ~Network() = default;
+
+  /// Gate consulted before each hop begins: a false return parks the
+  /// message where it is (its buffer stays held at that node) until kick()
+  /// re-enables it. Used by gang scheduling to freeze suspended jobs'
+  /// communication -- on the paper's system the mailbox daemons of a
+  /// descheduled job stop running, and its partially-forwarded messages
+  /// keep occupying intermediate-node memory.
+  using ProgressGate = std::function<bool(const Message&)>;
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    deliver_ = std::move(handler);
+  }
+  void set_hop_hook(HopHook hook) { hop_hook_ = std::move(hook); }
+  void set_progress_gate(ProgressGate gate) { gate_ = std::move(gate); }
+  /// Optional trace sink (category kNetwork); owner must outlive us.
+  void set_tracer(const sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Re-attempts every parked message (called when a job's turn begins).
+  virtual void kick() {}
+
+  [[nodiscard]] bool may_progress(const Message& msg) const {
+    return !gate_ || gate_(msg);
+  }
+
+  /// Injects a message. `payload` is the buffer already allocated at the
+  /// source node by the sender (self-sends are delivered from this buffer,
+  /// passing through the same buffered-mailbox path as remote sends).
+  virtual void send(Message msg, mem::Block payload) = 0;
+
+  // --- statistics ------------------------------------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return payload_bytes_; }
+  [[nodiscard]] std::uint64_t total_hops() const { return hops_; }
+  [[nodiscard]] std::uint64_t in_flight() const { return messages_ - delivered_; }
+
+ protected:
+  DeliveryHandler deliver_;
+  HopHook hop_hook_;
+  ProgressGate gate_;
+  const sim::Tracer* tracer_ = nullptr;
+  std::uint64_t messages_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t hops_ = 0;
+};
+
+/// Store-and-forward engine (the Transputer's switching mode).
+class StoreForwardNetwork final : public Network {
+ public:
+  /// `mmus[i]` is node i's allocator; must outlive the network.
+  StoreForwardNetwork(sim::Simulation& sim, const Topology& topo,
+                      std::vector<mem::Mmu*> mmus, NetworkParams params = {});
+
+  void send(Message msg, mem::Block payload) override;
+  void kick() override;
+
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    return links_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+  /// Highest utilisation over all links at time `now`.
+  [[nodiscard]] double max_link_utilization(sim::SimTime now) const;
+  [[nodiscard]] std::size_t parked_messages() const { return parked_.size(); }
+
+ private:
+  struct Parked {
+    Message msg;
+    NodeId at;
+    mem::Block held;
+    std::size_t fragment_bytes;  // == msg.bytes for unfragmented messages
+    /// Keeps the source's whole-message buffer alive until every packet
+    /// has left the source node.
+    std::shared_ptr<mem::Block> source_hold;
+  };
+  /// Destination-side reassembly of a fragmented message.
+  struct Reassembly {
+    Message msg;
+    int packets_remaining = 0;
+    bool alloc_requested = false;
+    std::optional<mem::Block> buffer;   // full-message buffer (async alloc)
+    std::vector<mem::Block> fragments;  // packet buffers pending the alloc
+  };
+
+  /// One unit (whole message or packet) is fully buffered at `at`; forward
+  /// it one more hop (or hand it to delivery/reassembly).
+  void forward(Message msg, NodeId at, mem::Block held,
+               std::size_t fragment_bytes,
+               std::shared_ptr<mem::Block> source_hold);
+  void arrive_fragment(const Message& msg, mem::Block held);
+  void try_finish_reassembly(std::uint64_t id);
+
+  sim::Simulation& sim_;
+  const Topology& topo_;
+  RoutingTable routing_;
+  std::vector<mem::Mmu*> mmus_;
+  NetworkParams params_;
+  std::vector<Link> links_;
+  std::vector<Parked> parked_;
+  std::unordered_map<std::uint64_t, Reassembly> reassembly_;
+};
+
+/// Wormhole-routed engine (paper's suggested improvement; bench A2).
+class WormholeNetwork final : public Network {
+ public:
+  WormholeNetwork(sim::Simulation& sim, const Topology& topo,
+                  std::vector<mem::Mmu*> mmus, NetworkParams params = {});
+
+  void send(Message msg, mem::Block payload) override;
+  void kick() override;
+
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    return links_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+
+ private:
+  struct Pending {
+    Message msg;
+    mem::Block payload;
+  };
+
+  void transmit(Message msg, mem::Block src, mem::Block dst);
+  void launch(Message msg, mem::Block payload);
+
+  sim::Simulation& sim_;
+  const Topology& topo_;
+  RoutingTable routing_;
+  std::vector<mem::Mmu*> mmus_;
+  NetworkParams params_;
+  std::vector<Link> links_;
+  std::vector<Pending> parked_;
+};
+
+}  // namespace tmc::net

@@ -1,0 +1,64 @@
+#include "net/routing.h"
+
+#include <cassert>
+#include <deque>
+
+namespace tmc::net {
+
+RoutingTable::RoutingTable(const Topology& topo)
+    : n_(topo.node_count()),
+      next_hop_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+                kInvalidNode),
+      dist_(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), -1) {
+  // BFS from each destination over reversed edges would give next hops
+  // directly, but the graphs are symmetric, so BFS from each source computing
+  // parents and back-walking is equivalent. We BFS from each destination:
+  // next_hop(u, dst) = the neighbour of u that first reached u in the BFS
+  // tree rooted at dst. Neighbour lists are sorted ascending and the BFS
+  // queue is FIFO, so tie-breaks are deterministic for a given wiring.
+  std::vector<NodeId> parent(static_cast<std::size_t>(n_));
+  for (NodeId dst = 0; dst < n_; ++dst) {
+    std::fill(parent.begin(), parent.end(), kInvalidNode);
+    dist_[index(dst, dst)] = 0;
+    next_hop_[index(dst, dst)] = dst;
+    parent[static_cast<std::size_t>(dst)] = dst;
+    std::deque<NodeId> frontier{dst};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& nb : topo.neighbors(u)) {
+        auto& p = parent[static_cast<std::size_t>(nb.node)];
+        if (p == kInvalidNode) {
+          p = u;
+          dist_[index(nb.node, dst)] = dist_[index(u, dst)] + 1;
+          next_hop_[index(nb.node, dst)] = u;
+          frontier.push_back(nb.node);
+        }
+      }
+    }
+  }
+}
+
+NodeId RoutingTable::next_hop(NodeId src, NodeId dst) const {
+  const NodeId hop = next_hop_[index(src, dst)];
+  assert(hop != kInvalidNode && "disconnected topology");
+  return hop;
+}
+
+std::vector<NodeId> RoutingTable::route(NodeId src, NodeId dst) const {
+  std::vector<NodeId> path{src};
+  NodeId u = src;
+  while (u != dst) {
+    u = next_hop(u, dst);
+    path.push_back(u);
+  }
+  return path;
+}
+
+int RoutingTable::distance(NodeId src, NodeId dst) const {
+  const int d = dist_[index(src, dst)];
+  assert(d >= 0 && "disconnected topology");
+  return d;
+}
+
+}  // namespace tmc::net

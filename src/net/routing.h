@@ -1,0 +1,44 @@
+// tmcsim -- static shortest-path routing.
+//
+// The paper's communication package routes point-to-point messages through
+// intermediate processors (store-and-forward). Routes are fixed for a given
+// wiring, so we precompute an all-pairs next-hop table with breadth-first
+// search; ties are broken toward the lowest-numbered neighbour, which makes
+// every route deterministic (and, on meshes/hypercubes built by our node
+// numbering, coincides with dimension-ordered routing).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tmc::net {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const Topology& topo);
+
+  /// First hop on a shortest path from `src` toward `dst`.
+  /// Returns `dst` itself when src == dst.
+  [[nodiscard]] NodeId next_hop(NodeId src, NodeId dst) const;
+
+  /// Full node path src, ..., dst (inclusive). Length 1 when src == dst.
+  [[nodiscard]] std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Hop count of the shortest path (0 when src == dst).
+  [[nodiscard]] int distance(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] int node_count() const { return n_; }
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  int n_;
+  std::vector<NodeId> next_hop_;  // n x n
+  std::vector<int> dist_;        // n x n
+};
+
+}  // namespace tmc::net

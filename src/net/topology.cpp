@@ -1,0 +1,224 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <stdexcept>
+
+namespace tmc::net {
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void check_size(int n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("topology size must be a power of two, got " +
+                                std::to_string(n));
+  }
+}
+
+/// Most-square factoring of a power of two: n = rows * cols, rows <= cols.
+std::pair<int, int> mesh_shape(int n) {
+  int rows = 1;
+  while ((rows * 2) * (rows * 2) <= n) rows *= 2;
+  if (rows * rows < n) return {rows, n / rows};
+  return {rows, rows};
+}
+
+}  // namespace
+
+char topology_letter(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kLinear: return 'L';
+    case TopologyKind::kRing: return 'R';
+    case TopologyKind::kMesh: return 'M';
+    case TopologyKind::kHypercube: return 'H';
+    case TopologyKind::kTorus: return 'T';
+    case TopologyKind::kTree: return 'B';
+  }
+  return '?';
+}
+
+std::string topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kLinear: return "linear";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kTree: return "tree";
+  }
+  return "?";
+}
+
+void Topology::add_wire(NodeId u, NodeId v) {
+  assert(u != v);
+  const auto make_link = [this](NodeId from, NodeId to) {
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(LinkEnds{from, to});
+    adj_[static_cast<std::size_t>(from)].push_back(Neighbor{to, id});
+  };
+  make_link(u, v);
+  make_link(v, u);
+}
+
+void Topology::sort_adjacency() {
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.node < b.node; });
+  }
+}
+
+Topology Topology::linear(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kLinear, n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_wire(i, i + 1);
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::ring(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kRing, n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_wire(i, i + 1);
+  if (n > 2) t.add_wire(n - 1, 0);  // n==2 would duplicate the single wire
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::mesh(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kMesh, n);
+  const auto [rows, cols] = mesh_shape(n);
+  const auto id = [cols = cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_wire(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_wire(id(r, c), id(r + 1, c));
+    }
+  }
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::hypercube(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kHypercube, n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (int bit = 1; bit < n; bit <<= 1) {
+      const NodeId j = i ^ bit;
+      if (j > i) t.add_wire(i, j);
+    }
+  }
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::tiled(TopologyKind kind, int partition_size, int copies) {
+  if (copies <= 0) throw std::invalid_argument("copies must be > 0");
+  const Topology base = make(kind, partition_size);
+  Topology t(kind, partition_size * copies);
+  for (int copy = 0; copy < copies; ++copy) {
+    const NodeId offset = copy * partition_size;
+    // Each physical wire of the base appears once as (from < to).
+    for (LinkId id = 0; id < base.link_count(); ++id) {
+      const LinkEnds ends = base.link_ends(id);
+      if (ends.from < ends.to) t.add_wire(ends.from + offset, ends.to + offset);
+    }
+  }
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::torus(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kTorus, n);
+  const auto [rows, cols] = mesh_shape(n);
+  const auto id = [cols = cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_wire(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) t.add_wire(id(r, c), id(r + 1, c));
+    }
+    if (cols > 2) t.add_wire(id(r, cols - 1), id(r, 0));
+  }
+  if (rows > 2) {
+    for (int c = 0; c < cols; ++c) t.add_wire(id(rows - 1, c), id(0, c));
+  }
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::tree(int n) {
+  check_size(n);
+  Topology t(TopologyKind::kTree, n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId left = 2 * i + 1;
+    const NodeId right = 2 * i + 2;
+    if (left < n) t.add_wire(i, left);
+    if (right < n) t.add_wire(i, right);
+  }
+  t.sort_adjacency();
+  return t;
+}
+
+Topology Topology::make(TopologyKind kind, int n) {
+  switch (kind) {
+    case TopologyKind::kLinear: return linear(n);
+    case TopologyKind::kRing: return ring(n);
+    case TopologyKind::kMesh: return mesh(n);
+    case TopologyKind::kHypercube: return hypercube(n);
+    case TopologyKind::kTorus: return torus(n);
+    case TopologyKind::kTree: return tree(n);
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+std::string Topology::label() const {
+  return std::to_string(n_) + topology_letter(kind_);
+}
+
+const std::vector<Topology::Neighbor>& Topology::neighbors(NodeId u) const {
+  return adj_.at(static_cast<std::size_t>(u));
+}
+
+int Topology::degree(NodeId u) const {
+  return static_cast<int>(neighbors(u).size());
+}
+
+int Topology::max_degree() const {
+  int best = 0;
+  for (NodeId u = 0; u < n_; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+std::optional<LinkId> Topology::link_between(NodeId u, NodeId v) const {
+  for (const auto& nb : neighbors(u)) {
+    if (nb.node == v) return nb.link;
+  }
+  return std::nullopt;
+}
+
+int Topology::diameter() const {
+  int best = 0;
+  std::vector<int> dist(static_cast<std::size_t>(n_));
+  for (NodeId src = 0; src < n_; ++src) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[static_cast<std::size_t>(src)] = 0;
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const auto& nb : neighbors(u)) {
+        if (dist[static_cast<std::size_t>(nb.node)] < 0) {
+          dist[static_cast<std::size_t>(nb.node)] = dist[static_cast<std::size_t>(u)] + 1;
+          best = std::max(best, dist[static_cast<std::size_t>(nb.node)]);
+          frontier.push_back(nb.node);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tmc::net

@@ -1,0 +1,106 @@
+// tmcsim -- interconnection topologies.
+//
+// The paper's testbed wires sixteen T805s through INMOS C004 link switches
+// into four topologies -- linear array, ring, mesh, and hypercube -- at sizes
+// 1, 2, 4, 8, 16 (powers of two). Each Transputer has four bidirectional
+// links, which bounds the node degree at 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tmc::net {
+
+using NodeId = int;
+using LinkId = int;
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr LinkId kInvalidLink = -1;
+
+enum class TopologyKind {
+  kLinear,
+  kRing,
+  kMesh,
+  kHypercube,
+  // Extensions beyond the paper's four (still degree <= 4):
+  kTorus,  // 2D mesh with wrap-around links
+  kTree,   // complete binary tree
+};
+
+/// One-letter label used in the paper's figures (L, R, M, H).
+[[nodiscard]] char topology_letter(TopologyKind kind);
+[[nodiscard]] std::string topology_name(TopologyKind kind);
+
+/// An undirected interconnect graph expanded into directed links.
+///
+/// Every physical wire between nodes u and v contributes two unidirectional
+/// links (u->v and v->u), matching the full-duplex Transputer links; each
+/// direction is an independently contended resource.
+class Topology {
+ public:
+  /// Builders for the paper's four topologies. `n` must be a power of two
+  /// in [1, 16] (larger sizes are supported for extension studies as long
+  /// as the degree-4 Transputer constraint holds).
+  static Topology linear(int n);
+  static Topology ring(int n);
+  /// 2D mesh; for non-square powers of two uses the most-square factoring
+  /// (2: 1x2, 8: 2x4, 32: 4x8, ...).
+  static Topology mesh(int n);
+  static Topology hypercube(int n);
+  /// 2D torus: the mesh plus wrap-around links (skipped along dimensions
+  /// of size <= 2, where they would duplicate existing wires).
+  static Topology torus(int n);
+  /// Complete binary tree rooted at node 0 (children of i: 2i+1, 2i+2).
+  static Topology tree(int n);
+  static Topology make(TopologyKind kind, int n);
+
+  /// `copies` disjoint instances of a `partition_size`-node topology, with
+  /// copy c occupying nodes [c*partition_size, (c+1)*partition_size). This
+  /// is the paper's machine configuration: the C004 switches wire each
+  /// partition as its own network, and jobs never span partitions.
+  static Topology tiled(TopologyKind kind, int partition_size, int copies);
+
+  [[nodiscard]] int node_count() const { return n_; }
+  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  /// Figure label, e.g. "8R" for an 8-node ring.
+  [[nodiscard]] std::string label() const;
+
+  struct Neighbor {
+    NodeId node;
+    LinkId link;  // directed link from the queried node to `node`
+  };
+  /// Neighbours of `u` in ascending node order (deterministic routing ties).
+  [[nodiscard]] const std::vector<Neighbor>& neighbors(NodeId u) const;
+  [[nodiscard]] int degree(NodeId u) const;
+  [[nodiscard]] int max_degree() const;
+
+  /// Directed link u->v, or nullopt if not adjacent.
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId u, NodeId v) const;
+
+  struct LinkEnds {
+    NodeId from;
+    NodeId to;
+  };
+  [[nodiscard]] LinkEnds link_ends(LinkId id) const { return links_.at(static_cast<std::size_t>(id)); }
+
+  /// Longest shortest path over all node pairs.
+  [[nodiscard]] int diameter() const;
+
+  /// True if every node respects the 4-link Transputer constraint.
+  [[nodiscard]] bool transputer_feasible() const { return max_degree() <= 4; }
+
+ private:
+  Topology(TopologyKind kind, int n) : kind_(kind), n_(n), adj_(static_cast<std::size_t>(n)) {}
+  /// Adds the two directed links of one physical wire.
+  void add_wire(NodeId u, NodeId v);
+  void sort_adjacency();
+
+  TopologyKind kind_;
+  int n_;
+  std::vector<std::vector<Neighbor>> adj_;
+  std::vector<LinkEnds> links_;
+};
+
+}  // namespace tmc::net

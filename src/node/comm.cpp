@@ -1,0 +1,100 @@
+#include "node/comm.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tmc::node {
+
+CommSystem::CommSystem(sim::Simulation& sim, net::Network& network,
+                       std::vector<Transputer*> cpus, Params params)
+    : sim_(sim), network_(network), cpus_(std::move(cpus)), params_(params) {
+  network_.set_delivery_handler(
+      [this](const net::Message& msg, mem::Block buffer) {
+        on_delivery(msg, std::move(buffer));
+      });
+  network_.set_progress_gate([this](const net::Message& msg) {
+    return msg.job == 0 || job_active(msg.job);
+  });
+  network_.set_hop_hook([this](net::NodeId hop, const net::Message& msg,
+                               std::size_t bytes) {
+    // Transit buffer management + software copy at intermediate nodes; the
+    // destination's CPU cost is charged by on_delivery instead.
+    if (hop != msg.dst_node) {
+      const sim::SimTime cost =
+          params_.hop_cpu +
+          params_.hop_cpu_per_byte * static_cast<std::int64_t>(bytes);
+      cpus_[static_cast<std::size_t>(hop)]->post_service(cost, nullptr);
+    }
+  });
+  for (Transputer* cpu : cpus_) {
+    cpu->set_send_dispatcher(
+        [this](Process& src, const SendOp& op, mem::Block payload) {
+          send_from(src, op, std::move(payload));
+        });
+  }
+}
+
+void CommSystem::register_process(Process& p) {
+  assert(p.node() != net::kInvalidNode && "bind process to a node first");
+  const auto [it, inserted] = registry_.emplace(p.id(), &p);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("endpoint " + std::to_string(p.id()) +
+                           " already registered");
+  }
+}
+
+void CommSystem::unregister_process(net::EndpointId id) {
+  registry_.erase(id);
+}
+
+Process* CommSystem::find(net::EndpointId id) const {
+  const auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+void CommSystem::set_job_active(JobId job, bool active) {
+  if (active) {
+    if (suspended_jobs_.erase(job) > 0) network_.kick();
+  } else {
+    suspended_jobs_.insert(job);
+  }
+}
+
+void CommSystem::send_from(Process& src, const SendOp& op,
+                           mem::Block payload) {
+  Process* dst = find(op.dst);
+  if (dst == nullptr) {
+    throw std::logic_error("send to unregistered endpoint " +
+                           std::to_string(op.dst));
+  }
+  net::Message msg;
+  msg.id = next_message_id_++;
+  msg.src_node = src.node();
+  msg.dst_node = dst->node();
+  msg.src_endpoint = src.id();
+  msg.dst_endpoint = op.dst;
+  msg.job = src.job();
+  msg.tag = op.tag;
+  msg.bytes = op.bytes;
+  ++sends_;
+  if (msg.src_node == msg.dst_node) ++self_sends_;
+  network_.send(msg, std::move(payload));
+}
+
+void CommSystem::on_delivery(const net::Message& msg, mem::Block buffer) {
+  Process* dst = find(msg.dst_endpoint);
+  if (dst == nullptr) {
+    throw std::logic_error("delivery to unregistered endpoint " +
+                           std::to_string(msg.dst_endpoint));
+  }
+  ++deliveries_;
+  Transputer* cpu = cpus_[static_cast<std::size_t>(dst->node())];
+  cpu->post_service(params_.delivery_cpu,
+                    [cpu, dst, msg, buffer = std::move(buffer)]() mutable {
+                      cpu->deliver(*dst, msg, std::move(buffer));
+                    });
+}
+
+}  // namespace tmc::node

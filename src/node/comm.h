@@ -1,0 +1,89 @@
+// tmcsim -- the mailbox-based asynchronous communication system.
+//
+// The paper's software stack (section 3.2) layers a mailbox communication
+// package over the Transputer's adjacent-link channels so that any pair of
+// processes can exchange messages. CommSystem is that package: it maps
+// endpoint ids to processes, frames messages, injects them into the
+// transport, charges per-hop and per-delivery CPU costs (as high-priority
+// work, which preempts application processes -- a real overhead the paper
+// measures), and deposits arrivals into the destination mailbox. Self-sends
+// traverse the same buffered path, as the paper notes they must.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/mmu.h"
+#include "net/network.h"
+#include "node/process.h"
+#include "node/transputer.h"
+#include "sim/simulation.h"
+
+namespace tmc::node {
+
+struct CommParams {
+  /// CPU charged at each intermediate node for store-and-forward buffer
+  /// management (comm-daemon work, sharing the CPU at low priority).
+  sim::SimTime hop_cpu = sim::SimTime::microseconds(20);
+  /// Per-byte CPU charged at each intermediate node: store-and-forward on
+  /// the T805 is software -- the forwarding node's processor copies the
+  /// message between link buffers and shares its memory bus with the link
+  /// DMA engines (~4 MB/s effective). This is a real, load-dependent cost:
+  /// it steals cycles from busy nodes, which is precisely why heavy
+  /// multiprogramming suffers on long-diameter topologies (paper 5.2).
+  sim::SimTime hop_cpu_per_byte = sim::SimTime::nanoseconds(250);
+  /// CPU charged at the destination node to deposit into the mailbox.
+  sim::SimTime delivery_cpu = sim::SimTime::microseconds(20);
+};
+
+class CommSystem {
+ public:
+  using Params = CommParams;
+
+  /// `cpus[i]` must be node i's Transputer. Installs itself as every CPU's
+  /// send dispatcher and as the network's delivery handler / hop hook.
+  CommSystem(sim::Simulation& sim, net::Network& network,
+             std::vector<Transputer*> cpus, Params params = {});
+
+  CommSystem(const CommSystem&) = delete;
+  CommSystem& operator=(const CommSystem&) = delete;
+
+  /// Processes must be registered (after node binding) before any message
+  /// addressed to them is sent.
+  void register_process(Process& p);
+  void unregister_process(net::EndpointId id);
+  [[nodiscard]] Process* find(net::EndpointId id) const;
+
+  /// Coscheduling hook: while a job is marked inactive its messages stop
+  /// progressing through the network (parking where they are and pinning
+  /// their buffers); marking it active again kicks them loose. Called by
+  /// the partition schedulers on gang turn boundaries.
+  void set_job_active(JobId job, bool active);
+  [[nodiscard]] bool job_active(JobId job) const {
+    return !suspended_jobs_.contains(job);
+  }
+
+  [[nodiscard]] std::uint64_t sends() const { return sends_; }
+  [[nodiscard]] std::uint64_t self_sends() const { return self_sends_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  void send_from(Process& src, const SendOp& op, mem::Block payload);
+  void on_delivery(const net::Message& msg, mem::Block buffer);
+
+  sim::Simulation& sim_;
+  net::Network& network_;
+  std::vector<Transputer*> cpus_;
+  Params params_;
+  std::unordered_map<net::EndpointId, Process*> registry_;
+  std::unordered_set<JobId> suspended_jobs_;
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t sends_ = 0;
+  std::uint64_t self_sends_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace tmc::node

@@ -1,0 +1,63 @@
+// tmcsim -- per-process mailbox.
+//
+// The paper's communication package gives every process an asynchronous
+// mailbox; messages wait in MMU-allocated buffers until the process issues a
+// matching receive, so undrained mailboxes hold node memory -- part of the
+// memory pressure the paper measures under high multiprogramming levels.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "mem/mmu.h"
+#include "net/message.h"
+#include "node/program.h"
+
+namespace tmc::node {
+
+class Mailbox {
+ public:
+  struct Delivered {
+    net::Message message;
+    mem::Block buffer;  // freed when the receiver consumes the message
+  };
+
+  void deposit(net::Message message, mem::Block buffer) {
+    queue_.push_back(Delivered{message, std::move(buffer)});
+  }
+
+  /// Removes and returns the oldest message matching `tag` (kAnyTag matches
+  /// everything); nullopt if none is waiting.
+  std::optional<Delivered> take(int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (tag == kAnyTag || it->message.tag == tag) {
+        Delivered d = std::move(*it);
+        queue_.erase(it);
+        return d;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// True if a message matching `tag` is waiting.
+  [[nodiscard]] bool has(int tag) const {
+    for (const auto& d : queue_) {
+      if (tag == kAnyTag || d.message.tag == tag) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  /// Bytes of node memory currently pinned by undelivered messages.
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    std::size_t total = 0;
+    for (const auto& d : queue_) total += d.buffer.size();
+    return total;
+  }
+
+ private:
+  std::deque<Delivered> queue_;
+};
+
+}  // namespace tmc::node

@@ -1,0 +1,103 @@
+// tmcsim -- process programs.
+//
+// Applications are expressed as per-process op scripts: deterministic
+// sequences of compute bursts, message sends/receives, and memory
+// allocations. The workload builders (src/workload) emit the exact op lists
+// of the paper's matrix-multiplication and sorting programs; the Transputer
+// model interprets them under the scheduling policies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/time.h"
+
+namespace tmc::node {
+
+/// Matches any tag in a ReceiveOp.
+inline constexpr int kAnyTag = -1;
+
+/// Burn CPU for `cost` (preemptible; spans quanta).
+struct ComputeOp {
+  sim::SimTime cost;
+};
+
+/// Asynchronous mailbox send: allocate a buffer from the local MMU (may
+/// block on memory pressure), copy the payload (CPU cost), then hand the
+/// message to the network. The sender continues immediately afterwards.
+struct SendOp {
+  net::EndpointId dst;
+  int tag;
+  std::size_t bytes;
+};
+
+/// Blocking tagged receive: waits until a message with a matching tag is in
+/// the process's mailbox, then pays the copy-out cost and frees the buffer.
+struct ReceiveOp {
+  int tag = kAnyTag;
+};
+
+/// Allocates job data from the local MMU (may block). The block is held by
+/// the process until it exits -- this is the job's resident working set and
+/// the source of the paper's memory contention at high multiprogramming
+/// levels.
+struct AllocOp {
+  std::size_t bytes;
+};
+
+/// Terminates the process.
+struct ExitOp {};
+
+using Op = std::variant<ComputeOp, SendOp, ReceiveOp, AllocOp, ExitOp>;
+
+/// A per-process script plus its static description.
+struct Program {
+  std::vector<Op> ops;
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops.size(); }
+
+  Program& compute(sim::SimTime cost) {
+    ops.emplace_back(ComputeOp{cost});
+    return *this;
+  }
+  Program& send(net::EndpointId dst, int tag, std::size_t bytes) {
+    ops.emplace_back(SendOp{dst, tag, bytes});
+    return *this;
+  }
+  Program& receive(int tag = kAnyTag) {
+    ops.emplace_back(ReceiveOp{tag});
+    return *this;
+  }
+  Program& alloc(std::size_t bytes) {
+    ops.emplace_back(AllocOp{bytes});
+    return *this;
+  }
+  Program& exit() {
+    ops.emplace_back(ExitOp{});
+    return *this;
+  }
+
+  /// Sum of all declared compute costs (static service demand of the
+  /// script, excluding communication overheads).
+  [[nodiscard]] sim::SimTime total_compute() const {
+    sim::SimTime total;
+    for (const auto& op : ops) {
+      if (const auto* c = std::get_if<ComputeOp>(&op)) total += c->cost;
+    }
+    return total;
+  }
+  /// Sum of bytes sent.
+  [[nodiscard]] std::size_t total_send_bytes() const {
+    std::size_t total = 0;
+    for (const auto& op : ops) {
+      if (const auto* s = std::get_if<SendOp>(&op)) total += s->bytes;
+    }
+    return total;
+  }
+};
+
+}  // namespace tmc::node

@@ -1,0 +1,399 @@
+#include "node/transputer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <variant>
+
+namespace tmc::node {
+
+std::string_view to_string(ProcessState s) {
+  switch (s) {
+    case ProcessState::kNew: return "new";
+    case ProcessState::kReady: return "ready";
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kBlockedRecv: return "blocked-recv";
+    case ProcessState::kBlockedMem: return "blocked-mem";
+    case ProcessState::kSuspended: return "suspended";
+    case ProcessState::kDone: return "done";
+  }
+  return "?";
+}
+
+Transputer::Transputer(sim::Simulation& sim, net::NodeId node, mem::Mmu& mmu,
+                       Params params)
+    : sim_(sim), node_(node), mmu_(mmu), params_(params) {}
+
+void Transputer::make_ready(Process& p) {
+  assert(p.node() == node_ && "process bound to a different node");
+  assert(p.state_ != ProcessState::kReady &&
+         p.state_ != ProcessState::kRunning &&
+         p.state_ != ProcessState::kDone);
+  if (!p.gang_active_) {
+    // Runnable, but its job's gang turn is over: park until resume().
+    p.state_ = ProcessState::kSuspended;
+    return;
+  }
+  p.state_ = ProcessState::kReady;
+  low_queue_.push_back(&p);
+  request_dispatch();
+}
+
+void Transputer::suspend(Process& p) {
+  p.gang_active_ = false;
+  switch (p.state_) {
+    case ProcessState::kReady:
+      std::erase(low_queue_, &p);
+      p.state_ = ProcessState::kSuspended;
+      return;
+    case ProcessState::kRunning: {
+      Process& interrupted = interrupt_low_charge();
+      assert(&interrupted == &p);
+      interrupted.state_ = ProcessState::kSuspended;
+      request_dispatch();
+      return;
+    }
+    default:
+      // New, blocked, already suspended, or done: the cleared flag makes
+      // any future wake park instead of enqueue.
+      return;
+  }
+}
+
+void Transputer::resume(Process& p) {
+  p.gang_active_ = true;
+  if (p.state_ == ProcessState::kSuspended) make_ready(p);
+}
+
+void Transputer::post_high(sim::SimTime cost,
+                           sim::UniqueFunction<void()> done) {
+  ++high_items_;
+  high_queue_.push_back(HighWork{cost, std::move(done)});
+  if (charge_kind_ == ChargeKind::kOp || charge_kind_ == ChargeKind::kContext) {
+    preempt_low();
+  } else if (charge_kind_ == ChargeKind::kService) {
+    interrupt_service();
+  }
+  request_dispatch();
+}
+
+void Transputer::post_service(sim::SimTime cost,
+                              sim::UniqueFunction<void()> done) {
+  ++service_items_;
+  service_queue_.push_back(ServiceWork{cost, std::move(done)});
+  request_dispatch();
+}
+
+void Transputer::interrupt_service() {
+  assert(charge_kind_ == ChargeKind::kService);
+  const bool cancelled = sim_.cancel(charge_event_);
+  assert(cancelled);
+  (void)cancelled;
+  charge_event_ = sim::kNoEvent;
+  charge_kind_ = ChargeKind::kNone;
+  consume_service(sim_.now() - charge_started_);
+}
+
+void Transputer::consume_service(sim::SimTime amount) {
+  service_time_done_ += amount;
+  while (!amount.is_zero()) {
+    assert(!service_queue_.empty());
+    ServiceWork& head = service_queue_.front();
+    const sim::SimTime used = std::min(head.remaining, amount);
+    head.remaining -= used;
+    amount -= used;
+    if (head.remaining.is_zero()) {
+      ServiceWork finished = std::move(service_queue_.front());
+      service_queue_.pop_front();
+      if (finished.done) finished.done();
+    }
+  }
+}
+
+void Transputer::deliver(Process& receiver, const net::Message& msg,
+                         mem::Block buffer) {
+  assert(!receiver.done() && "message for an exited process");
+  const int tag = msg.tag;
+  receiver.mailbox().deposit(msg, std::move(buffer));
+  if (receiver.state_ == ProcessState::kBlockedRecv &&
+      (receiver.pending_recv_tag_ == kAnyTag ||
+       receiver.pending_recv_tag_ == tag)) {
+    make_ready(receiver);
+  }
+}
+
+void Transputer::request_dispatch() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  sim_.schedule(sim::SimTime::zero(), [this] {
+    pump_scheduled_ = false;
+    dispatch();
+  });
+}
+
+void Transputer::dispatch() {
+  if (charge_event_ != sim::kNoEvent) return;  // busy
+  if (!high_queue_.empty()) {
+    current_high_ = std::move(high_queue_.front());
+    high_queue_.pop_front();
+    plan_charge(ChargeKind::kHigh, current_high_.cost);
+    return;
+  }
+  if (current_ == nullptr) {
+    // The comm daemon shares the low-priority domain: it runs when it is
+    // its turn (one timeslice per application slice) or when no
+    // application process is ready, draining as many queued items as fit.
+    if (!service_queue_.empty() && (service_turn_ || low_queue_.empty())) {
+      sim::SimTime planned;
+      for (const auto& item : service_queue_) {
+        planned += item.remaining;
+        if (planned >= params_.daemon_slice) {
+          planned = params_.daemon_slice;
+          break;
+        }
+      }
+      plan_charge(ChargeKind::kService, planned);
+      return;
+    }
+    if (low_queue_.empty()) {
+      set_busy(false);
+      return;
+    }
+    current_ = low_queue_.front();
+    low_queue_.pop_front();
+    current_->state_ = ProcessState::kRunning;
+    ++current_->dispatches_;
+    if (tracer_ != nullptr) {
+      TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kCpu,
+                "cpu" + std::to_string(node_),
+                "dispatch p" << current_->id() << " quantum "
+                             << current_->quantum().to_milliseconds()
+                             << "ms ready=" << low_queue_.size());
+    }
+    quantum_left_ = current_->quantum();
+    if (last_ran_ != current_) {
+      last_ran_ = current_;
+      ++context_switches_;
+      plan_charge(ChargeKind::kContext, params_.context_switch);
+      return;
+    }
+  }
+  continue_low();
+}
+
+void Transputer::continue_low() {
+  assert(current_ != nullptr);
+  Process& p = *current_;
+  // High-priority work enqueued during op side effects takes the CPU first.
+  if (!high_queue_.empty()) {
+    requeue(p);
+    current_ = nullptr;
+    dispatch();
+    return;
+  }
+  assert(p.pc_ < p.program_.ops.size() && "script must end with ExitOp");
+  const Op& op = p.program_.ops[p.pc_];
+
+  if (const auto* compute = std::get_if<ComputeOp>(&op)) {
+    if (p.phase_ == Process::OpPhase::kInit) {
+      p.compute_remaining_ = compute->cost;
+      p.phase_ = Process::OpPhase::kCopy;
+    }
+    plan_charge(ChargeKind::kOp,
+                std::min(p.compute_remaining_, quantum_left_));
+    return;
+  }
+
+  if (const auto* send = std::get_if<SendOp>(&op)) {
+    if (p.phase_ == Process::OpPhase::kInit) {
+      // Stage the outgoing mailbox buffer from the local MMU; the process
+      // blocks if node memory is exhausted.
+      p.state_ = ProcessState::kBlockedMem;
+      current_ = nullptr;
+      const std::size_t bytes = std::max<std::size_t>(1, send->bytes);
+      mmu_.request(bytes, [this, &p, payload_bytes = send->bytes](
+                              mem::Block block) {
+        p.send_buffer_ = std::move(block);
+        p.phase_ = Process::OpPhase::kCopy;
+        p.compute_remaining_ =
+            params_.send_setup +
+            params_.copy_per_byte * static_cast<std::int64_t>(payload_bytes);
+        make_ready(p);
+      });
+      dispatch();
+      return;
+    }
+    plan_charge(ChargeKind::kOp,
+                std::min(p.compute_remaining_, quantum_left_));
+    return;
+  }
+
+  if (const auto* recv = std::get_if<ReceiveOp>(&op)) {
+    if (p.phase_ == Process::OpPhase::kInit) {
+      auto delivered = p.mailbox().take(recv->tag);
+      if (!delivered) {
+        p.state_ = ProcessState::kBlockedRecv;
+        p.pending_recv_tag_ = recv->tag;
+        current_ = nullptr;
+        dispatch();
+        return;
+      }
+      p.phase_ = Process::OpPhase::kCopy;
+      p.compute_remaining_ =
+          params_.recv_setup +
+          params_.copy_per_byte *
+              static_cast<std::int64_t>(delivered->message.bytes);
+      p.staged_ = std::move(delivered);
+    }
+    plan_charge(ChargeKind::kOp,
+                std::min(p.compute_remaining_, quantum_left_));
+    return;
+  }
+
+  if (const auto* alloc = std::get_if<AllocOp>(&op)) {
+    p.state_ = ProcessState::kBlockedMem;
+    current_ = nullptr;
+    mmu_.request(alloc->bytes, [this, &p](mem::Block block) {
+      p.held_.push_back(std::move(block));
+      p.phase_ = Process::OpPhase::kInit;
+      ++p.pc_;
+      make_ready(p);
+    });
+    dispatch();
+    return;
+  }
+
+  assert(std::holds_alternative<ExitOp>(op));
+  if (tracer_ != nullptr) {
+    TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kProcess,
+              "cpu" + std::to_string(node_),
+              "exit p" << p.id() << " cpu_time "
+                       << p.cpu_time().to_milliseconds() << "ms");
+  }
+  p.state_ = ProcessState::kDone;
+  p.held_.clear();  // releases job data; may unblock queued MMU requests
+  current_ = nullptr;
+  last_ran_ = nullptr;  // p may be destroyed by on_exit_
+  if (p.on_exit_) p.on_exit_(p);
+  dispatch();
+}
+
+void Transputer::plan_charge(ChargeKind kind, sim::SimTime amount) {
+  assert(charge_event_ == sim::kNoEvent);
+  assert(!amount.is_negative());
+  charge_kind_ = kind;
+  charge_started_ = sim_.now();
+  charge_amount_ = amount;
+  set_busy(true);
+  charge_event_ = sim_.schedule(amount, [this] { on_charge_done(); });
+}
+
+void Transputer::on_charge_done() {
+  charge_event_ = sim::kNoEvent;
+  const ChargeKind kind = charge_kind_;
+  charge_kind_ = ChargeKind::kNone;
+  const sim::SimTime amount = charge_amount_;
+
+  switch (kind) {
+    case ChargeKind::kHigh: {
+      auto done = std::move(current_high_.done);
+      if (done) done();
+      dispatch();
+      return;
+    }
+    case ChargeKind::kContext:
+      continue_low();
+      return;
+    case ChargeKind::kService: {
+      consume_service(amount);
+      service_turn_ = false;  // applications get the next slice
+      dispatch();
+      return;
+    }
+    case ChargeKind::kOp: {
+      Process& p = *current_;
+      service_turn_ = true;  // the daemon may take a slice at the next gap
+      p.cpu_time_ += amount;
+      p.compute_remaining_ -= amount;
+      quantum_left_ -= amount;
+      if (p.compute_remaining_.is_zero()) complete_op(p);
+      // A process whose next op is Exit terminates now rather than riding
+      // the ready queue for another round: termination is part of the same
+      // instruction stream as the final burst.
+      if (std::holds_alternative<ExitOp>(p.program_.ops[p.pc_])) {
+        continue_low();
+        return;
+      }
+      if (quantum_left_.is_zero()) {
+        ++quantum_expiries_;
+        if (!low_queue_.empty() || !high_queue_.empty() ||
+            !service_queue_.empty()) {
+          // The T805 puts the expired process at the back of the ready queue.
+          requeue(p);
+          current_ = nullptr;
+          dispatch();
+          return;
+        }
+        quantum_left_ = p.quantum();  // alone on the CPU: keep running
+      }
+      continue_low();
+      return;
+    }
+    case ChargeKind::kNone:
+      assert(false && "charge completion with no charge in flight");
+      return;
+  }
+}
+
+Process& Transputer::interrupt_low_charge() {
+  assert(charge_kind_ == ChargeKind::kOp ||
+         charge_kind_ == ChargeKind::kContext);
+  const bool cancelled = sim_.cancel(charge_event_);
+  assert(cancelled);
+  (void)cancelled;
+  charge_event_ = sim::kNoEvent;
+  const ChargeKind kind = charge_kind_;
+  charge_kind_ = ChargeKind::kNone;
+
+  Process& p = *current_;
+  ++p.preemptions_;
+  if (kind == ChargeKind::kOp) {
+    const sim::SimTime elapsed = sim_.now() - charge_started_;
+    p.cpu_time_ += elapsed;
+    p.compute_remaining_ -= elapsed;
+    // The unfinished quantum is lost (T805 semantics); no need to track it.
+    if (p.compute_remaining_.is_zero()) complete_op(p);
+  } else {
+    // The interrupted context switch must be paid again later.
+    last_ran_ = nullptr;
+  }
+  current_ = nullptr;
+  return p;
+}
+
+void Transputer::preempt_low() {
+  ++high_preemptions_;
+  Process& p = interrupt_low_charge();
+  requeue(p);
+}
+
+void Transputer::complete_op(Process& p) {
+  const Op& op = p.program_.ops[p.pc_];
+  if (const auto* send = std::get_if<SendOp>(&op)) {
+    assert(send_dispatcher_ && "no send dispatcher installed");
+    send_dispatcher_(p, *send, std::move(p.send_buffer_));
+  } else if (std::holds_alternative<ReceiveOp>(op)) {
+    assert(p.staged_.has_value());
+    p.staged_->buffer.release();
+    p.staged_.reset();
+  }
+  p.phase_ = Process::OpPhase::kInit;
+  ++p.pc_;
+}
+
+void Transputer::requeue(Process& p) {
+  assert(p.state_ != ProcessState::kDone);
+  p.state_ = ProcessState::kReady;
+  low_queue_.push_back(&p);
+}
+
+}  // namespace tmc::node

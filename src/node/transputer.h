@@ -1,0 +1,197 @@
+// tmcsim -- the T805 processor model.
+//
+// The T805 schedules processes in hardware with two priority levels
+// (paper section 3.1):
+//
+//  * High-priority processes run to completion (or until they block) and
+//    preempt low-priority work immediately. The preempted low-priority
+//    process loses the unfinished part of its quantum and rejoins the back
+//    of the ready queue. We use the high queue for the communication
+//    system's buffer management and mailbox work, as the paper's
+//    implementation does.
+//
+//  * Low-priority processes time-share round-robin. The hardware quantum is
+//    about 2 ms; the time-sharing policies override a process's quantum with
+//    the RR-job value Q = (P/T) * q.
+//
+// The Transputer also interprets the op scripts (node/program.h): compute
+// bursts are preemptible CPU charges; sends stage a buffer from the local
+// MMU, pay a copy cost and hand off to the network; receives block on the
+// mailbox; allocations block on the MMU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "mem/mmu.h"
+#include "node/process.h"
+#include "node/program.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+#include "sim/unique_function.h"
+
+namespace tmc::node {
+
+struct TransputerParams {
+  /// Cost of switching the CPU between two different low-pri processes.
+  sim::SimTime context_switch = sim::SimTime::microseconds(10);
+  /// Software overhead to initiate a mailbox send / finalise a receive.
+  sim::SimTime send_setup = sim::SimTime::microseconds(50);
+  sim::SimTime recv_setup = sim::SimTime::microseconds(50);
+  /// On-node memory copy cost per byte (~25 MB/s on the T805).
+  sim::SimTime copy_per_byte = sim::SimTime::nanoseconds(40);
+  /// CPU slice granted to the comm daemon per turn (the hardware
+  /// timeslice); it drains as many queued work items as fit.
+  sim::SimTime daemon_slice = sim::SimTime::milliseconds(2);
+};
+
+class Transputer {
+ public:
+  using Params = TransputerParams;
+
+  /// Installed by the communication system: takes the sending process, the
+  /// send op, and the staged source buffer, and injects the message.
+  using SendDispatcher =
+      std::function<void(Process&, const SendOp&, mem::Block)>;
+
+  Transputer(sim::Simulation& sim, net::NodeId node, mem::Mmu& mmu,
+             Params params = {});
+  Transputer(const Transputer&) = delete;
+  Transputer& operator=(const Transputer&) = delete;
+
+  void set_send_dispatcher(SendDispatcher dispatcher) {
+    send_dispatcher_ = std::move(dispatcher);
+  }
+
+  /// Optional trace sink (category kCpu / kProcess); owner must outlive us.
+  void set_tracer(const sim::Tracer* tracer) { tracer_ = tracer; }
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] mem::Mmu& mmu() { return mmu_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  // --- scheduler interface ----------------------------------------------
+  /// Makes a (new or unblocked) process runnable on this CPU.
+  void make_ready(Process& p);
+
+  /// Enqueues high-priority work costing `cost` CPU; `done` runs when it
+  /// completes. Preempts any running low-priority process immediately.
+  void post_high(sim::SimTime cost, sim::UniqueFunction<void()> done);
+
+  /// Enqueues system-daemon work (mailbox management, store-and-forward
+  /// copying). The daemon is a LOW-priority software process, as in the
+  /// paper's implementation: it time-shares the CPU fairly with application
+  /// processes instead of preempting them, so heavy message traffic slows
+  /// the node's computation and vice versa -- the contention the paper
+  /// attributes to its communication system.
+  void post_service(sim::SimTime cost, sim::UniqueFunction<void()> done);
+
+  /// Deposits a delivered message into `receiver`'s mailbox and wakes it if
+  /// it is blocked on a matching receive. (Called from high-priority work.)
+  void deliver(Process& receiver, const net::Message& msg, mem::Block buffer);
+
+  // --- gang scheduling (partition scheduler interface) --------------------
+  /// Takes `p` out of circulation for the rest of its job's rotation: a
+  /// ready process parks as kSuspended, a running one is preempted off the
+  /// CPU, and a blocked one will park instead of waking. Idempotent.
+  void suspend(Process& p);
+  /// Puts `p` back in circulation (enqueues it if it was parked ready).
+  void resume(Process& p);
+
+  // --- observability ------------------------------------------------------
+  [[nodiscard]] std::size_t ready_count() const { return low_queue_.size(); }
+  [[nodiscard]] bool busy() const { return charge_event_ != sim::kNoEvent; }
+  [[nodiscard]] double utilization() const {
+    return busy_tracker_.utilization(sim_.now());
+  }
+  [[nodiscard]] std::uint64_t context_switches() const { return context_switches_; }
+  [[nodiscard]] std::uint64_t quantum_expiries() const { return quantum_expiries_; }
+  [[nodiscard]] std::uint64_t high_preemptions() const { return high_preemptions_; }
+  [[nodiscard]] std::uint64_t high_items() const { return high_items_; }
+  [[nodiscard]] std::uint64_t service_items() const { return service_items_; }
+  [[nodiscard]] sim::SimTime service_time() const { return service_time_done_; }
+
+ private:
+  enum class ChargeKind : std::uint8_t {
+    kNone,
+    kContext,
+    kOp,
+    kHigh,
+    kService,
+  };
+
+  struct HighWork {
+    sim::SimTime cost;
+    sim::UniqueFunction<void()> done;
+  };
+  struct ServiceWork {
+    sim::SimTime remaining;
+    sim::UniqueFunction<void()> done;
+  };
+
+  /// Schedules a zero-delay dispatch pump. External entry points (make_ready,
+  /// post_high) never run the interpreter inline: this keeps op side effects
+  /// (which can re-enter the same CPU, e.g. a self-send's delivery) from
+  /// nesting inside an in-flight interpreter step.
+  void request_dispatch();
+  /// Picks the next work item if the CPU is idle.
+  void dispatch();
+  /// Interprets ops of `current_` until a charge is planned, the process
+  /// blocks, or it exits.
+  void continue_low();
+  /// Schedules the end-of-charge event.
+  void plan_charge(ChargeKind kind, sim::SimTime amount);
+  void on_charge_done();
+  /// Cancels an in-flight daemon charge, accounting the elapsed work.
+  void interrupt_service();
+  /// Applies `amount` of completed daemon CPU to the queue head(s),
+  /// firing completions as items finish.
+  void consume_service(sim::SimTime amount);
+  /// Cancels the in-flight low charge and applies the elapsed work to the
+  /// current process; leaves current_ cleared and the process off-queue in
+  /// kRunning state for the caller to place (requeue or suspend).
+  Process& interrupt_low_charge();
+  /// Applies `elapsed` of an interrupted op charge, then requeues current_.
+  void preempt_low();
+  /// Completes the side effects of the op at current_->pc_ and advances.
+  void complete_op(Process& p);
+  /// Moves p out of the running state into the back of the ready queue.
+  void requeue(Process& p);
+  void set_busy(bool b) { busy_tracker_.set_busy(sim_.now(), b); }
+
+  sim::Simulation& sim_;
+  net::NodeId node_;
+  mem::Mmu& mmu_;
+  Params params_;
+  SendDispatcher send_dispatcher_;
+  const sim::Tracer* tracer_ = nullptr;
+
+  std::deque<HighWork> high_queue_;
+  std::deque<Process*> low_queue_;
+  std::deque<ServiceWork> service_queue_;
+  /// Alternates the low-priority domain between the comm daemon and the
+  /// application processes so neither starves the other.
+  bool service_turn_ = false;
+  Process* current_ = nullptr;      // low process holding the CPU
+  Process* last_ran_ = nullptr;     // for context-switch accounting
+  sim::SimTime quantum_left_;
+  HighWork current_high_;
+
+  sim::EventId charge_event_ = sim::kNoEvent;
+  bool pump_scheduled_ = false;
+  ChargeKind charge_kind_ = ChargeKind::kNone;
+  sim::SimTime charge_started_;
+  sim::SimTime charge_amount_;
+
+  sim::BusyTracker busy_tracker_;
+  std::uint64_t service_items_ = 0;
+  sim::SimTime service_time_done_;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t quantum_expiries_ = 0;
+  std::uint64_t high_preemptions_ = 0;
+  std::uint64_t high_items_ = 0;
+};
+
+}  // namespace tmc::node

@@ -1,0 +1,78 @@
+#include "sched/adaptive_scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace tmc::sched {
+
+AdaptiveScheduler::AdaptiveScheduler(sim::Simulation& sim,
+                                     std::vector<node::Transputer*> cpus,
+                                     node::CommSystem& comm,
+                                     PolicyConfig policy,
+                                     PartitionSchedParams params)
+    : sim_(sim),
+      cpus_(std::move(cpus)),
+      comm_(comm),
+      policy_(policy),
+      params_(params),
+      buddy_(static_cast<int>(cpus_.size())) {}
+
+void AdaptiveScheduler::submit(Job& job) {
+  job.mark_arrival(sim_.now());
+  ++submitted_;
+  queue_.push_back(&job);
+  pump();
+}
+
+int AdaptiveScheduler::target_size() const {
+  const int in_system =
+      static_cast<int>(queue_.size()) + static_cast<int>(running_.size());
+  const int share = buddy_.total() / std::max(in_system, 1);
+  const int floored = std::max(share, policy_.adaptive_min_partition);
+  return static_cast<int>(
+      std::bit_floor(static_cast<unsigned>(std::max(floored, 1))));
+}
+
+void AdaptiveScheduler::pump() {
+  while (!queue_.empty()) {
+    auto block = buddy_.allocate_at_most(target_size());
+    if (!block) return;  // machine full: wait for a departure
+    Job* job = queue_.front();
+    queue_.pop_front();
+
+    Partition partition;
+    partition.id = partition_seq_++;
+    for (int i = 0; i < block->size; ++i) {
+      partition.nodes.push_back(block->base + i);
+    }
+    // Within its allocation the job runs exactly as under the static
+    // policy: exclusive use, run to completion.
+    PolicyConfig local = policy_;
+    local.kind = PolicyKind::kStatic;
+    local.partition_size = block->size;
+    auto scheduler = std::make_unique<PartitionScheduler>(
+        sim_, std::move(partition), cpus_, comm_, local, params_);
+    scheduler->set_completion_handler(
+        [this](PartitionScheduler&, Job& done) { on_job_complete(done); });
+
+    alloc_sizes_.add(static_cast<double>(block->size));
+    Running& entry = running_[job->id()];
+    entry.block = *block;
+    entry.scheduler = std::move(scheduler);
+    entry.scheduler->admit(*job);
+  }
+}
+
+void AdaptiveScheduler::on_job_complete(Job& job) {
+  const auto it = running_.find(job.id());
+  assert(it != running_.end());
+  buddy_.free(it->second.block);
+  retired_.push_back(std::move(it->second.scheduler));
+  running_.erase(it);
+  ++completed_;
+  if (observer_) observer_(job);
+  pump();
+}
+
+}  // namespace tmc::sched

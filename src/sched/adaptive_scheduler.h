@@ -1,0 +1,81 @@
+// tmcsim -- adaptive space-sharing (extension; bench A9).
+//
+// The paper's taxonomy (section 2.1) divides space-sharing into static,
+// semi-static and dynamic families but implements only the static one.
+// This scheduler implements the classic *adaptive* variant studied by the
+// works the paper cites ([5] Dussa et al., [10] Rosti et al.): partitions
+// are sized at dispatch time to the current load -- target = P / jobs in
+// system, rounded to a power of two -- and carved from a buddy allocator,
+// so a lightly loaded machine gives each job many processors while a
+// backlogged one degrades toward one processor per job. Jobs still run to
+// completion (no repartitioning of running jobs).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "node/comm.h"
+#include "node/transputer.h"
+#include "sched/buddy.h"
+#include "sched/partition_scheduler.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace tmc::sched {
+
+class AdaptiveScheduler final : public Scheduler {
+ public:
+  AdaptiveScheduler(sim::Simulation& sim, std::vector<node::Transputer*> cpus,
+                    node::CommSystem& comm, PolicyConfig policy,
+                    PartitionSchedParams params = {});
+
+  void submit(Job& job) override;
+  [[nodiscard]] std::size_t queued_jobs() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t submitted() const override { return submitted_; }
+  [[nodiscard]] std::uint64_t completed() const override { return completed_; }
+
+  [[nodiscard]] const BuddyAllocator& buddy() const { return buddy_; }
+  [[nodiscard]] int running_jobs() const {
+    return static_cast<int>(running_.size());
+  }
+  /// Distribution of granted partition sizes.
+  [[nodiscard]] const sim::OnlineStats& allocation_sizes() const {
+    return alloc_sizes_;
+  }
+
+ private:
+  struct Running {
+    std::unique_ptr<PartitionScheduler> scheduler;
+    ProcessorBlock block;
+  };
+
+  /// Equipartition target for the next dispatch.
+  [[nodiscard]] int target_size() const;
+  void pump();
+  void on_job_complete(Job& job);
+
+  sim::Simulation& sim_;
+  std::vector<node::Transputer*> cpus_;
+  node::CommSystem& comm_;
+  PolicyConfig policy_;
+  PartitionSchedParams params_;
+  BuddyAllocator buddy_;
+
+  std::deque<Job*> queue_;
+  std::unordered_map<JobId, Running> running_;
+  /// Completed jobs' partition schedulers; destroying one inside its own
+  /// completion callback would be use-after-free, so they retire here.
+  std::vector<std::unique_ptr<PartitionScheduler>> retired_;
+  int partition_seq_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  sim::OnlineStats alloc_sizes_;
+};
+
+}  // namespace tmc::sched

@@ -1,0 +1,91 @@
+#include "sched/buddy.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace tmc::sched {
+
+int BuddyAllocator::order_of(int size) {
+  return std::countr_zero(static_cast<unsigned>(size));
+}
+
+BuddyAllocator::BuddyAllocator(int processors) : total_(processors) {
+  if (processors <= 0 ||
+      !std::has_single_bit(static_cast<unsigned>(processors))) {
+    throw std::invalid_argument("buddy pool size must be a power of two");
+  }
+  max_order_ = order_of(processors);
+  free_.resize(static_cast<std::size_t>(max_order_) + 1);
+  free_[static_cast<std::size_t>(max_order_)].insert(0);
+}
+
+std::optional<ProcessorBlock> BuddyAllocator::allocate(int size) {
+  if (size <= 0 || size > total_ ||
+      !std::has_single_bit(static_cast<unsigned>(size))) {
+    return std::nullopt;
+  }
+  const int want = order_of(size);
+  // Find the smallest free block large enough.
+  int from = want;
+  while (from <= max_order_ &&
+         free_[static_cast<std::size_t>(from)].empty()) {
+    ++from;
+  }
+  if (from > max_order_) return std::nullopt;
+  // Take the lowest-address block and split down to the wanted order.
+  net::NodeId base = *free_[static_cast<std::size_t>(from)].begin();
+  free_[static_cast<std::size_t>(from)].erase(base);
+  for (int k = from; k > want; --k) {
+    // Keep the lower half, free the upper half.
+    const net::NodeId upper = base + (1 << (k - 1));
+    free_[static_cast<std::size_t>(k - 1)].insert(upper);
+  }
+  const ProcessorBlock block{base, size};
+  live_.insert(block);
+  allocated_ += size;
+  ++allocations_;
+  return block;
+}
+
+std::optional<ProcessorBlock> BuddyAllocator::allocate_at_most(int max_size) {
+  int size = std::min(max_size, total_);
+  if (size <= 0) return std::nullopt;
+  size = static_cast<int>(std::bit_floor(static_cast<unsigned>(size)));
+  for (; size >= 1; size /= 2) {
+    if (auto block = allocate(size)) return block;
+  }
+  return std::nullopt;
+}
+
+void BuddyAllocator::free(ProcessorBlock block) {
+  const auto it = live_.find(block);
+  if (it == live_.end()) {
+    throw std::invalid_argument("freeing a block that is not allocated");
+  }
+  live_.erase(it);
+  allocated_ -= block.size;
+
+  int order = order_of(block.size);
+  net::NodeId base = block.base;
+  // Eager coalescing with the buddy at each order.
+  while (order < max_order_) {
+    const net::NodeId buddy = base ^ (1 << order);
+    auto& bucket = free_[static_cast<std::size_t>(order)];
+    const auto buddy_it = bucket.find(buddy);
+    if (buddy_it == bucket.end()) break;
+    bucket.erase(buddy_it);
+    base = std::min(base, buddy);
+    ++order;
+  }
+  free_[static_cast<std::size_t>(order)].insert(base);
+}
+
+int BuddyAllocator::largest_free_block() const {
+  for (int k = max_order_; k >= 0; --k) {
+    if (!free_[static_cast<std::size_t>(k)].empty()) return 1 << k;
+  }
+  return 0;
+}
+
+}  // namespace tmc::sched

@@ -1,0 +1,74 @@
+// tmcsim -- buddy processor allocator.
+//
+// The paper's static policy fixes the partition size for the whole run; its
+// taxonomy (section 2.1, after [7,8,11]) also names semi-static and dynamic
+// space-sharing, and its Intel iPSC example allocates power-of-two node
+// blocks per job. This is that allocator: a classic buddy system over 2^k
+// processors, used by the adaptive space-sharing policy (bench A9) to size
+// partitions to the current load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tmc::sched {
+
+/// A contiguous block of processors [base, base + size), size a power of 2,
+/// aligned to its size (buddy invariant).
+struct ProcessorBlock {
+  net::NodeId base = 0;
+  int size = 0;
+
+  friend bool operator==(const ProcessorBlock&,
+                         const ProcessorBlock&) = default;
+};
+
+inline bool operator<(const ProcessorBlock& a, const ProcessorBlock& b) {
+  return a.base != b.base ? a.base < b.base : a.size < b.size;
+}
+
+class BuddyAllocator {
+ public:
+  /// `processors` must be a power of two.
+  explicit BuddyAllocator(int processors);
+
+  /// Allocates an aligned block of exactly `size` (a power of two <= total),
+  /// splitting larger free blocks as needed. Lowest-address block first
+  /// (deterministic). Returns nullopt if no block of that size can be made.
+  std::optional<ProcessorBlock> allocate(int size);
+
+  /// Allocates the largest available block with size <= `max_size`
+  /// (adaptive policies degrade gracefully under fragmentation).
+  std::optional<ProcessorBlock> allocate_at_most(int max_size);
+
+  /// Returns a block obtained from allocate(); buddies coalesce eagerly.
+  void free(ProcessorBlock block);
+
+  [[nodiscard]] int total() const { return total_; }
+  [[nodiscard]] int allocated() const { return allocated_; }
+  [[nodiscard]] int free_processors() const { return total_ - allocated_; }
+  /// Size of the largest block allocate() could currently satisfy.
+  [[nodiscard]] int largest_free_block() const;
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  /// True if [base, base+size) is currently allocated (for assertions).
+  [[nodiscard]] bool is_allocated(const ProcessorBlock& block) const {
+    return live_.contains(block);
+  }
+
+ private:
+  [[nodiscard]] static int order_of(int size);
+
+  int total_;
+  int max_order_;
+  /// free_[k] = bases of free blocks of size 2^k, kept sorted.
+  std::vector<std::set<net::NodeId>> free_;
+  std::set<ProcessorBlock> live_;
+  int allocated_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace tmc::sched

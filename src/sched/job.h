@@ -1,0 +1,126 @@
+// tmcsim -- jobs.
+//
+// A job is a parallel program submitted to the system: a builder that emits
+// one op script per process (the number of processes depends on the software
+// architecture), plus the bookkeeping the schedulers and the experiment
+// harness need (arrival/dispatch/completion instants, size class).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/process.h"
+#include "node/program.h"
+#include "sim/time.h"
+
+namespace tmc::sched {
+
+using node::JobId;
+
+/// Endpoint id of process `rank` of job `job`. Stable encoding used by the
+/// workload builders to address sibling processes in their scripts.
+[[nodiscard]] constexpr net::EndpointId endpoint_of(JobId job, int rank) {
+  return (static_cast<net::EndpointId>(job) << 20) |
+         static_cast<net::EndpointId>(rank);
+}
+
+/// The software architectures of section 4.3.
+enum class SoftwareArch {
+  kFixed,     // process count fixed at compile time (16 in the paper)
+  kAdaptive,  // process count = processors allocated, discovered at run time
+};
+
+[[nodiscard]] std::string_view to_string(SoftwareArch arch);
+
+class Job;
+
+/// Builds the per-process programs of a job once the partition size is known
+/// (the paper's run-time "number of processors allocated" call). Element i
+/// of the result is the script of rank i; rank 0 is the coordinator.
+using ProgramBuilder =
+    std::function<std::vector<node::Program>(const Job&, int partition_size)>;
+
+/// Static description of a job, fixed at submission.
+struct JobSpec {
+  std::string app;          // "matmul", "sort", "synthetic", ...
+  std::size_t problem_size = 0;
+  bool large = false;       // size class within the batch (12 small + 4 large)
+  SoftwareArch arch = SoftwareArch::kFixed;
+  /// Service-demand estimate used only for the static policy's best/worst
+  /// orderings (smaller estimate = "small job").
+  sim::SimTime demand_estimate;
+  ProgramBuilder builder;
+};
+
+/// A job instance moving through the system.
+class Job {
+ public:
+  Job(JobId id, JobSpec spec) : id_(id), spec_(std::move(spec)) {}
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+
+  // --- lifecycle (written by the schedulers) ----------------------------
+  void mark_arrival(sim::SimTime t) { arrival_ = t; }
+  void mark_dispatch(sim::SimTime t) {
+    dispatch_ = t;
+    dispatched_ = true;
+  }
+  void mark_completion(sim::SimTime t) {
+    completion_ = t;
+    completed_ = true;
+  }
+
+  [[nodiscard]] sim::SimTime arrival() const { return arrival_; }
+  [[nodiscard]] sim::SimTime dispatch_time() const { return dispatch_; }
+  [[nodiscard]] sim::SimTime completion_time() const { return completion_; }
+  [[nodiscard]] bool dispatched() const { return dispatched_; }
+  [[nodiscard]] bool completed() const { return completed_; }
+
+  /// Response time = queueing wait + execution (the paper's metric).
+  [[nodiscard]] sim::SimTime response_time() const {
+    return completion_ - arrival_;
+  }
+  [[nodiscard]] sim::SimTime wait_time() const { return dispatch_ - arrival_; }
+
+  // --- processes (owned while the job runs) -----------------------------
+  [[nodiscard]] std::vector<std::unique_ptr<node::Process>>& processes() {
+    return processes_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<node::Process>>& processes()
+      const {
+    return processes_;
+  }
+  [[nodiscard]] int process_count() const {
+    return static_cast<int>(processes_.size());
+  }
+
+  /// CPU consumed so far by the live processes.
+  [[nodiscard]] sim::SimTime total_cpu_time() const {
+    sim::SimTime total;
+    for (const auto& p : processes_) total += p->cpu_time();
+    return total;
+  }
+
+  /// Snapshot taken at teardown, before the processes are destroyed.
+  void record_cpu(sim::SimTime t) { consumed_cpu_ = t; }
+  [[nodiscard]] sim::SimTime consumed_cpu() const { return consumed_cpu_; }
+
+ private:
+  JobId id_;
+  JobSpec spec_;
+  sim::SimTime arrival_;
+  sim::SimTime dispatch_;
+  sim::SimTime completion_;
+  bool dispatched_ = false;
+  bool completed_ = false;
+  sim::SimTime consumed_cpu_;
+  std::vector<std::unique_ptr<node::Process>> processes_;
+};
+
+}  // namespace tmc::sched

@@ -1,0 +1,42 @@
+// tmcsim -- processor partitions.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tmc::sched {
+
+/// A contiguous set of processors allocated as a unit.
+struct Partition {
+  int id = 0;
+  std::vector<net::NodeId> nodes;
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes.size()); }
+  /// Node a given process rank maps to (round-robin over the partition).
+  [[nodiscard]] net::NodeId node_for_rank(int rank) const {
+    return nodes[static_cast<std::size_t>(rank) % nodes.size()];
+  }
+};
+
+/// Cuts P processors into P/p equal partitions of consecutive nodes
+/// (the paper's equal partitioning; node numbering follows the wiring, so
+/// consecutive nodes are close in every topology we build).
+[[nodiscard]] inline std::vector<Partition> equal_partitions(int total,
+                                                             int size) {
+  if (size <= 0 || total % size != 0) {
+    throw std::invalid_argument("partition size must divide machine size");
+  }
+  std::vector<Partition> parts;
+  parts.reserve(static_cast<std::size_t>(total / size));
+  for (int base = 0, id = 0; base < total; base += size, ++id) {
+    Partition part;
+    part.id = id;
+    for (int i = 0; i < size; ++i) part.nodes.push_back(base + i);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace tmc::sched

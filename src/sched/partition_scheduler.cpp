@@ -1,0 +1,183 @@
+#include "sched/partition_scheduler.h"
+#include <algorithm>
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tmc::sched {
+
+std::string_view to_string(SoftwareArch arch) {
+  switch (arch) {
+    case SoftwareArch::kFixed: return "fixed";
+    case SoftwareArch::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kStatic: return "static";
+    case PolicyKind::kTimeSharing: return "time-sharing";
+    case PolicyKind::kHybrid: return "hybrid";
+    case PolicyKind::kAdaptiveStatic: return "adaptive-static";
+  }
+  return "?";
+}
+
+PartitionScheduler::PartitionScheduler(sim::Simulation& sim,
+                                       Partition partition,
+                                       std::vector<node::Transputer*> cpus,
+                                       node::CommSystem& comm,
+                                       PolicyConfig policy, Params params)
+    : sim_(sim),
+      partition_(std::move(partition)),
+      cpus_(std::move(cpus)),
+      comm_(comm),
+      policy_(policy),
+      params_(params) {}
+
+void PartitionScheduler::admit(Job& job) {
+  job.mark_dispatch(sim_.now());
+  ++active_;
+  peak_mpl_ = std::max(peak_mpl_, active_);
+
+  auto programs = job.spec().builder(job, partition_.size());
+  if (programs.empty()) {
+    throw std::logic_error("job " + std::to_string(job.id()) +
+                           " built no processes");
+  }
+  const int procs = static_cast<int>(programs.size());
+  live_processes_[job.id()] = procs;
+
+  const sim::SimTime quantum =
+      policy_.time_shared()
+          ? policy_.rr_job_quantum(partition_.size(), procs)
+          : policy_.min_quantum;  // hardware timeslice under space-sharing
+
+  const int rotation = params_.rotate_placement ? placement_rotation_++ : 0;
+  for (int rank = 0; rank < procs; ++rank) {
+    auto process = std::make_unique<node::Process>(
+        endpoint_of(job.id(), rank), job.id(), std::move(programs[static_cast<std::size_t>(rank)]));
+    const net::NodeId node = partition_.node_for_rank(rank + rotation);
+    process->bind_to_node(node);
+    process->set_quantum(quantum);
+    process->set_on_exit([this, &job](node::Process&) { on_process_exit(job); });
+    comm_.register_process(*process);
+    job.processes().push_back(std::move(process));
+  }
+  // Placement: notify each local scheduler. The scheduler software itself
+  // costs CPU, charged as high-priority work on the target node.
+  const bool gang = gang_mode();
+  for (auto& process : job.processes()) {
+    node::Transputer* cpu = cpus_[static_cast<std::size_t>(process->node())];
+    if (!params_.dispatch_overhead.is_zero()) {
+      cpu->post_high(params_.dispatch_overhead, nullptr);
+    }
+    // Under gang rotation a job is admitted parked; its first turn (or the
+    // sole-job fast path below) resumes it.
+    if (gang) cpu->suspend(*process);
+    cpu->make_ready(*process);
+  }
+  if (gang) {
+    gang_ring_.push_back(&job);
+    if (gang_current_ == nullptr) {
+      gang_index_ = gang_ring_.size() - 1;
+      gang_start_turn(job, /*charge_switch=*/false);
+    } else if (gang_timer_ == sim::kNoEvent && gang_ring_.size() > 1) {
+      // The running job was alone (no rotation armed); give it one more
+      // quantum from now, then rotate.
+      gang_timer_ = sim_.schedule(policy_.basic_quantum,
+                                  [this] { gang_end_turn(); });
+    }
+  }
+}
+
+void PartitionScheduler::gang_set_active(Job& job, bool active) {
+  // Freeze/thaw the job's in-flight communication along with its processes.
+  comm_.set_job_active(job.id(), active);
+  for (auto& process : job.processes()) {
+    node::Transputer* cpu = cpus_[static_cast<std::size_t>(process->node())];
+    if (active) {
+      cpu->resume(*process);
+    } else {
+      cpu->suspend(*process);
+    }
+  }
+}
+
+void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
+  gang_current_ = &job;
+  if (charge_switch) {
+    ++gang_switches_;
+    if (!params_.gang_switch_overhead.is_zero()) {
+      for (const net::NodeId node : partition_.nodes) {
+        cpus_[static_cast<std::size_t>(node)]->post_high(
+            params_.gang_switch_overhead, nullptr);
+      }
+    }
+  }
+  gang_set_active(job, true);
+  gang_timer_ = gang_ring_.size() > 1
+                    ? sim_.schedule(policy_.basic_quantum,
+                                    [this] { gang_end_turn(); })
+                    : sim::kNoEvent;
+}
+
+void PartitionScheduler::gang_end_turn() {
+  gang_timer_ = sim::kNoEvent;
+  if (gang_current_ != nullptr) gang_set_active(*gang_current_, false);
+  gang_current_ = nullptr;
+  if (gang_ring_.empty()) return;
+  gang_index_ = (gang_index_ + 1) % gang_ring_.size();
+  gang_start_turn(*gang_ring_[gang_index_], /*charge_switch=*/true);
+}
+
+void PartitionScheduler::gang_leave(Job& job) {
+  const auto it = std::find(gang_ring_.begin(), gang_ring_.end(), &job);
+  if (it == gang_ring_.end()) return;
+  const auto pos = static_cast<std::size_t>(it - gang_ring_.begin());
+  gang_ring_.erase(it);
+  if (pos < gang_index_) {
+    --gang_index_;
+  } else if (gang_index_ >= gang_ring_.size()) {
+    gang_index_ = 0;
+  }
+  if (gang_current_ == &job) {
+    gang_current_ = nullptr;
+    if (gang_timer_ != sim::kNoEvent) {
+      sim_.cancel(gang_timer_);
+      gang_timer_ = sim::kNoEvent;
+    }
+    if (!gang_ring_.empty()) {
+      gang_start_turn(*gang_ring_[gang_index_], /*charge_switch=*/true);
+    }
+  }
+}
+
+void PartitionScheduler::on_process_exit(Job& job) {
+  auto it = live_processes_.find(job.id());
+  assert(it != live_processes_.end());
+  if (--it->second > 0) return;
+  live_processes_.erase(it);
+  job.mark_completion(sim_.now());
+  // Teardown is deferred one event: the exiting process's stack frame (and
+  // its on_exit std::function) must unwind before the Process is destroyed.
+  sim_.schedule(sim::SimTime::zero(), [this, &job] { teardown(job); });
+}
+
+void PartitionScheduler::teardown(Job& job) {
+  gang_leave(job);
+  job.record_cpu(job.total_cpu_time());
+  for (auto& process : job.processes()) {
+    assert(process->done());
+    assert(process->mailbox().empty() && "job exited with undrained mailbox");
+    comm_.unregister_process(process->id());
+  }
+  job.processes().clear();
+  --active_;
+  ++completed_;
+  if (on_complete_) on_complete_(*this, job);
+}
+
+}  // namespace tmc::sched

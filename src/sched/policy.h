@@ -1,0 +1,88 @@
+// tmcsim -- scheduling policy configuration (paper section 2).
+#pragma once
+
+#include <climits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace tmc::sched {
+
+enum class PolicyKind {
+  /// Static space-sharing: equal partitions, one job per partition,
+  /// run-to-completion, global FCFS queue.
+  kStatic,
+  /// Pure time-sharing: the whole machine is one partition and every job is
+  /// dispatched into it (multiprogramming level = batch size). RR-job
+  /// quanta. (A special case of kHybrid with one partition -- see 5.1.)
+  kTimeSharing,
+  /// Hybrid: equal partitions, jobs dealt equitably among them, RR-job
+  /// time-sharing within each partition.
+  kHybrid,
+  /// Adaptive space-sharing (extension; paper section 2.1's taxonomy):
+  /// partition size chosen per dispatch as P / jobs-in-system (power of
+  /// two, buddy-allocated); run-to-completion within the allocation.
+  kAdaptiveStatic,
+};
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kStatic;
+
+  /// Partition size p; the machine of P processors is cut into P/p equal
+  /// partitions (paper section 5.1). Must divide P. For kTimeSharing this
+  /// is forced to P.
+  int partition_size = 16;
+
+  /// Basic quantum q of the RR-job discipline. A job with T processes on a
+  /// p-processor partition gets per-process quantum Q = (p/T) * q, which
+  /// equalises processing power across jobs (Leutenegger & Vernon).
+  sim::SimTime basic_quantum = sim::SimTime::milliseconds(50);
+
+  /// Quanta never drop below the hardware timeslice of the T805.
+  sim::SimTime min_quantum = sim::SimTime::milliseconds(2);
+
+  /// Hybrid set size: maximum jobs multiprogrammed per partition. The paper
+  /// dispatches the whole batch (set size effectively unbounded); bench A3
+  /// sweeps this tuning parameter.
+  int set_size = INT_MAX;
+
+  /// Coordinated (gang) rotation among the jobs of a partition -- the
+  /// paper's policy: "the set of jobs mapped to a partition share the
+  /// processors in the partition in a round-robin fashion", with the
+  /// per-process quantum Q = (P/T) q making every job's turn last exactly
+  /// q. False = uncoordinated per-process time-slicing (the ablation of
+  /// bench A7: overlapping jobs' communication stalls, which the real
+  /// policy could not do).
+  bool gang_scheduling = true;
+
+  /// Smallest partition the adaptive space-sharing policy will grant.
+  int adaptive_min_partition = 1;
+
+  /// Per-process quantum for a job of `processes` ranks on a partition of
+  /// `partition` CPUs.
+  [[nodiscard]] sim::SimTime rr_job_quantum(int partition,
+                                            int processes) const {
+    if (processes <= 0) throw std::invalid_argument("job with no processes");
+    const sim::SimTime q = sim::SimTime::nanoseconds(
+        basic_quantum.ns() * partition / processes);
+    return q < min_quantum ? min_quantum : q;
+  }
+
+  [[nodiscard]] bool time_shared() const {
+    return kind == PolicyKind::kTimeSharing || kind == PolicyKind::kHybrid;
+  }
+  /// Run-to-completion space sharing (order-sensitive; the paper's
+  /// best/worst averaging rule applies).
+  [[nodiscard]] bool space_shared() const { return !time_shared(); }
+
+  [[nodiscard]] std::string label() const {
+    return std::string(to_string(kind)) + "/p" +
+           std::to_string(partition_size);
+  }
+};
+
+}  // namespace tmc::sched

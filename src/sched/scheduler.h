@@ -1,0 +1,40 @@
+// tmcsim -- top-level scheduler interface.
+//
+// The experiment harness talks to the system scheduler through this
+// interface; SuperScheduler implements the paper's three policies over
+// fixed equal partitions, AdaptiveScheduler the buddy-allocated adaptive
+// space-sharing extension.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sched/job.h"
+
+namespace tmc::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Submits a job (arrival instant = now); dispatch follows the policy.
+  virtual void submit(Job& job) = 0;
+
+  [[nodiscard]] virtual std::size_t queued_jobs() const = 0;
+  [[nodiscard]] virtual std::uint64_t submitted() const = 0;
+  [[nodiscard]] virtual std::uint64_t completed() const = 0;
+
+  [[nodiscard]] bool all_done() const {
+    return queued_jobs() == 0 && completed() == submitted();
+  }
+
+  /// Observer invoked after each job completes (for the harness).
+  void set_completion_observer(std::function<void(Job&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ protected:
+  std::function<void(Job&)> observer_;
+};
+
+}  // namespace tmc::sched

@@ -1,0 +1,65 @@
+#include "sched/super_scheduler.h"
+
+#include <cassert>
+#include <limits>
+
+namespace tmc::sched {
+
+SuperScheduler::SuperScheduler(sim::Simulation& sim,
+                               std::vector<PartitionScheduler*> partitions,
+                               PolicyConfig policy)
+    : sim_(sim), partitions_(std::move(partitions)), policy_(policy) {
+  assert(!partitions_.empty());
+  for (PartitionScheduler* ps : partitions_) {
+    ps->set_completion_handler(
+        [this](PartitionScheduler&, Job& job) { on_job_complete(job); });
+  }
+}
+
+void SuperScheduler::submit(Job& job) {
+  job.mark_arrival(sim_.now());
+  ++submitted_;
+  queue_.push_back(&job);
+  pump();
+}
+
+PartitionScheduler* SuperScheduler::pick_partition() const {
+  if (policy_.kind == PolicyKind::kStatic) {
+    // One job per partition, run to completion.
+    for (PartitionScheduler* ps : partitions_) {
+      if (ps->active_jobs() == 0) return ps;
+    }
+    return nullptr;
+  }
+  // Time-sharing/hybrid: deal to the least-loaded partition (lowest id on
+  // ties), bounded by the set size. For a batch arriving together this is
+  // exactly the paper's equitable round-robin distribution.
+  PartitionScheduler* best = nullptr;
+  int best_load = std::numeric_limits<int>::max();
+  for (PartitionScheduler* ps : partitions_) {
+    if (ps->active_jobs() < best_load) {
+      best_load = ps->active_jobs();
+      best = ps;
+    }
+  }
+  if (best == nullptr || best_load >= policy_.set_size) return nullptr;
+  return best;
+}
+
+void SuperScheduler::pump() {
+  while (!queue_.empty()) {
+    PartitionScheduler* target = pick_partition();
+    if (target == nullptr) return;
+    Job* job = queue_.front();
+    queue_.pop_front();
+    target->admit(*job);
+  }
+}
+
+void SuperScheduler::on_job_complete(Job& job) {
+  ++completed_;
+  if (observer_) observer_(job);
+  pump();
+}
+
+}  // namespace tmc::sched

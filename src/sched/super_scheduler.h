@@ -1,0 +1,56 @@
+// tmcsim -- system-wide scheduler (top tier of the paper's hierarchy).
+//
+// The super scheduler owns the global ready queue. Under the static policy
+// it is a FCFS dispatcher: a queued job starts when a partition becomes
+// free and runs there exclusively to completion. Under the time-sharing
+// policies it deals arriving jobs equitably over the partitions (bounded by
+// the hybrid set size) and they multiprogram within each partition.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sched/job.h"
+#include "sched/partition_scheduler.h"
+#include "sched/policy.h"
+#include "sched/scheduler.h"
+#include "sim/simulation.h"
+
+namespace tmc::sched {
+
+class SuperScheduler final : public Scheduler {
+ public:
+  SuperScheduler(sim::Simulation& sim,
+                 std::vector<PartitionScheduler*> partitions,
+                 PolicyConfig policy);
+
+  SuperScheduler(const SuperScheduler&) = delete;
+  SuperScheduler& operator=(const SuperScheduler&) = delete;
+
+  /// Submits a job (arrival instant = now). Jobs are queued FCFS and
+  /// dispatched according to the policy.
+  void submit(Job& job) override;
+
+  [[nodiscard]] std::size_t queued_jobs() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t submitted() const override { return submitted_; }
+  [[nodiscard]] std::uint64_t completed() const override { return completed_; }
+
+ private:
+  void pump();
+  /// Dispatch target per policy, or nullptr if no partition can accept work.
+  PartitionScheduler* pick_partition() const;
+  void on_job_complete(Job& job);
+
+  sim::Simulation& sim_;
+  std::vector<PartitionScheduler*> partitions_;
+  PolicyConfig policy_;
+  std::deque<Job*> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace tmc::sched

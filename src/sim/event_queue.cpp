@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tmc::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty() && "next_time() on empty EventQueue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+std::size_t EventQueue::discard_all() {
+  std::size_t n = 0;
+  while (!empty()) {
+    Fired fired = pop();
+    (void)fired;  // callback destroyed here; may enqueue new events
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace tmc::sim

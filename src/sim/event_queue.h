@@ -1,0 +1,78 @@
+// tmcsim -- pending-event set for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/unique_function.h"
+
+namespace tmc::sim {
+
+/// Opaque handle identifying a scheduled event; used to cancel it.
+/// Handle 0 is never issued and acts as "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// Time-ordered set of pending events.
+///
+/// Ties are broken by insertion order (FIFO), which makes simulations
+/// deterministic: two events scheduled for the same instant fire in the order
+/// they were scheduled. Cancellation is O(1) (lazy deletion on pop).
+class EventQueue {
+ public:
+  using Callback = UniqueFunction<void()>;
+
+  /// Schedules `cb` to fire at absolute time `at`. Returns a handle that can
+  /// be passed to `cancel`.
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id was never issued.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event. Must not be called when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest pending event's callback, along with
+  /// its firing time. Must not be called when empty.
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (monotone; includes cancelled ones).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return next_id_ - 1; }
+
+  /// Destroys all pending events without firing them. Destroying a callback
+  /// can release resources that schedule new events; the loop keeps going
+  /// until the set is truly empty. Returns the number discarded.
+  std::size_t discard_all();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // min-heap: earliest time first, then lowest id (insertion order).
+    bool operator>(const Entry& rhs) const {
+      if (time != rhs.time) return time > rhs.time;
+      return id > rhs.id;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tmc::sim

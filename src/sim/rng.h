@@ -1,0 +1,74 @@
+// tmcsim -- deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** directly rather than using <random> engines and
+// distributions: the standard distributions are not bit-reproducible across
+// standard-library implementations, and reproducibility of every replication
+// from its seed is a hard requirement for the experiment harness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tmc::sim {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (polar form would cache; we keep it
+  /// stateless-per-call for reproducibility of call sequences).
+  double normal(double mu, double sigma);
+
+  /// Two-stage hyperexponential with the given mean and coefficient of
+  /// variation cv >= 1. Used by the synthetic variance workload (bench A1).
+  double hyperexponential(double mean, double cv);
+
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a range (deterministic given the stream state).
+  template <typename It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = uniform(i);
+      using std::swap;
+      swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+           first[static_cast<std::ptrdiff_t>(j)]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-replication streams).
+  [[nodiscard]] Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace tmc::sim

@@ -1,0 +1,58 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <ostream>
+#include <utility>
+
+namespace tmc::sim {
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_seconds() << "s";
+}
+
+EventId Simulation::schedule(SimTime delay, EventQueue::Callback cb) {
+  assert(!delay.is_negative() && "negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulation::schedule_at(SimTime at, EventQueue::Callback cb) {
+  assert(at >= now_ && "scheduling into the past");
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::uint64_t Simulation::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    auto fired = queue_.pop();
+    assert(fired.time >= now_);
+    now_ = fired.time;
+    fired.callback();
+    ++n;
+  }
+  fired_ += n;
+  return n;
+}
+
+std::uint64_t Simulation::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.callback();
+    ++n;
+  }
+  if (until > now_) now_ = until;
+  fired_ += n;
+  return n;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.callback();
+  ++fired_;
+  return true;
+}
+
+}  // namespace tmc::sim

@@ -1,0 +1,64 @@
+// tmcsim -- discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace tmc::sim {
+
+/// The simulation clock and event loop.
+///
+/// A Simulation owns the clock and the pending-event set. Model components
+/// hold a reference to it and drive themselves by scheduling callbacks.
+/// The kernel is strictly sequential and deterministic: events at equal
+/// times fire in scheduling order.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` after `delay` (>= 0) from now.
+  EventId schedule(SimTime delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (>= now()).
+  EventId schedule_at(SimTime at, EventQueue::Callback cb);
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event set is exhausted or `max_events` fire.
+  /// Returns the number of events fired.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with time <= `until`, then advances the clock to `until`
+  /// (even if no event fired exactly there). Returns events fired.
+  std::uint64_t run_until(SimTime until);
+
+  /// Fires exactly one event if any is pending. Returns true if one fired.
+  bool step();
+
+  /// Destroys all pending events without firing them (teardown aid for
+  /// models whose callbacks own resources). Returns the number discarded.
+  std::size_t discard_pending() { return queue_.discard_all(); }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  /// Firing time of the earliest pending event; must not be called idle.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t fired_events() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace tmc::sim

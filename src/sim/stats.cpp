@@ -1,0 +1,182 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tmc::sim {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::cv() const {
+  return mean_ == 0.0 ? 0.0 : stddev() / std::abs(mean_);
+}
+
+namespace {
+// Two-sided Student t critical values for common levels, indexed by
+// degrees of freedom 1..30; beyond 30 we use the normal quantile.
+double t_critical(std::uint64_t df, double level) {
+  static constexpr double t95[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  static constexpr double t90[] = {
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+      1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+      1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+  static constexpr double t99[] = {
+      63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+      3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+      2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+  const double* table = t95;
+  double z = 1.960;
+  if (level <= 0.905) {
+    table = t90;
+    z = 1.645;
+  } else if (level >= 0.985) {
+    table = t99;
+    z = 2.576;
+  }
+  if (df == 0) return 0.0;
+  if (df <= 30) return table[df - 1];
+  return z;
+}
+}  // namespace
+
+double OnlineStats::ci_half_width(double level) const {
+  if (n_ < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(n_));
+  return t_critical(n_ - 1, level) * se;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = bins_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                   static_cast<double>(bins_.size()));
+    idx = std::min(idx, bins_.size() - 1);
+  }
+  ++bins_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double frac =
+          bins_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::ostringstream os;
+  const std::uint64_t peak =
+      *std::max_element(bins_.begin(), bins_.end());
+  const double bin_width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double lo = lo_ + static_cast<double>(i) * bin_width;
+    os << "[" << lo << ", " << lo + bin_width << ") ";
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(bins_[i]) /
+                        static_cast<double>(peak) * static_cast<double>(width));
+    os << std::string(bar, '#') << " " << bins_[i] << "\n";
+  }
+  return os.str();
+}
+
+void TimeWeighted::update(SimTime now, double value) {
+  assert(now >= last_change_);
+  integral_ += value_ * (now - last_change_).to_seconds();
+  value_ = value;
+  peak_ = std::max(peak_, value);
+  last_change_ = now;
+}
+
+double TimeWeighted::average(SimTime now) const {
+  const double span = (now - start_).to_seconds();
+  if (span <= 0.0) return value_;
+  const double total =
+      integral_ + value_ * (now - last_change_).to_seconds();
+  return total / span;
+}
+
+void BusyTracker::set_busy(SimTime now, bool busy) {
+  if (busy == busy_) return;
+  if (busy_) accumulated_ += now - since_;
+  busy_ = busy;
+  since_ = now;
+}
+
+SimTime BusyTracker::busy_time(SimTime now) const {
+  SimTime t = accumulated_;
+  if (busy_) t += now - since_;
+  return t;
+}
+
+double BusyTracker::utilization(SimTime now) const {
+  if (now.is_zero()) return 0.0;
+  return busy_time(now) / now;
+}
+
+}  // namespace tmc::sim

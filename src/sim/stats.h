@@ -1,0 +1,107 @@
+// tmcsim -- statistics accumulators for simulation output analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tmc::sim {
+
+/// Streaming mean/variance via Welford's algorithm. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 if mean == 0.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Half-width of the confidence interval around the mean, using Student's
+  /// t for small samples (two-sided, level in {0.90, 0.95, 0.99}).
+  [[nodiscard]] double ci_half_width(double level = 0.95) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin and are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] std::size_t bin_count_size() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  /// x such that approximately `q` (in [0,1]) of the mass lies below it,
+  /// interpolated within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// busy/idle state, memory in use). Integrates value x dt.
+class TimeWeighted {
+ public:
+  /// `start` is the instant observation begins.
+  explicit TimeWeighted(SimTime start = SimTime::zero())
+      : last_change_(start), start_(start) {}
+
+  /// Records that the signal changed to `value` at time `now`.
+  void update(SimTime now, double value);
+
+  /// Time-average over [start, now].
+  [[nodiscard]] double average(SimTime now) const;
+  [[nodiscard]] double current() const { return value_; }
+  [[nodiscard]] double peak() const { return peak_; }
+
+ private:
+  SimTime last_change_;
+  SimTime start_;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Tracks busy intervals of a single server (CPU, link) for utilisation.
+class BusyTracker {
+ public:
+  void set_busy(SimTime now, bool busy);
+  [[nodiscard]] bool busy() const { return busy_; }
+  /// Fraction of [0, now] spent busy.
+  [[nodiscard]] double utilization(SimTime now) const;
+  [[nodiscard]] SimTime busy_time(SimTime now) const;
+
+ private:
+  bool busy_ = false;
+  SimTime since_;
+  SimTime accumulated_;
+};
+
+}  // namespace tmc::sim

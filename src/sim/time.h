@@ -1,0 +1,91 @@
+// tmcsim -- simulation time.
+//
+// Simulated time is an integer count of nanoseconds wrapped in a strong type.
+// An integer clock keeps every replication bit-for-bit deterministic: two runs
+// with the same seed produce identical event orderings on any platform.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace tmc::sim {
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// SimTime is used for both instants and durations; the arithmetic provided
+/// is the subset that is meaningful for either use. Construction goes through
+/// the named factories (`nanoseconds`, `microseconds`, ...) so call sites
+/// carry their unit.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) {
+    return SimTime(ns);
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) {
+    return SimTime(us * 1'000);
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime(ms * 1'000'000);
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime(s * 1'000'000'000);
+  }
+  /// Largest representable time; used as an "infinite" deadline.
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime(0); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return a += b; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return a -= b; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ / k);
+  }
+  /// Ratio of two durations (e.g. utilisation computations).
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+/// Scales a duration by a real factor, rounding to the nearest nanosecond.
+[[nodiscard]] constexpr SimTime scale(SimTime t, double factor) {
+  const double scaled = static_cast<double>(t.ns()) * factor;
+  return SimTime::nanoseconds(
+      static_cast<std::int64_t>(scaled + (scaled >= 0 ? 0.5 : -0.5)));
+}
+
+}  // namespace tmc::sim

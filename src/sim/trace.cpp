@@ -1,0 +1,30 @@
+#include "sim/trace.h"
+
+#include <iomanip>
+
+namespace tmc::sim {
+namespace {
+std::string_view category_name(TraceCategory cat) {
+  switch (cat) {
+    case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kCpu: return "cpu";
+    case TraceCategory::kNetwork: return "net";
+    case TraceCategory::kMemory: return "mem";
+    case TraceCategory::kScheduler: return "sched";
+    case TraceCategory::kProcess: return "proc";
+    case TraceCategory::kAll: return "all";
+  }
+  return "?";
+}
+}  // namespace
+
+void Tracer::emit(SimTime now, TraceCategory cat, std::string_view component,
+                  std::string_view message) const {
+  if (!enabled(cat) || !sink_) return;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << now.to_seconds() << " ["
+     << category_name(cat) << "] " << component << ": " << message;
+  sink_(os.str());
+}
+
+}  // namespace tmc::sim

@@ -1,0 +1,64 @@
+// tmcsim -- lightweight event tracing.
+//
+// Tracing is off by default and has negligible cost when disabled (a branch
+// on an enum). Components emit category-tagged lines; the experiment harness
+// can route them to stderr or a file for debugging runs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace tmc::sim {
+
+enum class TraceCategory : unsigned {
+  kKernel = 1u << 0,
+  kCpu = 1u << 1,
+  kNetwork = 1u << 2,
+  kMemory = 1u << 3,
+  kScheduler = 1u << 4,
+  kProcess = 1u << 5,
+  kAll = ~0u,
+};
+
+/// Per-simulation trace sink. Disabled (mask 0) unless configured.
+class Tracer {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  void enable(unsigned mask, Sink sink) {
+    mask_ = mask;
+    sink_ = std::move(sink);
+  }
+  void disable() {
+    mask_ = 0;
+    sink_ = nullptr;
+  }
+
+  [[nodiscard]] bool enabled(TraceCategory cat) const {
+    return (mask_ & static_cast<unsigned>(cat)) != 0;
+  }
+
+  void emit(SimTime now, TraceCategory cat, std::string_view component,
+            std::string_view message) const;
+
+ private:
+  unsigned mask_ = 0;
+  Sink sink_;
+};
+
+/// Convenience macro: evaluates the message expression only when the
+/// category is live.
+#define TMC_TRACE(tracer, now, cat, component, expr)            \
+  do {                                                          \
+    if ((tracer).enabled(cat)) {                                \
+      std::ostringstream tmc_trace_os;                          \
+      tmc_trace_os << expr;                                     \
+      (tracer).emit((now), (cat), (component), tmc_trace_os.str()); \
+    }                                                           \
+  } while (0)
+
+}  // namespace tmc::sim

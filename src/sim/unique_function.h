@@ -1,0 +1,59 @@
+// tmcsim -- move-only type-erased callable.
+//
+// Event callbacks and allocation grants frequently capture RAII resources
+// (e.g. mem::Block), which are move-only; std::function requires copyable
+// callables and std::move_only_function is C++23. This is the minimal
+// move-only equivalent we need.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace tmc::sim {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  R operator()(Args... args) {
+    return impl_->call(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R call(Args&&... args) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F fn) : f(std::move(fn)) {}
+    R call(Args&&... args) override {
+      return std::invoke(f, std::forward<Args>(args)...);
+    }
+    F f;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace tmc::sim

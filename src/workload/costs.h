@@ -1,0 +1,44 @@
+// tmcsim -- calibrated application operation costs.
+//
+// The T805 runs at 25 MHz (~10 MIPS integer, on-chip FPU). The constants
+// below set the simulated cost of one inner-loop step of each application
+// kernel; they reproduce the time scale of the paper's testbed (a large
+// 14000-element selection sort ~ tens of seconds serial). The *shape* of
+// the results does not depend on their exact values -- bench A4/A5 sweep the
+// scheduling constants, and the experiment harness lets callers override
+// these too.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace tmc::workload {
+
+struct Costs {
+  /// One multiply-accumulate step of the matmul inner loop (loads, 64-bit
+  /// FP multiply-add on the on-chip FPU, index update): the T805 sustains
+  /// roughly 0.5 Mmadd/s in compiled inner loops.
+  sim::SimTime t_madd = sim::SimTime::nanoseconds(2000);
+  /// One selection-sort inner-loop iteration (compare + conditional index
+  /// update), ~10 integer instructions at ~10 MIPS.
+  sim::SimTime t_compare = sim::SimTime::nanoseconds(1000);
+  /// Per-element cost of the divide phase (scan/copy into the outgoing
+  /// sub-array).
+  sim::SimTime t_divide = sim::SimTime::nanoseconds(250);
+  /// Per-element cost of the two-way merge of sorted sub-arrays.
+  sim::SimTime t_merge = sim::SimTime::nanoseconds(500);
+  /// Array/matrix element size: 64-bit doubles (the T805 FPU is a 64-bit
+  /// unit). Together with the batch sizes this puts multiprogramming level
+  /// 16 close to the 4 MB/node limit -- the paper's footnote says the job
+  /// sizes were restricted by exactly that constraint.
+  std::size_t element_bytes = 8;
+  /// Resident cost of one process beyond its arrays: code copy, workspace,
+  /// stack, channel descriptors. Each job loads its program onto every node
+  /// it uses, so high multiprogramming levels (and the fixed architecture's
+  /// 16 processes per job) pay for it 16-fold per node -- one of the
+  /// reasons the paper's fixed architecture loses on matmul.
+  std::size_t process_overhead_bytes = 64 * 1024;
+};
+
+}  // namespace tmc::workload

@@ -1,0 +1,43 @@
+// tmcsim -- the matrix-multiplication workload (paper section 4.1).
+//
+// Fork-and-join structure: a coordinator (rank 0) distributes matrix B to
+// every worker plus a band of rows of A, computes its own band, then joins
+// by collecting result bands. Workers never talk to each other -- this is
+// the paper's low-communication representative.
+#pragma once
+
+#include "sched/job.h"
+#include "workload/costs.h"
+
+namespace tmc::workload {
+
+struct MatMulParams {
+  /// Matrix dimension (n x n). Defaults follow the batch generator's
+  /// memory-limited sizes: 60 (small), 120 (large).
+  std::size_t n = 60;
+  sched::SoftwareArch arch = sched::SoftwareArch::kFixed;
+  /// Process count under the fixed architecture (16 in the paper).
+  int fixed_processes = 16;
+  /// Work distribution. The paper's algorithm has the coordinator send B
+  /// plus an A-band to every worker point-to-point, which serialises the
+  /// broadcast on the coordinator's links. The tree variant (extension
+  /// bench A8) ships bundles down a binary tree so intermediate workers
+  /// forward to their subtrees -- log-depth distribution.
+  enum class Broadcast { kPointToPoint, kTree };
+  Broadcast broadcast = Broadcast::kPointToPoint;
+  Costs costs{};
+};
+
+/// Serial service demand of an n x n multiplication (for job ordering).
+[[nodiscard]] sim::SimTime matmul_serial_demand(const MatMulParams& params);
+
+/// Builds a JobSpec whose builder emits the fork/join scripts.
+[[nodiscard]] sched::JobSpec make_matmul_job(const MatMulParams& params,
+                                             bool large);
+
+/// Exposed for unit tests: the per-rank scripts for a job id and partition
+/// size (rank 0 = coordinator).
+[[nodiscard]] std::vector<node::Program> build_matmul_programs(
+    const MatMulParams& params, sched::JobId job, int partition_size);
+
+}  // namespace tmc::workload

@@ -1,0 +1,107 @@
+#include "workload/random_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace tmc::workload {
+namespace {
+
+sim::SimTime draw_time(sim::Rng& rng, sim::SimTime lo, sim::SimTime hi) {
+  return sim::SimTime::nanoseconds(rng.uniform_int(lo.ns(), hi.ns()));
+}
+
+std::size_t draw_size(sim::Rng& rng, std::size_t lo, std::size_t hi) {
+  return static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+std::vector<node::Program> build(const RandomWorkloadParams& params,
+                                 std::uint64_t seed, sched::JobId job,
+                                 int partition_size) {
+  // The structure must be a pure function of (seed, partition size) so the
+  // adaptive architecture redraws deterministically.
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  int procs;
+  if (params.arch == sched::SoftwareArch::kFixed) {
+    procs = static_cast<int>(
+        rng.uniform_int(params.min_processes, params.max_processes));
+  } else {
+    procs = std::clamp(partition_size, 1, params.max_processes);
+  }
+  const int phases =
+      static_cast<int>(rng.uniform_int(params.min_phases, params.max_phases));
+
+  std::vector<node::Program> programs(static_cast<std::size_t>(procs));
+  for (auto& prog : programs) {
+    prog.alloc(draw_size(rng, params.min_footprint, params.max_footprint));
+  }
+
+  // Phase structure: compute, emit this phase's sends (async), then consume
+  // this phase's inbound messages. Sends never depend on receives within a
+  // phase, so any fair scheduler makes progress regardless of interleaving.
+  int tag_seq = 1;
+  for (int phase = 0; phase < phases; ++phase) {
+    struct Edge {
+      int src;
+      int dst;
+      int tag;
+      std::size_t bytes;
+    };
+    std::vector<Edge> edges;
+    if (procs > 1) {
+      for (int src = 0; src < procs; ++src) {
+        // Poisson-ish count around messages_per_process.
+        int count = static_cast<int>(params.messages_per_process);
+        const double frac =
+            params.messages_per_process - static_cast<double>(count);
+        if (rng.bernoulli(frac)) ++count;
+        for (int m = 0; m < count; ++m) {
+          int dst = static_cast<int>(rng.uniform(
+              static_cast<std::uint64_t>(procs - 1)));
+          if (dst >= src) ++dst;  // any process but self
+          edges.push_back(Edge{src, dst, tag_seq++,
+                               draw_size(rng, params.min_message,
+                                         params.max_message)});
+        }
+      }
+    }
+    for (int p = 0; p < procs; ++p) {
+      programs[static_cast<std::size_t>(p)].compute(
+          draw_time(rng, params.min_compute, params.max_compute));
+    }
+    for (const auto& edge : edges) {
+      programs[static_cast<std::size_t>(edge.src)].send(
+          sched::endpoint_of(job, edge.dst), edge.tag, edge.bytes);
+    }
+    for (const auto& edge : edges) {
+      programs[static_cast<std::size_t>(edge.dst)].receive(edge.tag);
+    }
+  }
+  for (auto& prog : programs) prog.exit();
+  return programs;
+}
+
+}  // namespace
+
+sched::JobSpec make_random_job(const RandomWorkloadParams& params,
+                               std::uint64_t seed) {
+  sched::JobSpec spec;
+  spec.app = "random";
+  spec.problem_size = static_cast<std::size_t>(seed);
+  spec.arch = params.arch;
+  // Estimate demand from a representative draw (exact for fixed arch at
+  // any partition; adaptive redraws can differ slightly).
+  spec.builder = [params, seed](const sched::Job& job, int partition_size) {
+    return build(params, seed, job.id(), partition_size);
+  };
+  const auto programs = build(params, seed, 0xffffu, params.max_processes);
+  sim::SimTime total;
+  for (const auto& prog : programs) total += prog.total_compute();
+  spec.demand_estimate = total;
+  spec.large = false;
+  return spec;
+}
+
+}  // namespace tmc::workload

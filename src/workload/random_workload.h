@@ -1,0 +1,46 @@
+// tmcsim -- randomized structured workloads (property/fuzz testing).
+//
+// Generates random but *deadlock-free-by-construction* parallel programs:
+// a random communication DAG over the job's processes where every send is
+// matched by exactly one receive and all message edges point forward in a
+// global phase order, so any fair scheduler can always make progress. Used
+// by the system fuzz tests to hammer the scheduler/network/memory stack
+// with shapes the hand-written workloads never produce.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/job.h"
+#include "sim/rng.h"
+#include "workload/costs.h"
+
+namespace tmc::workload {
+
+struct RandomWorkloadParams {
+  /// Process-count bounds (inclusive); actual count drawn per job.
+  int min_processes = 2;
+  int max_processes = 16;
+  /// Phases of the DAG; each phase computes then exchanges messages.
+  int min_phases = 1;
+  int max_phases = 5;
+  /// Per-process compute per phase, drawn uniform in [min, max].
+  sim::SimTime min_compute = sim::SimTime::microseconds(100);
+  sim::SimTime max_compute = sim::SimTime::milliseconds(20);
+  /// Message-size bounds (bytes).
+  std::size_t min_message = 16;
+  std::size_t max_message = 64 * 1024;
+  /// Expected messages per process per phase.
+  double messages_per_process = 1.0;
+  /// Per-process resident allocation bounds.
+  std::size_t min_footprint = 1024;
+  std::size_t max_footprint = 128 * 1024;
+  /// Architecture: adaptive jobs redraw their structure per partition size
+  /// (deterministically from the job's own seed).
+  sched::SoftwareArch arch = sched::SoftwareArch::kFixed;
+};
+
+/// Builds one random job; `seed` fully determines its structure.
+[[nodiscard]] sched::JobSpec make_random_job(const RandomWorkloadParams& params,
+                                             std::uint64_t seed);
+
+}  // namespace tmc::workload

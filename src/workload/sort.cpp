@@ -1,0 +1,111 @@
+#include "workload/sort.h"
+
+#include <bit>
+#include <cassert>
+#include <vector>
+
+namespace tmc::workload {
+namespace {
+
+/// Tag of the work parcel sent to `child` / the sorted result it returns.
+int tag_work(int child) { return 1000 + child; }
+int tag_result(int child) { return 2000 + child; }
+
+sim::SimTime selection_sort_cost(const Costs& costs, std::size_t len) {
+  // len*(len-1)/2 compare/update steps.
+  const auto l = static_cast<std::int64_t>(len);
+  return costs.t_compare * (l * (l - 1) / 2);
+}
+
+struct TreeBuilder {
+  const SortParams& params;
+  sched::JobId job;
+  int procs;    // power of two
+  int levels;   // log2(procs)
+  std::vector<node::Program> programs;
+  std::vector<std::size_t> entry_len;  // segment size each rank receives
+
+  /// Emits the ops of the subtree rooted at `rank` holding `len` elements
+  /// at `depth`. Appends to the rank's (and descendants') programs in
+  /// execution order.
+  void emit(int rank, int depth, std::size_t len) {
+    auto& prog = programs[static_cast<std::size_t>(rank)];
+    if (depth == levels) {
+      prog.compute(selection_sort_cost(params.costs, len));
+      return;
+    }
+    const int child = rank + (procs >> (depth + 1));
+    const std::size_t keep = len / 2;
+    const std::size_t give = len - keep;
+    const std::size_t esz = params.costs.element_bytes;
+
+    // Divide: split the segment and ship the second half down the tree.
+    prog.compute(params.costs.t_divide * static_cast<std::int64_t>(len));
+    prog.send(sched::endpoint_of(job, child), tag_work(child), give * esz);
+    entry_len[static_cast<std::size_t>(child)] = give;
+    programs[static_cast<std::size_t>(child)].receive(tag_work(child));
+
+    // Conquer both halves (the coordinator keeps playing worker below).
+    emit(rank, depth + 1, keep);
+    emit(child, depth + 1, give);
+
+    // Child returns its sorted half; parent merges.
+    programs[static_cast<std::size_t>(child)].send(
+        sched::endpoint_of(job, rank), tag_result(child), give * esz);
+    prog.receive(tag_result(child));
+    prog.compute(params.costs.t_merge * static_cast<std::int64_t>(len));
+  }
+};
+
+}  // namespace
+
+sim::SimTime sort_serial_demand(const SortParams& params) {
+  return selection_sort_cost(params.costs, params.elements);
+}
+
+std::vector<node::Program> build_sort_programs(const SortParams& params,
+                                               sched::JobId job,
+                                               int partition_size) {
+  int procs = params.arch == sched::SoftwareArch::kFixed
+                  ? params.fixed_processes
+                  : partition_size;
+  assert(procs >= 1);
+  // The divide tree needs a power-of-two process count.
+  procs = static_cast<int>(std::bit_floor(static_cast<unsigned>(procs)));
+  const int levels = std::countr_zero(static_cast<unsigned>(procs));
+
+  TreeBuilder builder{params, job, procs, levels,
+                      std::vector<node::Program>(static_cast<std::size_t>(procs)),
+                      std::vector<std::size_t>(static_cast<std::size_t>(procs), 0)};
+  builder.entry_len[0] = params.elements;
+  builder.emit(0, 0, params.elements);
+
+  // Prepend working-set allocations (segment + merge scratch) and append
+  // exits now that entry lengths are known.
+  for (int rank = 0; rank < procs; ++rank) {
+    auto& prog = builder.programs[static_cast<std::size_t>(rank)];
+    const std::size_t bytes =
+        params.costs.process_overhead_bytes +
+        2 * builder.entry_len[static_cast<std::size_t>(rank)] *
+            params.costs.element_bytes;
+    prog.ops.insert(prog.ops.begin(),
+                    node::Op{node::AllocOp{std::max<std::size_t>(bytes, 1)}});
+    prog.exit();
+  }
+  return builder.programs;
+}
+
+sched::JobSpec make_sort_job(const SortParams& params, bool large) {
+  sched::JobSpec spec;
+  spec.app = "sort";
+  spec.problem_size = params.elements;
+  spec.large = large;
+  spec.arch = params.arch;
+  spec.demand_estimate = sort_serial_demand(params);
+  spec.builder = [params](const sched::Job& job, int partition_size) {
+    return build_sort_programs(params, job.id(), partition_size);
+  };
+  return spec;
+}
+
+}  // namespace tmc::workload

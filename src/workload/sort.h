@@ -1,0 +1,38 @@
+// tmcsim -- the sorting workload (paper sections 4.2 and 5.3).
+//
+// Divide-and-conquer structure over a binary tree of processes: a
+// coordinator splits its array, ships one half down the tree, recursively
+// sorts its own half, then merges the sorted half returned by the child.
+// Leaves sort their chunk with *selection sort* (O(n^2)), exactly as the
+// paper does -- that quadratic worker phase is what makes the fixed
+// architecture (16 small chunks) dramatically faster than the adaptive one
+// on small partitions (section 5.3).
+#pragma once
+
+#include "sched/job.h"
+#include "workload/costs.h"
+
+namespace tmc::workload {
+
+struct SortParams {
+  /// Array length. Paper sizes: 6000 (small), 14000 (large).
+  std::size_t elements = 6000;
+  sched::SoftwareArch arch = sched::SoftwareArch::kFixed;
+  /// Process count under the fixed architecture (must be a power of two).
+  int fixed_processes = 16;
+  Costs costs{};
+};
+
+/// Serial selection-sort demand of the whole array (for job ordering).
+[[nodiscard]] sim::SimTime sort_serial_demand(const SortParams& params);
+
+[[nodiscard]] sched::JobSpec make_sort_job(const SortParams& params,
+                                           bool large);
+
+/// Exposed for unit tests: per-rank scripts for a given partition size.
+/// The process count is rounded down to a power of two of the partition
+/// size under the adaptive architecture.
+[[nodiscard]] std::vector<node::Program> build_sort_programs(
+    const SortParams& params, sched::JobId job, int partition_size);
+
+}  // namespace tmc::workload

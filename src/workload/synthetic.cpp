@@ -1,0 +1,84 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tmc::workload {
+namespace {
+
+constexpr int kTagWork = 1;
+constexpr int kTagResult = 2;
+
+std::vector<node::Program> build(const SyntheticParams& params,
+                                 sim::SimTime demand, sched::JobId job,
+                                 int partition_size) {
+  const int procs = params.arch == sched::SoftwareArch::kFixed
+                        ? params.fixed_processes
+                        : partition_size;
+  assert(procs >= 1);
+  const sim::SimTime share =
+      sim::SimTime::nanoseconds(demand.ns() / procs);
+  std::vector<node::Program> programs(static_cast<std::size_t>(procs));
+
+  node::Program& coord = programs[0];
+  coord.alloc(std::max<std::size_t>(params.message_bytes, 1));
+  for (int rank = 1; rank < procs; ++rank) {
+    coord.send(sched::endpoint_of(job, rank), kTagWork, params.message_bytes);
+  }
+  coord.compute(share);
+  for (int rank = 1; rank < procs; ++rank) coord.receive(kTagResult);
+  coord.exit();
+
+  for (int rank = 1; rank < procs; ++rank) {
+    node::Program& worker = programs[static_cast<std::size_t>(rank)];
+    worker.alloc(std::max<std::size_t>(params.message_bytes, 1));
+    worker.receive(kTagWork);
+    worker.compute(share);
+    worker.send(sched::endpoint_of(job, 0), kTagResult, params.message_bytes);
+    worker.exit();
+  }
+  return programs;
+}
+
+}  // namespace
+
+sched::JobSpec make_synthetic_job(const SyntheticParams& params,
+                                  sim::SimTime demand) {
+  sched::JobSpec spec;
+  spec.app = "synthetic";
+  spec.problem_size = static_cast<std::size_t>(demand.ns());
+  spec.large = demand > params.mean_demand;
+  spec.arch = params.arch;
+  spec.demand_estimate = demand;
+  spec.builder = [params, demand](const sched::Job& job, int partition_size) {
+    return build(params, demand, job.id(), partition_size);
+  };
+  return spec;
+}
+
+std::vector<sched::JobSpec> make_synthetic_batch(const SyntheticParams& params,
+                                                 int count, sim::Rng& rng) {
+  std::vector<sched::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  const double mean_s = params.mean_demand.to_seconds();
+  for (int i = 0; i < count; ++i) {
+    double demand_s;
+    if (params.cv >= 1.0) {
+      demand_s = rng.hyperexponential(mean_s, params.cv);
+    } else if (params.cv <= 0.0) {
+      demand_s = mean_s;
+    } else {
+      // Two-point mix at mean*(1 +/- cv): exact mean and cv, low variance.
+      demand_s = rng.bernoulli(0.5) ? mean_s * (1.0 + params.cv)
+                                    : mean_s * (1.0 - params.cv);
+    }
+    demand_s = std::max(demand_s, 1e-3);
+    specs.push_back(make_synthetic_job(
+        params, sim::SimTime::nanoseconds(
+                    static_cast<std::int64_t>(demand_s * 1e9))));
+  }
+  return specs;
+}
+
+}  // namespace tmc::workload

@@ -1,0 +1,164 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::core {
+namespace {
+
+/// Shrinks the paper's batch to test-sized problems (full-size batches are
+/// exercised by the bench harness).
+ExperimentConfig tiny_config(workload::App app, sched::SoftwareArch arch,
+                             sched::PolicyKind policy, int partition_size,
+                             net::TopologyKind topology) {
+  auto config = figure_point(app, arch, policy, partition_size, topology);
+  if (app == workload::App::kMatMul) {
+    config.batch.small_size = 16;
+    config.batch.large_size = 32;
+  } else {
+    config.batch.small_size = 256;
+    config.batch.large_size = 512;
+  }
+  return config;
+}
+
+TEST(Experiment, BatchCompletesAllSixteenJobs) {
+  const auto result =
+      run_batch(tiny_config(workload::App::kMatMul,
+                            sched::SoftwareArch::kAdaptive,
+                            sched::PolicyKind::kHybrid, 4,
+                            net::TopologyKind::kMesh),
+                workload::BatchOrder::kInterleaved);
+  EXPECT_EQ(result.jobs.size(), 16u);
+  EXPECT_EQ(result.response_all.count(), 16u);
+  EXPECT_EQ(result.response_small.count(), 12u);
+  EXPECT_EQ(result.response_large.count(), 4u);
+  EXPECT_GT(result.mean_response_s(), 0.0);
+}
+
+TEST(Experiment, RunsAreDeterministic) {
+  const auto config = tiny_config(
+      workload::App::kSort, sched::SoftwareArch::kFixed,
+      sched::PolicyKind::kTimeSharing, 16, net::TopologyKind::kLinear);
+  const auto a = run_batch(config, workload::BatchOrder::kInterleaved);
+  const auto b = run_batch(config, workload::BatchOrder::kInterleaved);
+  EXPECT_DOUBLE_EQ(a.mean_response_s(), b.mean_response_s());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.machine.events, b.machine.events);
+  EXPECT_EQ(a.machine.messages, b.machine.messages);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].response_s, b.jobs[i].response_s);
+  }
+}
+
+TEST(Experiment, StaticResultAveragesBestAndWorstOrders) {
+  const auto config = tiny_config(
+      workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+      sched::PolicyKind::kStatic, 4, net::TopologyKind::kMesh);
+  const auto result = run_experiment(config);
+  ASSERT_TRUE(result.worst.has_value());
+  EXPECT_EQ(result.primary.order, workload::BatchOrder::kSmallestFirst);
+  EXPECT_EQ(result.worst->order, workload::BatchOrder::kLargestFirst);
+  EXPECT_DOUBLE_EQ(result.mean_response_s,
+                   0.5 * (result.primary.mean_response_s() +
+                          result.worst->mean_response_s()));
+}
+
+TEST(Experiment, SmallestFirstBeatsLargestFirstUnderStatic) {
+  const auto config = tiny_config(
+      workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+      sched::PolicyKind::kStatic, 8, net::TopologyKind::kMesh);
+  const auto result = run_experiment(config);
+  // SJF-ordered batch must not have a worse mean response than LJF.
+  EXPECT_LE(result.primary.mean_response_s(),
+            result.worst->mean_response_s());
+}
+
+TEST(Experiment, TimeSharingResultUsesInterleavedOrder) {
+  const auto config = tiny_config(
+      workload::App::kMatMul, sched::SoftwareArch::kFixed,
+      sched::PolicyKind::kHybrid, 8, net::TopologyKind::kRing);
+  const auto result = run_experiment(config);
+  EXPECT_FALSE(result.worst.has_value());
+  EXPECT_EQ(result.primary.order, workload::BatchOrder::kInterleaved);
+  EXPECT_DOUBLE_EQ(result.mean_response_s,
+                   result.primary.mean_response_s());
+}
+
+TEST(Experiment, SingletonPartitionsMakePoliciesEquivalent) {
+  // Paper section 5.2: with 16 one-processor partitions there is no
+  // communication and both policies run one job per processor -- identical
+  // behaviour. (Adaptive architecture: one process per job.)
+  const auto s = run_experiment(
+      tiny_config(workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+                  sched::PolicyKind::kStatic, 1, net::TopologyKind::kLinear));
+  const auto h = run_experiment(
+      tiny_config(workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+                  sched::PolicyKind::kHybrid, 1, net::TopologyKind::kLinear));
+  EXPECT_NEAR(s.mean_response_s, h.mean_response_s,
+              1e-6 + 0.01 * s.mean_response_s);
+  EXPECT_EQ(s.primary.machine.messages, 0u);
+  EXPECT_EQ(h.primary.machine.messages, 0u);
+}
+
+TEST(Experiment, MakespanIsAtLeastLargestResponse) {
+  const auto result =
+      run_batch(tiny_config(workload::App::kSort, sched::SoftwareArch::kFixed,
+                            sched::PolicyKind::kHybrid, 4,
+                            net::TopologyKind::kHypercube),
+                workload::BatchOrder::kInterleaved);
+  for (const auto& job : result.jobs) {
+    EXPECT_LE(job.response_s, result.makespan_s + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(result.makespan_s, result.response_all.max());
+}
+
+TEST(Experiment, WaitTimeIsZeroUnderPureTimeSharing) {
+  // Pure TS dispatches the whole batch at arrival.
+  const auto result = run_batch(
+      tiny_config(workload::App::kMatMul, sched::SoftwareArch::kFixed,
+                  sched::PolicyKind::kTimeSharing, 16,
+                  net::TopologyKind::kMesh),
+      workload::BatchOrder::kInterleaved);
+  for (const auto& job : result.jobs) {
+    EXPECT_DOUBLE_EQ(job.wait_s, 0.0);
+  }
+}
+
+TEST(Experiment, StaticLargeJobsWaitInSmallestFirstOrder) {
+  const auto config = tiny_config(
+      workload::App::kMatMul, sched::SoftwareArch::kAdaptive,
+      sched::PolicyKind::kStatic, 16, net::TopologyKind::kMesh);
+  const auto run = run_batch(config, workload::BatchOrder::kSmallestFirst);
+  // One 16-CPU partition: only the first job starts immediately.
+  int zero_wait = 0;
+  for (const auto& job : run.jobs) {
+    zero_wait += job.wait_s == 0.0 ? 1 : 0;
+  }
+  EXPECT_EQ(zero_wait, 1);
+}
+
+TEST(Experiment, FigurePointNamesConfiguration) {
+  const auto config = figure_point(
+      workload::App::kSort, sched::SoftwareArch::kFixed,
+      sched::PolicyKind::kStatic, 8, net::TopologyKind::kRing);
+  EXPECT_EQ(config.name, "sort/fixed/static/8R");
+  EXPECT_EQ(config.machine.policy.partition_size, 8);
+}
+
+TEST(Experiment, CpuTimeRecordedPerJob) {
+  const auto result =
+      run_batch(tiny_config(workload::App::kMatMul,
+                            sched::SoftwareArch::kAdaptive,
+                            sched::PolicyKind::kStatic, 4,
+                            net::TopologyKind::kMesh),
+                workload::BatchOrder::kSmallestFirst);
+  for (const auto& job : result.jobs) {
+    EXPECT_GT(job.cpu_s, 0.0);
+    // CPU time can exceed the pure compute demand (copy costs) but must be
+    // bounded by response x partition width.
+    EXPECT_LE(job.cpu_s, job.response_s * 4 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -1,0 +1,126 @@
+// System-wide property tests: every policy x partition x topology x
+// application x architecture combination must satisfy the structural
+// invariants of the modelled machine.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.h"
+
+namespace tmc::core {
+namespace {
+
+using Grid = std::tuple<sched::PolicyKind, int, net::TopologyKind,
+                        workload::App, sched::SoftwareArch>;
+
+class SystemInvariants : public ::testing::TestWithParam<Grid> {
+ protected:
+  static ExperimentConfig config_for(const Grid& grid) {
+    const auto [policy, partition, topology, app, arch] = grid;
+    auto config = figure_point(app, arch, policy, partition, topology);
+    // Tiny problems: these runs check structure, not performance.
+    if (app == workload::App::kMatMul) {
+      config.batch.small_size = 12;
+      config.batch.large_size = 20;
+    } else {
+      config.batch.small_size = 128;
+      config.batch.large_size = 384;
+    }
+    return config;
+  }
+};
+
+TEST_P(SystemInvariants, BatchRunsCleanly) {
+  const auto config = config_for(GetParam());
+
+  Multicomputer machine(config.machine);
+  auto specs = workload::make_batch(config.batch,
+                                    workload::BatchOrder::kInterleaved);
+  std::vector<std::unique_ptr<sched::Job>> jobs;
+  sched::JobId id = 1;
+  for (auto& spec : specs) {
+    jobs.push_back(std::make_unique<sched::Job>(id++, std::move(spec)));
+    machine.submit(*jobs.back());
+  }
+  machine.run_to_completion();
+
+  // Every job completed, with sane timestamps.
+  double max_completion = 0;
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(job->completed());
+    EXPECT_GE(job->dispatch_time(), job->arrival());
+    EXPECT_GT(job->completion_time(), job->dispatch_time());
+    EXPECT_GT(job->consumed_cpu(), sim::SimTime::zero());
+    max_completion =
+        std::max(max_completion, job->completion_time().to_seconds());
+  }
+
+  // All memory returned: no leaked buffers or job data anywhere.
+  for (int node = 0; node < machine.config().processors; ++node) {
+    EXPECT_EQ(machine.mmu(node).bytes_used(), 0u) << "node " << node;
+    EXPECT_EQ(machine.mmu(node).pending_requests(), 0u) << "node " << node;
+  }
+
+  // Network drained and conserved.
+  EXPECT_EQ(machine.network().in_flight(), 0u);
+  EXPECT_EQ(machine.comm().deliveries(), machine.comm().sends());
+
+  // All endpoints unregistered.
+  for (const auto& job : jobs) {
+    EXPECT_EQ(machine.comm().find(sched::endpoint_of(job->id(), 0)), nullptr);
+  }
+
+  // CPU accounting is physical.
+  const auto stats = machine.stats();
+  EXPECT_GT(stats.avg_cpu_utilization, 0.0);
+  EXPECT_LE(stats.avg_cpu_utilization, 1.0 + 1e-9);
+  EXPECT_LE(stats.max_link_utilization, 1.0 + 1e-9);
+  EXPECT_LE(stats.peak_node_memory, machine.config().memory_per_node);
+
+  // The simulation is quiescent.
+  EXPECT_TRUE(machine.sim().idle());
+  EXPECT_GE(machine.sim().now().to_seconds(), max_completion);
+}
+
+std::string grid_name(const ::testing::TestParamInfo<Grid>& info) {
+  const auto [policy, partition, topology, app, arch] = info.param;
+  std::string name;
+  switch (policy) {
+    case sched::PolicyKind::kStatic: name += "Static"; break;
+    case sched::PolicyKind::kTimeSharing: name += "TS"; break;
+    case sched::PolicyKind::kHybrid: name += "Hybrid"; break;
+  }
+  name += std::to_string(partition);
+  name += net::topology_letter(topology);
+  name += app == workload::App::kMatMul ? "mm" : "st";
+  name += arch == sched::SoftwareArch::kFixed ? "F" : "A";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, SystemInvariants,
+    ::testing::Combine(
+        ::testing::Values(sched::PolicyKind::kStatic,
+                          sched::PolicyKind::kHybrid),
+        ::testing::Values(1, 4, 16),
+        ::testing::Values(net::TopologyKind::kLinear,
+                          net::TopologyKind::kHypercube),
+        ::testing::Values(workload::App::kMatMul, workload::App::kSort),
+        ::testing::Values(sched::SoftwareArch::kFixed,
+                          sched::SoftwareArch::kAdaptive)),
+    grid_name);
+
+// Pure time-sharing and the remaining topologies, on one workload each.
+INSTANTIATE_TEST_SUITE_P(
+    ExtraCoverage, SystemInvariants,
+    ::testing::Combine(
+        ::testing::Values(sched::PolicyKind::kTimeSharing),
+        ::testing::Values(16),
+        ::testing::Values(net::TopologyKind::kRing, net::TopologyKind::kMesh),
+        ::testing::Values(workload::App::kMatMul, workload::App::kSort),
+        ::testing::Values(sched::SoftwareArch::kFixed,
+                          sched::SoftwareArch::kAdaptive)),
+    grid_name);
+
+}  // namespace
+}  // namespace tmc::core

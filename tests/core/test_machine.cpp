@@ -1,0 +1,106 @@
+#include "core/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::core {
+namespace {
+
+using sim::SimTime;
+
+TEST(Machine, DefaultConfigBuildsSixteenNodes) {
+  Multicomputer machine{MachineConfig{}};
+  EXPECT_EQ(machine.topology().node_count(), 16);
+  EXPECT_EQ(machine.partition_count(), 1);
+  EXPECT_EQ(machine.mmu(0).capacity(), std::size_t{4} << 20);
+}
+
+TEST(Machine, PartitioningCreatesOneSchedulerPerPartition) {
+  MachineConfig cfg;
+  cfg.policy.kind = sched::PolicyKind::kStatic;
+  cfg.policy.partition_size = 4;
+  Multicomputer machine(cfg);
+  EXPECT_EQ(machine.partition_count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(machine.partition_scheduler(i).partition().size(), 4);
+  }
+}
+
+TEST(Machine, TimeSharingForcesOnePartition) {
+  MachineConfig cfg;
+  cfg.policy.kind = sched::PolicyKind::kTimeSharing;
+  cfg.policy.partition_size = 4;  // ignored for pure TS
+  Multicomputer machine(cfg);
+  EXPECT_EQ(machine.partition_count(), 1);
+  EXPECT_EQ(machine.config().policy.partition_size, 16);
+}
+
+TEST(Machine, TopologyIsTiledPerPartition) {
+  MachineConfig cfg;
+  cfg.topology = net::TopologyKind::kRing;
+  cfg.policy.kind = sched::PolicyKind::kHybrid;
+  cfg.policy.partition_size = 8;
+  Multicomputer machine(cfg);
+  // Two disjoint 8-rings.
+  EXPECT_EQ(machine.topology().link_count(),
+            2 * net::Topology::ring(8).link_count());
+}
+
+TEST(Machine, InvalidPartitionSizeThrows) {
+  MachineConfig cfg;
+  cfg.policy.partition_size = 3;
+  EXPECT_THROW(Multicomputer{cfg}, std::invalid_argument);
+  cfg.policy.partition_size = 0;
+  EXPECT_THROW(Multicomputer{cfg}, std::invalid_argument);
+}
+
+TEST(Machine, LabelMatchesPaperNotation) {
+  MachineConfig cfg;
+  cfg.topology = net::TopologyKind::kLinear;
+  cfg.policy.partition_size = 8;
+  EXPECT_EQ(cfg.label(), "8L");
+}
+
+TEST(Machine, IdleMachineHasCleanStats) {
+  Multicomputer machine{MachineConfig{}};
+  const auto stats = machine.stats();
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(stats.context_switches, 0u);
+  EXPECT_EQ(stats.peak_node_memory, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_cpu_utilization, 0.0);
+}
+
+TEST(Machine, RunToCompletionThrowsOnStuckJob) {
+  Multicomputer machine{MachineConfig{}};
+  sched::JobSpec spec;
+  spec.builder = [](const sched::Job&, int) {
+    std::vector<node::Program> programs(1);
+    programs[0].receive(42).exit();  // nobody will ever send tag 42
+    return programs;
+  };
+  sched::Job job(1, std::move(spec));
+  machine.submit(job);
+  EXPECT_THROW(machine.run_to_completion(), std::runtime_error);
+}
+
+TEST(Machine, WormholeConfigUsesWormholeTransport) {
+  MachineConfig cfg;
+  cfg.wormhole = true;
+  Multicomputer machine(cfg);
+  EXPECT_NE(dynamic_cast<net::WormholeNetwork*>(&machine.network()), nullptr);
+  MachineConfig sf;
+  Multicomputer machine2(sf);
+  EXPECT_NE(dynamic_cast<net::StoreForwardNetwork*>(&machine2.network()),
+            nullptr);
+}
+
+TEST(Machine, CustomProcessorCount) {
+  MachineConfig cfg;
+  cfg.processors = 8;
+  cfg.policy.partition_size = 2;
+  Multicomputer machine(cfg);
+  EXPECT_EQ(machine.topology().node_count(), 8);
+  EXPECT_EQ(machine.partition_count(), 4);
+}
+
+}  // namespace
+}  // namespace tmc::core

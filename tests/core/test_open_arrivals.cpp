@@ -1,0 +1,99 @@
+#include "core/open_arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::core {
+namespace {
+
+OpenArrivalConfig tiny_config(double rate, std::uint64_t seed = 1) {
+  OpenArrivalConfig config;
+  config.machine.topology = net::TopologyKind::kMesh;
+  config.machine.policy.kind = sched::PolicyKind::kStatic;
+  config.machine.policy.partition_size = 4;
+  config.mix = workload::default_batch(workload::App::kMatMul,
+                                       sched::SoftwareArch::kAdaptive);
+  config.mix.small_size = 16;
+  config.mix.large_size = 32;
+  config.arrivals_per_second = rate;
+  config.warmup_jobs = 4;
+  config.measured_jobs = 24;
+  config.seed = seed;
+  return config;
+}
+
+TEST(OpenArrivals, MeasuresExactlyTheMeasuredWindow) {
+  const auto result = run_open_arrivals(tiny_config(10.0));
+  EXPECT_EQ(result.response_all.count(), 24u);
+  EXPECT_EQ(result.response_small.count() + result.response_large.count(),
+            24u);
+  EXPECT_EQ(result.queue_at_arrival.count(), 28u);  // every arrival observed
+  EXPECT_GT(result.horizon_s, 0.0);
+}
+
+TEST(OpenArrivals, DeterministicGivenSeed) {
+  const auto a = run_open_arrivals(tiny_config(20.0, 7));
+  const auto b = run_open_arrivals(tiny_config(20.0, 7));
+  EXPECT_DOUBLE_EQ(a.response_all.mean(), b.response_all.mean());
+  EXPECT_DOUBLE_EQ(a.horizon_s, b.horizon_s);
+  EXPECT_EQ(a.machine.events, b.machine.events);
+}
+
+TEST(OpenArrivals, SeedsChangeTheStream) {
+  const auto a = run_open_arrivals(tiny_config(20.0, 1));
+  const auto b = run_open_arrivals(tiny_config(20.0, 2));
+  EXPECT_NE(a.response_all.mean(), b.response_all.mean());
+}
+
+TEST(OpenArrivals, LightLoadResponsesAreLoneJobSpans) {
+  // At a very low rate jobs rarely overlap: queue length at arrival ~ 0.
+  const auto result = run_open_arrivals(tiny_config(0.5));
+  EXPECT_LT(result.queue_at_arrival.mean(), 0.2);
+  EXPECT_LT(result.offered_load, 0.05);
+}
+
+TEST(OpenArrivals, ResponseGrowsWithLoad) {
+  const auto light = run_open_arrivals(tiny_config(2.0));
+  const auto heavy = run_open_arrivals(tiny_config(200.0));
+  EXPECT_GT(heavy.response_all.mean(), light.response_all.mean());
+  EXPECT_GT(heavy.queue_at_arrival.mean(), light.queue_at_arrival.mean());
+}
+
+TEST(OpenArrivals, OfferedLoadScalesWithRate) {
+  const auto slow = run_open_arrivals(tiny_config(2.0, 3));
+  const auto fast = run_open_arrivals(tiny_config(4.0, 3));
+  EXPECT_NEAR(fast.offered_load / slow.offered_load, 2.0, 1e-9);
+}
+
+TEST(OpenArrivals, WorksWithAdaptivePolicy) {
+  auto config = tiny_config(10.0);
+  config.machine.policy.kind = sched::PolicyKind::kAdaptiveStatic;
+  const auto result = run_open_arrivals(config);
+  EXPECT_EQ(result.response_all.count(), 24u);
+}
+
+TEST(OpenArrivals, WorksWithSortMix) {
+  auto config = tiny_config(5.0);
+  config.mix = workload::default_batch(workload::App::kSort,
+                                       sched::SoftwareArch::kFixed);
+  config.mix.small_size = 200;
+  config.mix.large_size = 400;
+  const auto result = run_open_arrivals(config);
+  EXPECT_EQ(result.response_all.count(), 24u);
+}
+
+TEST(OpenArrivals, RejectsNonPositiveRate) {
+  auto config = tiny_config(1.0);
+  config.arrivals_per_second = 0.0;
+  EXPECT_THROW((void)run_open_arrivals(config), std::invalid_argument);
+}
+
+TEST(OpenArrivals, SaturationTripsWatchdog) {
+  auto config = tiny_config(10'000.0);
+  config.mix.small_size = 64;   // real work per job
+  config.mix.large_size = 128;
+  config.machine.max_sim_time = sim::SimTime::seconds(2);
+  EXPECT_THROW((void)run_open_arrivals(config), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -1,0 +1,127 @@
+// Fuzz-style system tests: randomized (but deadlock-free-by-construction)
+// communication DAGs hammered through every policy. These catch scheduler,
+// network and allocator interactions the structured workloads never hit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/machine.h"
+#include "workload/random_workload.h"
+
+namespace tmc::core {
+namespace {
+
+using Param = std::tuple<sched::PolicyKind, int, std::uint64_t>;
+
+class RandomWorkloadFuzz : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RandomWorkloadFuzz, BatchRunsCleanly) {
+  const auto [policy, partition, seed] = GetParam();
+
+  MachineConfig cfg;
+  cfg.topology = net::TopologyKind::kMesh;
+  cfg.policy.kind = policy;
+  cfg.policy.partition_size = partition;
+  cfg.policy.basic_quantum = sim::SimTime::milliseconds(10);
+  Multicomputer machine(cfg);
+
+  workload::RandomWorkloadParams params;
+  params.arch = seed % 2 == 0 ? sched::SoftwareArch::kFixed
+                              : sched::SoftwareArch::kAdaptive;
+  params.max_message = 32 * 1024;
+
+  std::vector<std::unique_ptr<sched::Job>> jobs;
+  for (sched::JobId i = 1; i <= 10; ++i) {
+    jobs.push_back(std::make_unique<sched::Job>(
+        i, workload::make_random_job(params, seed * 100 + i)));
+    machine.submit(*jobs.back());
+  }
+  machine.run_to_completion();
+
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(job->completed());
+    EXPECT_GT(job->consumed_cpu(), sim::SimTime::zero());
+  }
+  for (int node = 0; node < cfg.processors; ++node) {
+    EXPECT_EQ(machine.mmu(node).bytes_used(), 0u) << "node " << node;
+    EXPECT_EQ(machine.mmu(node).pending_requests(), 0u);
+  }
+  EXPECT_EQ(machine.network().in_flight(), 0u);
+  EXPECT_EQ(machine.comm().deliveries(), machine.comm().sends());
+  EXPECT_TRUE(machine.sim().idle());
+}
+
+std::string fuzz_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [policy, partition, seed] = info.param;
+  std::string name;
+  switch (policy) {
+    case sched::PolicyKind::kStatic: name = "Static"; break;
+    case sched::PolicyKind::kTimeSharing: name = "TS"; break;
+    case sched::PolicyKind::kHybrid: name = "Hybrid"; break;
+    case sched::PolicyKind::kAdaptiveStatic: name = "Adaptive"; break;
+  }
+  return name + "p" + std::to_string(partition) + "s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomWorkloadFuzz,
+    ::testing::Combine(::testing::Values(sched::PolicyKind::kStatic,
+                                         sched::PolicyKind::kHybrid,
+                                         sched::PolicyKind::kTimeSharing,
+                                         sched::PolicyKind::kAdaptiveStatic),
+                       ::testing::Values(4, 16),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    fuzz_name);
+
+TEST(RandomWorkload, StructureIsDeterministicPerSeed) {
+  workload::RandomWorkloadParams params;
+  const auto a = workload::make_random_job(params, 42);
+  const auto b = workload::make_random_job(params, 42);
+  sched::Job ja(1, a), jb(1, b);
+  const auto pa = a.builder(ja, 8);
+  const auto pb = b.builder(jb, 8);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].size(), pb[i].size());
+    EXPECT_EQ(pa[i].total_compute(), pb[i].total_compute());
+    EXPECT_EQ(pa[i].total_send_bytes(), pb[i].total_send_bytes());
+  }
+}
+
+TEST(RandomWorkload, SeedsProduceDifferentStructures) {
+  workload::RandomWorkloadParams params;
+  const auto a = workload::make_random_job(params, 1);
+  const auto b = workload::make_random_job(params, 2);
+  EXPECT_NE(a.demand_estimate, b.demand_estimate);
+}
+
+TEST(RandomWorkload, SendsAndReceivesAreMatched) {
+  workload::RandomWorkloadParams params;
+  params.messages_per_process = 2.0;
+  const auto spec = workload::make_random_job(params, 9);
+  sched::Job job(1, spec);
+  const auto programs = spec.builder(job, 16);
+  int sends = 0, recvs = 0;
+  for (const auto& prog : programs) {
+    for (const auto& op : prog.ops) {
+      sends += std::holds_alternative<node::SendOp>(op) ? 1 : 0;
+      recvs += std::holds_alternative<node::ReceiveOp>(op) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(sends, recvs);
+  EXPECT_GT(sends, 0);
+}
+
+TEST(RandomWorkload, AdaptiveWidthFollowsPartition) {
+  workload::RandomWorkloadParams params;
+  params.arch = sched::SoftwareArch::kAdaptive;
+  const auto spec = workload::make_random_job(params, 3);
+  sched::Job job(1, spec);
+  EXPECT_EQ(spec.builder(job, 4).size(), 4u);
+  EXPECT_EQ(spec.builder(job, 16).size(), 16u);
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -1,0 +1,56 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tmc::core {
+namespace {
+
+TEST(Report, TablePrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1.0"});
+  table.add_row({"long-name", "2.0"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Report, CsvIsCommaSeparated) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Report, MismatchedRowThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"}).add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Report, FormatHelpers) {
+  EXPECT_EQ(fmt_seconds(1.23456), "1.235");
+  EXPECT_EQ(fmt_seconds(0.0), "0.000");
+  EXPECT_EQ(fmt_ratio(0.666), "0.67");
+}
+
+TEST(Report, BannerContainsTitle) {
+  std::ostringstream os;
+  banner(os, "Figure 3");
+  EXPECT_NE(os.str().find("Figure 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -1,0 +1,276 @@
+#include "mem/mmu.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace tmc::mem {
+namespace {
+
+using sim::SimTime;
+
+class MmuTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+};
+
+TEST_F(MmuTest, TryAllocCarvesFromArena) {
+  Mmu mmu(sim, 1024);
+  auto block = mmu.try_alloc(100);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->size(), 100u);
+  EXPECT_EQ(mmu.bytes_used(), 100u);
+  EXPECT_EQ(mmu.bytes_free(), 924u);
+}
+
+TEST_F(MmuTest, BlockReleaseReturnsMemory) {
+  Mmu mmu(sim, 1024);
+  {
+    auto block = mmu.try_alloc(512);
+    ASSERT_TRUE(block.has_value());
+  }  // RAII release
+  EXPECT_EQ(mmu.bytes_used(), 0u);
+  EXPECT_EQ(mmu.bytes_free(), 1024u);
+}
+
+TEST_F(MmuTest, ExplicitReleaseIsIdempotent) {
+  Mmu mmu(sim, 1024);
+  auto block = mmu.try_alloc(64);
+  block->release();
+  block->release();
+  EXPECT_EQ(mmu.bytes_used(), 0u);
+  EXPECT_FALSE(block->valid());
+}
+
+TEST_F(MmuTest, TryAllocFailsWhenFull) {
+  Mmu mmu(sim, 100);
+  auto a = mmu.try_alloc(80);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(mmu.try_alloc(30).has_value());
+  EXPECT_TRUE(mmu.try_alloc(20).has_value());
+}
+
+TEST_F(MmuTest, RequestGrantsThroughEventQueue) {
+  Mmu mmu(sim, 1024);
+  bool granted = false;
+  mmu.request(128, [&](Block b) {
+    granted = true;
+    EXPECT_EQ(b.size(), 128u);
+  });
+  EXPECT_FALSE(granted);  // never synchronous
+  sim.run();
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(mmu.bytes_used(), 0u);  // block dropped at end of callback
+}
+
+TEST_F(MmuTest, ServiceTimeDelaysGrant) {
+  Mmu mmu(sim, 1024, SimTime::microseconds(5));
+  SimTime granted_at;
+  mmu.request(128, [&](Block) { granted_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(granted_at, SimTime::microseconds(5));
+}
+
+TEST_F(MmuTest, ExhaustedRequestsBlockUntilFree) {
+  Mmu mmu(sim, 100);
+  std::optional<Block> held;
+  mmu.request(100, [&](Block b) { held = std::move(b); });
+  bool second_granted = false;
+  mmu.request(50, [&](Block) { second_granted = true; });
+  sim.run();
+  EXPECT_TRUE(held.has_value());
+  EXPECT_FALSE(second_granted);
+  EXPECT_EQ(mmu.pending_requests(), 1u);
+
+  sim.schedule(SimTime::seconds(1), [&] { held->release(); });
+  sim.run();
+  EXPECT_TRUE(second_granted);
+  EXPECT_EQ(mmu.pending_requests(), 0u);
+}
+
+TEST_F(MmuTest, BlockedRequestsGrantInFifoOrder) {
+  Mmu mmu(sim, 100);
+  std::optional<Block> held;
+  mmu.request(100, [&](Block b) { held = std::move(b); });
+  std::vector<int> order;
+  mmu.request(10, [&](Block) { order.push_back(1); });
+  mmu.request(10, [&](Block) { order.push_back(2); });
+  mmu.request(10, [&](Block) { order.push_back(3); });
+  sim.run();
+  sim.schedule(SimTime::zero(), [&] { held->release(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(MmuTest, FifoHeadOfLineBlockingHoldsSmallerRequests) {
+  Mmu mmu(sim, 100, SimTime::zero(), MmuDiscipline::kFifo);
+  auto big = mmu.try_alloc(60);
+  ASSERT_TRUE(big.has_value());
+  bool huge_granted = false, small_granted = false;
+  mmu.request(80, [&](Block) { huge_granted = true; });   // cannot fit yet
+  mmu.request(10, [&](Block) { small_granted = true; });  // could fit, waits
+  sim.run();
+  EXPECT_FALSE(huge_granted);
+  EXPECT_FALSE(small_granted);
+}
+
+TEST_F(MmuTest, FirstFitLetsSmallRequestsBypassBlockedLarge) {
+  Mmu mmu(sim, 100);  // default discipline: first-fit scan
+  auto big = mmu.try_alloc(60);
+  ASSERT_TRUE(big.has_value());
+  bool huge_granted = false, small_granted = false;
+  std::optional<Block> small_block;
+  mmu.request(80, [&](Block) { huge_granted = true; });
+  mmu.request(10, [&](Block b) {
+    small_granted = true;
+    small_block = std::move(b);
+  });
+  sim.run();
+  EXPECT_FALSE(huge_granted);
+  EXPECT_TRUE(small_granted);  // bypassed the blocked 80-byte head
+  big->release();
+  sim.run();
+  EXPECT_FALSE(huge_granted);  // only 90 bytes free while the small is held
+  small_block->release();
+  sim.run();
+  EXPECT_TRUE(huge_granted);
+}
+
+TEST_F(MmuTest, FirstFitGrantsOldestFittingFirst) {
+  Mmu mmu(sim, 100);
+  auto hog = mmu.try_alloc(100);
+  std::vector<int> order;
+  std::optional<Block> held90;
+  mmu.request(90, [&](Block b) {
+    order.push_back(90);
+    held90 = std::move(b);
+  });
+  mmu.request(30, [&](Block) { order.push_back(30); });
+  mmu.request(20, [&](Block) { order.push_back(20); });
+  hog->release();
+  sim.run();
+  // The oldest request (90) is granted first and, while it is held, the
+  // remaining 10 bytes fit neither younger request.
+  EXPECT_EQ(order, (std::vector<int>{90}));
+  EXPECT_EQ(mmu.pending_requests(), 2u);
+  held90->release();
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{90, 30, 20}));
+}
+
+TEST_F(MmuTest, CoalescingAllowsFullReuse) {
+  Mmu mmu(sim, 300);
+  auto a = mmu.try_alloc(100);
+  auto b = mmu.try_alloc(100);
+  auto c = mmu.try_alloc(100);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(mmu.largest_free_range(), 0u);
+  // Free out of order; neighbours must coalesce back into one range.
+  b->release();
+  a->release();
+  c->release();
+  EXPECT_EQ(mmu.free_range_count(), 1u);
+  EXPECT_EQ(mmu.largest_free_range(), 300u);
+}
+
+TEST_F(MmuTest, FragmentationLimitsLargestRange) {
+  Mmu mmu(sim, 300);
+  auto a = mmu.try_alloc(100);
+  auto b = mmu.try_alloc(100);
+  auto c = mmu.try_alloc(100);
+  ASSERT_TRUE(a && b && c);
+  a->release();
+  c->release();
+  // 200 bytes free but split by b.
+  EXPECT_EQ(mmu.bytes_free(), 200u);
+  EXPECT_EQ(mmu.largest_free_range(), 100u);
+  EXPECT_EQ(mmu.free_range_count(), 2u);
+  EXPECT_FALSE(mmu.try_alloc(150).has_value());
+}
+
+TEST_F(MmuTest, HighWatermarkTracksPeak) {
+  Mmu mmu(sim, 1000);
+  auto a = mmu.try_alloc(700);
+  a->release();
+  auto b = mmu.try_alloc(100);
+  EXPECT_EQ(mmu.high_watermark(), 700u);
+}
+
+TEST_F(MmuTest, OversizedRequestThrows) {
+  Mmu mmu(sim, 100);
+  EXPECT_THROW(mmu.request(101, [](Block) {}), std::invalid_argument);
+  EXPECT_THROW(mmu.request(0, [](Block) {}), std::invalid_argument);
+}
+
+TEST_F(MmuTest, ZeroCapacityThrows) {
+  EXPECT_THROW(Mmu(sim, 0), std::invalid_argument);
+}
+
+TEST_F(MmuTest, FifoTryAllocFailsWhileQueueNonEmpty) {
+  Mmu mmu(sim, 100, SimTime::zero(), MmuDiscipline::kFifo);
+  auto held = mmu.try_alloc(60);
+  mmu.request(70, [](Block) {});
+  EXPECT_FALSE(mmu.try_alloc(10).has_value());  // FIFO: no overtaking
+  held->release();
+  sim.run();  // queued request granted
+  EXPECT_TRUE(mmu.try_alloc(10).has_value());
+}
+
+TEST_F(MmuTest, FirstFitTryAllocBypassesQueue) {
+  Mmu mmu(sim, 100);
+  auto held = mmu.try_alloc(60);
+  mmu.request(70, [](Block) {});
+  EXPECT_TRUE(mmu.try_alloc(10).has_value());
+}
+
+TEST_F(MmuTest, BlockTimeAccounted) {
+  Mmu mmu(sim, 100);
+  std::optional<Block> held;
+  mmu.request(100, [&](Block b) { held = std::move(b); });
+  mmu.request(10, [](Block) {});
+  sim.run();
+  sim.schedule(SimTime::seconds(2), [&] { held->release(); });
+  sim.run();
+  EXPECT_EQ(mmu.total_block_time(), SimTime::seconds(2));
+  EXPECT_EQ(mmu.blocked_count(), 1u);
+}
+
+TEST_F(MmuTest, MoveTransfersBlockOwnership) {
+  Mmu mmu(sim, 100);
+  auto a = mmu.try_alloc(50);
+  Block b = std::move(*a);
+  EXPECT_FALSE(a->valid());
+  EXPECT_TRUE(b.valid());
+  b.release();
+  EXPECT_EQ(mmu.bytes_used(), 0u);
+}
+
+TEST_F(MmuTest, AverageBytesUsedIsTimeWeighted) {
+  Mmu mmu(sim, 1000);
+  std::optional<Block> block;
+  mmu.request(500, [&](Block b) { block = std::move(b); });
+  sim.run();
+  sim.schedule(SimTime::seconds(1), [&] { block->release(); });
+  sim.run();
+  sim.run_until(SimTime::seconds(2));
+  // 500 bytes for 1s out of 2s observed.
+  EXPECT_NEAR(mmu.average_bytes_used(), 250.0, 1.0);
+}
+
+// First-fit behaviour: a freed low-offset hole is reused in preference to
+// the tail of the arena.
+TEST_F(MmuTest, FirstFitPrefersLowestOffset) {
+  Mmu mmu(sim, 1000);
+  auto a = mmu.try_alloc(100);
+  auto b = mmu.try_alloc(100);
+  const std::size_t a_offset = a->offset();
+  a->release();
+  auto c = mmu.try_alloc(50);
+  EXPECT_EQ(c->offset(), a_offset);
+}
+
+}  // namespace
+}  // namespace tmc::mem

@@ -1,0 +1,59 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::net {
+namespace {
+
+using sim::SimTime;
+
+TEST(Link, IdleLinkStartsImmediately) {
+  Link link;
+  const auto done =
+      link.reserve(SimTime::seconds(5), SimTime::seconds(2), 100);
+  EXPECT_EQ(done, SimTime::seconds(7));
+  EXPECT_EQ(link.busy_until(), SimTime::seconds(7));
+}
+
+TEST(Link, BusyLinkQueuesFifo) {
+  Link link;
+  link.reserve(SimTime::seconds(0), SimTime::seconds(3), 10);
+  const auto done =
+      link.reserve(SimTime::seconds(1), SimTime::seconds(2), 10);
+  EXPECT_EQ(done, SimTime::seconds(5));  // waits for first transfer
+  EXPECT_EQ(link.queueing_time(), SimTime::seconds(2));
+}
+
+TEST(Link, CountsTransfersAndBytes) {
+  Link link;
+  link.reserve(SimTime::zero(), SimTime::seconds(1), 100);
+  link.reserve(SimTime::zero(), SimTime::seconds(1), 200);
+  EXPECT_EQ(link.transfers(), 2u);
+  EXPECT_EQ(link.bytes_carried(), 300u);
+}
+
+TEST(Link, UtilizationCountsOnlyElapsedBusyTime) {
+  Link link;
+  link.reserve(SimTime::seconds(0), SimTime::seconds(2), 10);
+  // At t=4: busy 2 of 4 seconds.
+  EXPECT_DOUBLE_EQ(link.utilization(SimTime::seconds(4)), 0.5);
+  // A reservation stretching past `now` only counts its elapsed part.
+  link.reserve(SimTime::seconds(4), SimTime::seconds(4), 10);
+  EXPECT_DOUBLE_EQ(link.utilization(SimTime::seconds(6)), 4.0 / 6.0);
+}
+
+TEST(Link, ZeroTimeUtilizationIsZero) {
+  Link link;
+  EXPECT_DOUBLE_EQ(link.utilization(SimTime::zero()), 0.0);
+}
+
+TEST(Link, GapsBetweenTransfersStayIdle) {
+  Link link;
+  link.reserve(SimTime::seconds(0), SimTime::seconds(1), 10);
+  link.reserve(SimTime::seconds(9), SimTime::seconds(1), 10);
+  EXPECT_DOUBLE_EQ(link.utilization(SimTime::seconds(10)), 0.2);
+  EXPECT_EQ(link.queueing_time(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace tmc::net

@@ -1,0 +1,124 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace tmc::net {
+namespace {
+
+TEST(Routing, SelfRouteIsTrivial) {
+  const auto topo = Topology::ring(8);
+  const RoutingTable table(topo);
+  EXPECT_EQ(table.distance(3, 3), 0);
+  EXPECT_EQ(table.next_hop(3, 3), 3);
+  EXPECT_EQ(table.route(3, 3), std::vector<NodeId>{3});
+}
+
+TEST(Routing, LinearDistancesAreManhattans) {
+  const auto topo = Topology::linear(16);
+  const RoutingTable table(topo);
+  EXPECT_EQ(table.distance(0, 15), 15);
+  EXPECT_EQ(table.distance(4, 7), 3);
+  EXPECT_EQ(table.next_hop(4, 7), 5);
+  EXPECT_EQ(table.next_hop(7, 4), 6);
+}
+
+TEST(Routing, RingTakesShorterDirection) {
+  const auto topo = Topology::ring(16);
+  const RoutingTable table(topo);
+  EXPECT_EQ(table.distance(0, 15), 1);
+  EXPECT_EQ(table.next_hop(0, 15), 15);
+  EXPECT_EQ(table.distance(0, 8), 8);
+}
+
+TEST(Routing, HypercubeDistanceIsHammingWeight) {
+  const auto topo = Topology::hypercube(16);
+  const RoutingTable table(topo);
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(table.distance(u, v),
+                std::popcount(static_cast<unsigned>(u ^ v)));
+    }
+  }
+}
+
+TEST(Routing, MeshDistanceIsManhattan) {
+  const auto topo = Topology::mesh(16);  // 4x4, row-major
+  const RoutingTable table(topo);
+  const auto manhattan = [](NodeId a, NodeId b) {
+    return std::abs(a / 4 - b / 4) + std::abs(a % 4 - b % 4);
+  };
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(table.distance(u, v), manhattan(u, v));
+    }
+  }
+}
+
+TEST(Routing, DeterministicAcrossRebuilds) {
+  const auto topo = Topology::mesh(16);
+  const RoutingTable a(topo), b(topo);
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(a.next_hop(u, v), b.next_hop(u, v));
+    }
+  }
+}
+
+TEST(Routing, TiledTopologyRoutesWithinPartitions) {
+  const auto topo = Topology::tiled(TopologyKind::kLinear, 4, 4);
+  const RoutingTable table(topo);
+  EXPECT_EQ(table.distance(0, 3), 3);
+  EXPECT_EQ(table.distance(4, 7), 3);
+  EXPECT_EQ(table.distance(12, 15), 3);
+}
+
+/// Property sweep: every route in every paper topology is a valid shortest
+/// path along physical links.
+class RoutingGrid
+    : public ::testing::TestWithParam<std::tuple<TopologyKind, int>> {};
+
+TEST_P(RoutingGrid, RoutesAreValidShortestPaths) {
+  const auto [kind, n] = GetParam();
+  const auto topo = Topology::make(kind, n);
+  const RoutingTable table(topo);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      const auto path = table.route(u, v);
+      ASSERT_GE(path.size(), 1u);
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, table.distance(u, v));
+      // Symmetric distances in an undirected graph.
+      EXPECT_EQ(table.distance(u, v), table.distance(v, u));
+      // Every consecutive pair is physically adjacent.
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(topo.link_between(path[i], path[i + 1]).has_value())
+            << path[i] << " -> " << path[i + 1];
+      }
+      // Triangle inequality against every intermediate node.
+      for (const NodeId w : path) {
+        EXPECT_EQ(table.distance(u, w) + table.distance(w, v),
+                  table.distance(u, v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, RoutingGrid,
+    ::testing::Combine(::testing::Values(TopologyKind::kLinear,
+                                         TopologyKind::kRing,
+                                         TopologyKind::kMesh,
+                                         TopologyKind::kHypercube,
+                                         TopologyKind::kTorus,
+                                         TopologyKind::kTree),
+                       ::testing::Values(1, 2, 4, 8, 16)),
+    [](const auto& info) {
+      return std::string(1, topology_letter(std::get<0>(info.param))) +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tmc::net

@@ -1,0 +1,159 @@
+#include "node/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace tmc::node {
+namespace {
+
+using sim::SimTime;
+
+/// Full two-node stack: linear wiring, store-and-forward transport,
+/// mailbox communication system.
+class CommTest : public ::testing::Test {
+ protected:
+  CommTest() : topo(net::Topology::linear(2)) {
+    for (int i = 0; i < 2; ++i) {
+      mmus.push_back(std::make_unique<mem::Mmu>(sim, 1 << 20));
+    }
+    for (int i = 0; i < 2; ++i) {
+      cpus.push_back(
+          std::make_unique<Transputer>(sim, i, *mmus[static_cast<std::size_t>(i)]));
+    }
+    network = std::make_unique<net::StoreForwardNetwork>(
+        sim, topo, std::vector<mem::Mmu*>{mmus[0].get(), mmus[1].get()});
+    comm = std::make_unique<CommSystem>(
+        sim, *network,
+        std::vector<Transputer*>{cpus[0].get(), cpus[1].get()});
+  }
+
+  std::unique_ptr<Process> spawn(net::EndpointId id, net::NodeId node,
+                                 Program prog) {
+    auto p = std::make_unique<Process>(id, 1, std::move(prog));
+    p->bind_to_node(node);
+    comm->register_process(*p);
+    cpus[static_cast<std::size_t>(node)]->make_ready(*p);
+    return p;
+  }
+
+  sim::Simulation sim;
+  net::Topology topo;
+  std::vector<std::unique_ptr<mem::Mmu>> mmus;
+  std::vector<std::unique_ptr<Transputer>> cpus;
+  std::unique_ptr<net::StoreForwardNetwork> network;
+  std::unique_ptr<CommSystem> comm;
+};
+
+TEST_F(CommTest, RemoteSendReachesReceiver) {
+  Program sender, receiver;
+  sender.send(2, 5, 1000).exit();
+  receiver.receive(5).exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  auto pr = spawn(2, 1, std::move(receiver));
+  sim.run();
+  EXPECT_TRUE(ps->done());
+  EXPECT_TRUE(pr->done());
+  EXPECT_EQ(comm->sends(), 1u);
+  EXPECT_EQ(comm->deliveries(), 1u);
+  EXPECT_EQ(comm->self_sends(), 0u);
+  EXPECT_EQ(network->messages_delivered(), 1u);
+}
+
+TEST_F(CommTest, SelfSendUsesSameBufferedPath) {
+  Program sender, receiver;
+  sender.send(2, 5, 1000).exit();
+  receiver.receive(5).exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  auto pr = spawn(2, 0, std::move(receiver));  // same node
+  sim.run();
+  EXPECT_TRUE(ps->done());
+  EXPECT_TRUE(pr->done());
+  EXPECT_EQ(comm->self_sends(), 1u);
+  EXPECT_EQ(network->total_hops(), 0u);  // no link was used
+}
+
+TEST_F(CommTest, DeliveryChargesDaemonCpuAtDestination) {
+  Program sender, receiver;
+  sender.send(2, 5, 100).exit();
+  receiver.receive(5).exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  auto pr = spawn(2, 1, std::move(receiver));
+  sim.run();
+  // The mailbox-deposit charge ran in node 1's comm-daemon domain.
+  EXPECT_GE(cpus[1]->service_items(), 1u);
+  EXPECT_GT(cpus[1]->service_time(), sim::SimTime::zero());
+}
+
+TEST_F(CommTest, SendToUnregisteredEndpointThrows) {
+  Program sender;
+  sender.send(99, 1, 10).exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST_F(CommTest, UnregisterRemovesEndpoint) {
+  Program idle;
+  idle.exit();
+  auto p = spawn(7, 0, std::move(idle));
+  EXPECT_EQ(comm->find(7), p.get());
+  comm->unregister_process(7);
+  EXPECT_EQ(comm->find(7), nullptr);
+}
+
+TEST_F(CommTest, DuplicateRegistrationThrows) {
+  Program idle;
+  idle.exit();
+  auto p = spawn(7, 0, std::move(idle));
+  Process clone(7, 2, Program{}.exit());
+  clone.bind_to_node(1);
+  EXPECT_THROW(comm->register_process(clone), std::logic_error);
+}
+
+TEST_F(CommTest, MessagesBetweenPairFifoPerTag) {
+  // Two messages with the same tag must be received in send order.
+  Program sender, receiver;
+  sender.send(2, 5, 100).send(2, 5, 200).exit();
+  receiver.receive(5).receive(5).exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  auto pr = spawn(2, 1, std::move(receiver));
+  sim.run();
+  EXPECT_TRUE(pr->done());
+  EXPECT_EQ(comm->deliveries(), 2u);
+}
+
+TEST_F(CommTest, RequestReplyRoundTrip) {
+  Program client, server;
+  client.send(2, 1, 100).receive(2).exit();
+  server.receive(1).compute(SimTime::milliseconds(1)).send(1, 2, 400).exit();
+  auto pc = spawn(1, 0, std::move(client));
+  auto psrv = spawn(2, 1, std::move(server));
+  sim.run();
+  EXPECT_TRUE(pc->done());
+  EXPECT_TRUE(psrv->done());
+  EXPECT_EQ(comm->sends(), 2u);
+  // All buffers returned on both nodes.
+  EXPECT_EQ(mmus[0]->bytes_used(), 0u);
+  EXPECT_EQ(mmus[1]->bytes_used(), 0u);
+}
+
+TEST_F(CommTest, ManyMessagesAllArrive) {
+  constexpr int kCount = 20;
+  Program sender, receiver;
+  for (int i = 0; i < kCount; ++i) sender.send(2, 5, 64);
+  sender.exit();
+  for (int i = 0; i < kCount; ++i) receiver.receive(5);
+  receiver.exit();
+  auto ps = spawn(1, 0, std::move(sender));
+  auto pr = spawn(2, 1, std::move(receiver));
+  sim.run();
+  EXPECT_TRUE(pr->done());
+  EXPECT_EQ(comm->deliveries(), static_cast<std::uint64_t>(kCount));
+}
+
+}  // namespace
+}  // namespace tmc::node

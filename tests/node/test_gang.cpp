@@ -1,0 +1,150 @@
+// Tests of the Transputer's suspend/resume interface (the mechanism under
+// the partition scheduler's gang rotation).
+#include <gtest/gtest.h>
+
+#include "mem/mmu.h"
+#include "node/transputer.h"
+#include "sim/simulation.h"
+
+namespace tmc::node {
+namespace {
+
+using sim::SimTime;
+
+class GangTest : public ::testing::Test {
+ protected:
+  GangTest() : mmu(sim, 64 * 1024), cpu(sim, 0, mmu) {}
+
+  std::unique_ptr<Process> make_process(net::EndpointId id, Program prog) {
+    auto p = std::make_unique<Process>(id, 1, std::move(prog));
+    p->bind_to_node(0);
+    p->set_on_exit([this](Process& self) {
+      exit_times.emplace_back(self.id(), sim.now());
+    });
+    return p;
+  }
+
+  sim::Simulation sim;
+  mem::Mmu mmu;
+  Transputer cpu;
+  std::vector<std::pair<net::EndpointId, SimTime>> exit_times;
+};
+
+TEST_F(GangTest, SuspendedReadyProcessLeavesQueue) {
+  Program prog;
+  prog.compute(SimTime::milliseconds(5)).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.suspend(*p);
+  cpu.make_ready(*p);
+  EXPECT_EQ(p->state(), ProcessState::kSuspended);
+  EXPECT_EQ(cpu.ready_count(), 0u);
+  sim.run();
+  EXPECT_FALSE(p->done());  // nothing ran
+  cpu.resume(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+}
+
+TEST_F(GangTest, SuspendPreemptsRunningProcess) {
+  Program prog;
+  prog.compute(SimTime::milliseconds(10)).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.schedule(SimTime::milliseconds(4), [&] { cpu.suspend(*p); });
+  sim.run();
+  EXPECT_EQ(p->state(), ProcessState::kSuspended);
+  // Partial progress was accounted (~4 ms minus the context switch).
+  EXPECT_GE(p->cpu_time(), SimTime::milliseconds(3));
+  EXPECT_LT(p->cpu_time(), SimTime::milliseconds(5));
+  cpu.resume(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+  EXPECT_EQ(p->cpu_time(), SimTime::milliseconds(10));
+}
+
+TEST_F(GangTest, SuspendIsIdempotent) {
+  Program prog;
+  prog.compute(SimTime::milliseconds(1)).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.suspend(*p);
+  cpu.suspend(*p);
+  cpu.make_ready(*p);
+  cpu.suspend(*p);
+  EXPECT_EQ(p->state(), ProcessState::kSuspended);
+  cpu.resume(*p);
+  cpu.resume(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+}
+
+TEST_F(GangTest, WakeWhileSuspendedParks) {
+  Program prog;
+  prog.receive(7).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  EXPECT_EQ(p->state(), ProcessState::kBlockedRecv);
+  cpu.suspend(*p);  // blocked and now suspended
+
+  net::Message msg;
+  msg.tag = 7;
+  msg.bytes = 10;
+  auto buffer = mmu.try_alloc(10);
+  cpu.deliver(*p, msg, std::move(*buffer));
+  sim.run();
+  // Woken, but parked: must not run until resumed.
+  EXPECT_EQ(p->state(), ProcessState::kSuspended);
+  cpu.resume(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+}
+
+TEST_F(GangTest, SuspendedBlockedProcessStaysBlocked) {
+  Program prog;
+  prog.receive(7).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  cpu.suspend(*p);
+  EXPECT_EQ(p->state(), ProcessState::kBlockedRecv);
+  cpu.resume(*p);  // no message yet: stays blocked
+  sim.run();
+  EXPECT_EQ(p->state(), ProcessState::kBlockedRecv);
+}
+
+TEST_F(GangTest, SuspensionFreesCpuForOthers) {
+  Program a, b;
+  a.compute(SimTime::milliseconds(100)).exit();
+  b.compute(SimTime::milliseconds(5)).exit();
+  auto pa = make_process(1, std::move(a));
+  auto pb = make_process(2, std::move(b));
+  cpu.make_ready(*pa);
+  cpu.make_ready(*pb);
+  sim.schedule(SimTime::milliseconds(1), [&] { cpu.suspend(*pa); });
+  sim.run();
+  // With A suspended at 1 ms, B gets the CPU to itself and finishes fast.
+  EXPECT_TRUE(pb->done());
+  EXPECT_LT(exit_times.at(0).second, SimTime::milliseconds(8));
+  EXPECT_FALSE(pa->done());
+}
+
+TEST_F(GangTest, MemGrantWhileSuspendedParks) {
+  auto hog = mmu.try_alloc(60 * 1024);
+  Program prog;
+  prog.alloc(10 * 1024).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  EXPECT_EQ(p->state(), ProcessState::kBlockedMem);
+  cpu.suspend(*p);
+  hog->release();  // grant arrives while suspended
+  sim.run();
+  EXPECT_EQ(p->state(), ProcessState::kSuspended);
+  EXPECT_EQ(p->held_bytes(), 10u * 1024);  // allocation did complete
+  cpu.resume(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+}
+
+}  // namespace
+}  // namespace tmc::node

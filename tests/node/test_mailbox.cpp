@@ -1,0 +1,95 @@
+#include "node/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+
+namespace tmc::node {
+namespace {
+
+net::Message msg_with_tag(int tag, std::size_t bytes = 10) {
+  net::Message m;
+  m.tag = tag;
+  m.bytes = bytes;
+  return m;
+}
+
+class MailboxTest : public ::testing::Test {
+ protected:
+  MailboxTest() : mmu(sim, 4096) {}
+  mem::Block block(std::size_t bytes) {
+    auto b = mmu.try_alloc(bytes);
+    EXPECT_TRUE(b.has_value());
+    return std::move(*b);
+  }
+  sim::Simulation sim;
+  mem::Mmu mmu;
+  Mailbox box;
+};
+
+TEST_F(MailboxTest, StartsEmpty) {
+  EXPECT_TRUE(box.empty());
+  EXPECT_FALSE(box.has(kAnyTag));
+  EXPECT_FALSE(box.take(kAnyTag).has_value());
+}
+
+TEST_F(MailboxTest, DepositAndTakeByTag) {
+  box.deposit(msg_with_tag(5), block(10));
+  EXPECT_TRUE(box.has(5));
+  EXPECT_FALSE(box.has(6));
+  auto taken = box.take(5);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->message.tag, 5);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST_F(MailboxTest, AnyTagMatchesEverything) {
+  box.deposit(msg_with_tag(9), block(10));
+  EXPECT_TRUE(box.has(kAnyTag));
+  EXPECT_TRUE(box.take(kAnyTag).has_value());
+}
+
+TEST_F(MailboxTest, FifoWithinTag) {
+  auto first = msg_with_tag(3);
+  first.id = 1;
+  auto second = msg_with_tag(3);
+  second.id = 2;
+  box.deposit(first, block(10));
+  box.deposit(second, block(10));
+  EXPECT_EQ(box.take(3)->message.id, 1u);
+  EXPECT_EQ(box.take(3)->message.id, 2u);
+}
+
+TEST_F(MailboxTest, TagFilterSkipsNonMatching) {
+  auto a = msg_with_tag(1);
+  a.id = 1;
+  auto b = msg_with_tag(2);
+  b.id = 2;
+  box.deposit(a, block(10));
+  box.deposit(b, block(10));
+  EXPECT_EQ(box.take(2)->message.id, 2u);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.take(kAnyTag)->message.id, 1u);
+}
+
+TEST_F(MailboxTest, BufferedBytesTracksPinnedMemory) {
+  box.deposit(msg_with_tag(1), block(100));
+  box.deposit(msg_with_tag(2), block(200));
+  EXPECT_EQ(box.buffered_bytes(), 300u);
+  EXPECT_EQ(mmu.bytes_used(), 300u);
+  box.take(1)->buffer.release();
+  EXPECT_EQ(box.buffered_bytes(), 200u);
+  EXPECT_EQ(mmu.bytes_used(), 200u);
+}
+
+TEST_F(MailboxTest, TakeTransfersBufferOwnership) {
+  box.deposit(msg_with_tag(1), block(64));
+  {
+    auto taken = box.take(1);
+    ASSERT_TRUE(taken.has_value());
+  }  // buffer destroyed here
+  EXPECT_EQ(mmu.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace tmc::node

@@ -1,0 +1,63 @@
+#include "node/program.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::node {
+namespace {
+
+using sim::SimTime;
+
+TEST(Program, BuilderChainsOps) {
+  Program p;
+  p.alloc(64)
+      .receive(3)
+      .compute(SimTime::milliseconds(5))
+      .send(42, 7, 128)
+      .exit();
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<AllocOp>(p.ops[0]));
+  EXPECT_TRUE(std::holds_alternative<ReceiveOp>(p.ops[1]));
+  EXPECT_TRUE(std::holds_alternative<ComputeOp>(p.ops[2]));
+  EXPECT_TRUE(std::holds_alternative<SendOp>(p.ops[3]));
+  EXPECT_TRUE(std::holds_alternative<ExitOp>(p.ops[4]));
+}
+
+TEST(Program, TotalComputeSumsBursts) {
+  Program p;
+  p.compute(SimTime::milliseconds(2))
+      .send(1, 1, 10)
+      .compute(SimTime::milliseconds(3))
+      .exit();
+  EXPECT_EQ(p.total_compute(), SimTime::milliseconds(5));
+}
+
+TEST(Program, TotalSendBytes) {
+  Program p;
+  p.send(1, 1, 100).send(2, 1, 250).exit();
+  EXPECT_EQ(p.total_send_bytes(), 350u);
+}
+
+TEST(Program, EmptyProgram) {
+  Program p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.total_compute(), SimTime::zero());
+  EXPECT_EQ(p.total_send_bytes(), 0u);
+}
+
+TEST(Program, SendOpCarriesAddressing) {
+  Program p;
+  p.send(99, 5, 4096);
+  const auto& op = std::get<SendOp>(p.ops[0]);
+  EXPECT_EQ(op.dst, 99u);
+  EXPECT_EQ(op.tag, 5);
+  EXPECT_EQ(op.bytes, 4096u);
+}
+
+TEST(Program, ReceiveDefaultsToAnyTag) {
+  Program p;
+  p.receive();
+  EXPECT_EQ(std::get<ReceiveOp>(p.ops[0]).tag, kAnyTag);
+}
+
+}  // namespace
+}  // namespace tmc::node

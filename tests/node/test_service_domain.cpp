@@ -1,0 +1,121 @@
+// Tests of the comm-daemon (service) domain of the Transputer: low-priority
+// system work that time-shares with application processes.
+#include <gtest/gtest.h>
+
+#include "mem/mmu.h"
+#include "node/transputer.h"
+#include "sim/simulation.h"
+
+namespace tmc::node {
+namespace {
+
+using sim::SimTime;
+
+class ServiceDomainTest : public ::testing::Test {
+ protected:
+  ServiceDomainTest() : mmu(sim, 64 * 1024), cpu(sim, 0, mmu) {}
+
+  std::unique_ptr<Process> make_process(net::EndpointId id, Program prog) {
+    auto p = std::make_unique<Process>(id, 1, std::move(prog));
+    p->bind_to_node(0);
+    p->set_on_exit([this](Process& self) {
+      exit_times.emplace_back(self.id(), sim.now());
+    });
+    return p;
+  }
+
+  sim::Simulation sim;
+  mem::Mmu mmu;
+  Transputer cpu;
+  std::vector<std::pair<net::EndpointId, SimTime>> exit_times;
+};
+
+TEST_F(ServiceDomainTest, ServiceRunsOnIdleCpu) {
+  SimTime done;
+  cpu.post_service(SimTime::milliseconds(3), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, SimTime::milliseconds(3));
+  EXPECT_EQ(cpu.service_items(), 1u);
+  EXPECT_EQ(cpu.service_time(), SimTime::milliseconds(3));
+}
+
+TEST_F(ServiceDomainTest, ServiceQueueDrainsFifo) {
+  std::vector<int> order;
+  cpu.post_service(SimTime::milliseconds(1), [&] { order.push_back(1); });
+  cpu.post_service(SimTime::milliseconds(1), [&] { order.push_back(2); });
+  cpu.post_service(SimTime::milliseconds(1), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(ServiceDomainTest, ServiceDoesNotPreemptButInterleaves) {
+  // A compute-bound process and daemon work share the CPU; both finish
+  // later than they would alone, and the total equals the summed demand.
+  Program prog;
+  prog.compute(SimTime::milliseconds(20)).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  SimTime service_done;
+  cpu.post_service(SimTime::milliseconds(10), [&] { service_done = sim.now(); });
+  sim.run();
+  const SimTime app_done = exit_times.at(0).second;
+  // Work conservation: everything finishes by ~30 ms (plus context switch).
+  EXPECT_GE(app_done, SimTime::milliseconds(20));
+  EXPECT_LE(app_done, SimTime::milliseconds(31));
+  EXPECT_GE(service_done, SimTime::milliseconds(10));
+  EXPECT_LE(service_done, SimTime::milliseconds(31));
+  // The daemon was not starved until the app finished, nor vice versa.
+  EXPECT_LT(service_done, app_done + SimTime::milliseconds(1));
+}
+
+TEST_F(ServiceDomainTest, HighPriorityPreemptsService) {
+  SimTime high_done, service_done;
+  cpu.post_service(SimTime::milliseconds(10), [&] { service_done = sim.now(); });
+  sim.schedule(SimTime::milliseconds(2), [&] {
+    cpu.post_high(SimTime::milliseconds(1), [&] { high_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(high_done, SimTime::milliseconds(3));  // ran immediately
+  EXPECT_EQ(service_done, SimTime::milliseconds(11));  // paused for 1 ms
+}
+
+TEST_F(ServiceDomainTest, ServiceAccountingSurvivesPreemption) {
+  cpu.post_service(SimTime::milliseconds(10), nullptr);
+  sim.schedule(SimTime::milliseconds(4), [&] {
+    cpu.post_high(SimTime::milliseconds(2), nullptr);
+  });
+  sim.run();
+  EXPECT_EQ(cpu.service_time(), SimTime::milliseconds(10));
+}
+
+TEST_F(ServiceDomainTest, BlockedProcessLeavesCpuToDaemon) {
+  Program prog;
+  prog.receive(9).exit();  // blocks forever
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  SimTime service_done;
+  cpu.post_service(SimTime::milliseconds(5), [&] { service_done = sim.now(); });
+  sim.run();
+  // The receiver blocks at ~ctx time; daemon then runs unimpeded.
+  EXPECT_LE(service_done, SimTime::milliseconds(6));
+}
+
+TEST_F(ServiceDomainTest, DaemonSharesRoughlyFairlyUnderLoad) {
+  // App with 40 ms of compute vs daemon with 40 ms of queued work: neither
+  // should finish more than ~quantum+item ahead of the other.
+  Program prog;
+  prog.compute(SimTime::milliseconds(40)).exit();
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  SimTime last_service;
+  for (int i = 0; i < 20; ++i) {
+    cpu.post_service(SimTime::milliseconds(2), [&] { last_service = sim.now(); });
+  }
+  sim.run();
+  const SimTime app_done = exit_times.at(0).second;
+  EXPECT_GE(app_done, SimTime::milliseconds(60));  // genuinely shared
+  EXPECT_GE(last_service, SimTime::milliseconds(60));
+}
+
+}  // namespace
+}  // namespace tmc::node

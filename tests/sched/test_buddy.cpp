@@ -1,0 +1,155 @@
+#include "sched/buddy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tmc::sched {
+namespace {
+
+TEST(Buddy, StartsWithOneMaximalBlock) {
+  BuddyAllocator buddy(16);
+  EXPECT_EQ(buddy.total(), 16);
+  EXPECT_EQ(buddy.allocated(), 0);
+  EXPECT_EQ(buddy.largest_free_block(), 16);
+}
+
+TEST(Buddy, RejectsNonPowerOfTwoPool) {
+  EXPECT_THROW(BuddyAllocator(12), std::invalid_argument);
+  EXPECT_THROW(BuddyAllocator(0), std::invalid_argument);
+}
+
+TEST(Buddy, AllocatesAlignedBlocks) {
+  BuddyAllocator buddy(16);
+  const auto a = buddy.allocate(4);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->base % 4, 0);
+  EXPECT_EQ(a->size, 4);
+  const auto b = buddy.allocate(8);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->base % 8, 0);
+  EXPECT_EQ(buddy.allocated(), 12);
+}
+
+TEST(Buddy, LowestAddressFirstIsDeterministic) {
+  BuddyAllocator buddy(16);
+  EXPECT_EQ(buddy.allocate(4)->base, 0);
+  EXPECT_EQ(buddy.allocate(4)->base, 4);
+  EXPECT_EQ(buddy.allocate(4)->base, 8);
+}
+
+TEST(Buddy, SplitsLargerBlocks) {
+  BuddyAllocator buddy(16);
+  const auto one = buddy.allocate(1);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->base, 0);
+  // The remainder is fragmented into 1+2+4+8.
+  EXPECT_EQ(buddy.free_processors(), 15);
+  EXPECT_EQ(buddy.largest_free_block(), 8);
+}
+
+TEST(Buddy, RefusesWhenNoBlockFits) {
+  BuddyAllocator buddy(16);
+  auto half = buddy.allocate(8);
+  auto quarter = buddy.allocate(4);
+  auto eighth = buddy.allocate(2);
+  ASSERT_TRUE(half && quarter && eighth);
+  EXPECT_FALSE(buddy.allocate(4).has_value());  // only 2 left
+  EXPECT_TRUE(buddy.allocate(2).has_value());
+  EXPECT_FALSE(buddy.allocate(1).has_value());  // full
+}
+
+TEST(Buddy, RejectsBadSizes) {
+  BuddyAllocator buddy(16);
+  EXPECT_FALSE(buddy.allocate(3).has_value());
+  EXPECT_FALSE(buddy.allocate(0).has_value());
+  EXPECT_FALSE(buddy.allocate(32).has_value());
+}
+
+TEST(Buddy, FreeCoalescesBuddies) {
+  BuddyAllocator buddy(16);
+  const auto a = buddy.allocate(4);
+  const auto b = buddy.allocate(4);
+  const auto c = buddy.allocate(8);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(buddy.largest_free_block(), 0);
+  buddy.free(*a);
+  EXPECT_EQ(buddy.largest_free_block(), 4);
+  buddy.free(*b);
+  EXPECT_EQ(buddy.largest_free_block(), 8);  // a+b coalesced
+  buddy.free(*c);
+  EXPECT_EQ(buddy.largest_free_block(), 16);  // whole pool back
+  EXPECT_EQ(buddy.allocated(), 0);
+}
+
+TEST(Buddy, NonBuddyNeighboursDoNotCoalesce) {
+  BuddyAllocator buddy(16);
+  const auto a = buddy.allocate(4);  // [0,4)
+  const auto b = buddy.allocate(4);  // [4,8)
+  const auto c = buddy.allocate(4);  // [8,12)
+  const auto d = buddy.allocate(4);  // [12,16)
+  ASSERT_TRUE(a && b && c && d);
+  buddy.free(*b);
+  buddy.free(*c);
+  // [4,8) and [8,12) are adjacent but not buddies (different parents):
+  // 8 free processors, yet no order-3 block can form.
+  EXPECT_EQ(buddy.free_processors(), 8);
+  EXPECT_EQ(buddy.largest_free_block(), 4);
+}
+
+TEST(Buddy, DoubleFreeThrows) {
+  BuddyAllocator buddy(16);
+  const auto a = buddy.allocate(4);
+  buddy.free(*a);
+  EXPECT_THROW(buddy.free(*a), std::invalid_argument);
+  EXPECT_THROW(buddy.free(ProcessorBlock{0, 2}), std::invalid_argument);
+}
+
+TEST(Buddy, AllocateAtMostDegradesGracefully) {
+  BuddyAllocator buddy(16);
+  auto hog = buddy.allocate(8);
+  auto quarter = buddy.allocate(4);
+  ASSERT_TRUE(hog && quarter);
+  // Want 16: only a 4 remains -> grants the 4.
+  const auto best = buddy.allocate_at_most(16);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->size, 4);
+  buddy.free(*best);
+  // Non-power-of-two caps round down: asks for <=3, gets a 2.
+  const auto capped = buddy.allocate_at_most(3);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->size, 2);
+}
+
+TEST(Buddy, AllocateAtMostFailsOnlyWhenFull) {
+  BuddyAllocator buddy(4);
+  auto all = buddy.allocate(4);
+  EXPECT_FALSE(buddy.allocate_at_most(4).has_value());
+  buddy.free(*all);
+  EXPECT_TRUE(buddy.allocate_at_most(4).has_value());
+}
+
+TEST(Buddy, StressAllocFreeInvariants) {
+  BuddyAllocator buddy(16);
+  std::vector<ProcessorBlock> held;
+  // Deterministic churn: allocate varying sizes, free every other one.
+  for (int round = 0; round < 50; ++round) {
+    const int size = 1 << (round % 4);
+    if (auto block = buddy.allocate(size)) {
+      EXPECT_EQ(block->base % block->size, 0);  // alignment invariant
+      held.push_back(*block);
+    }
+    if (round % 2 == 1 && !held.empty()) {
+      buddy.free(held.front());
+      held.erase(held.begin());
+    }
+    int sum = 0;
+    for (const auto& blk : held) sum += blk.size;
+    EXPECT_EQ(buddy.allocated(), sum);
+  }
+  for (const auto& blk : held) buddy.free(blk);
+  EXPECT_EQ(buddy.largest_free_block(), 16);
+}
+
+}  // namespace
+}  // namespace tmc::sched

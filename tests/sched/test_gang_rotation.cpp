@@ -1,0 +1,168 @@
+// Tests of the partition scheduler's gang rotation (the paper's
+// round-robin-among-jobs time-sharing).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace tmc::sched {
+namespace {
+
+using sim::SimTime;
+
+JobSpec compute_job(int procs, SimTime demand_per_proc) {
+  JobSpec spec;
+  spec.app = "test";
+  spec.demand_estimate = demand_per_proc * procs;
+  spec.builder = [procs, demand_per_proc](const Job&, int) {
+    std::vector<node::Program> programs(static_cast<std::size_t>(procs));
+    for (auto& p : programs) p.compute(demand_per_proc).exit();
+    return programs;
+  };
+  return spec;
+}
+
+core::MachineConfig gang_machine(int q_ms = 10) {
+  core::MachineConfig cfg;
+  cfg.processors = 4;
+  cfg.topology = net::TopologyKind::kRing;
+  cfg.policy.kind = sched::PolicyKind::kTimeSharing;
+  cfg.policy.basic_quantum = SimTime::milliseconds(q_ms);
+  return cfg;
+}
+
+TEST(GangRotation, SoleJobRunsWithoutRotationOverhead) {
+  core::Multicomputer machine(gang_machine());
+  Job job(1, compute_job(4, SimTime::milliseconds(20)));
+  machine.submit(job);
+  machine.run_to_completion();
+  EXPECT_TRUE(job.completed());
+  EXPECT_EQ(machine.partition_scheduler(0).gang_switches(), 0u);
+}
+
+TEST(GangRotation, TwoJobsAlternateTurns) {
+  core::Multicomputer machine(gang_machine(/*q_ms=*/10));
+  Job a(1, compute_job(4, SimTime::milliseconds(30)));
+  Job b(2, compute_job(4, SimTime::milliseconds(30)));
+  machine.submit(a);
+  machine.submit(b);
+  // While A's turn runs, B is parked.
+  machine.sim().run_until(SimTime::milliseconds(5));
+  EXPECT_EQ(machine.partition_scheduler(0).gang_current(), &a);
+  for (const auto& p : b.processes()) {
+    EXPECT_EQ(p->state(), node::ProcessState::kSuspended);
+  }
+  machine.run_to_completion();
+  EXPECT_TRUE(a.completed());
+  EXPECT_TRUE(b.completed());
+  // ~60 ms of total work in 10 ms turns: several switches happened.
+  EXPECT_GE(machine.partition_scheduler(0).gang_switches(), 4u);
+  // Interleaving, not run-to-completion: both finish in the second half.
+  EXPECT_GT(a.response_time(), SimTime::milliseconds(45));
+  EXPECT_GT(b.response_time(), SimTime::milliseconds(45));
+}
+
+TEST(GangRotation, EqualJobsGetEqualService) {
+  core::Multicomputer machine(gang_machine(/*q_ms=*/10));
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 3; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(4, SimTime::milliseconds(40))));
+    machine.submit(*jobs.back());
+  }
+  machine.run_to_completion();
+  // All three rotate; completions are clustered near the end, in admission
+  // order, roughly a turn apart.
+  const auto r1 = jobs[0]->response_time();
+  const auto r3 = jobs[2]->response_time();
+  EXPECT_LT(jobs[0]->response_time(), jobs[1]->response_time());
+  EXPECT_LT(jobs[1]->response_time(), jobs[2]->response_time());
+  EXPECT_LT(r3 - r1, SimTime::milliseconds(25));
+  EXPECT_GT(r1, SimTime::milliseconds(100));  // not run-to-completion
+}
+
+TEST(GangRotation, RrJobQuantumMakesTurnsJobCountInvariant) {
+  // A 2-process job and an 8-process job on 4 CPUs: RR-job gives the
+  // 8-process job Q/4 per process, so both jobs' turns are q long and they
+  // receive equal processing power. With equal total demand they should
+  // finish near each other.
+  core::Multicomputer machine(gang_machine(/*q_ms=*/10));
+  // Total demand 80 ms each: 2 procs x 40 ms vs 8 procs x 10 ms.
+  Job narrow(1, compute_job(2, SimTime::milliseconds(40)));
+  Job wide(2, compute_job(8, SimTime::milliseconds(10)));
+  machine.submit(narrow);
+  machine.submit(wide);
+  machine.run_to_completion();
+  const double n_s = narrow.response_time().to_seconds();
+  const double w_s = wide.response_time().to_seconds();
+  EXPECT_LT(std::abs(n_s - w_s) / std::max(n_s, w_s), 0.45);
+}
+
+TEST(GangRotation, CompletionStartsNextTurnImmediately) {
+  core::Multicomputer machine(gang_machine(/*q_ms=*/50));
+  Job quick(1, compute_job(4, SimTime::milliseconds(5)));
+  Job slow(2, compute_job(4, SimTime::milliseconds(20)));
+  machine.submit(quick);
+  machine.submit(slow);
+  machine.run_to_completion();
+  // The quick job finishes inside its first 50 ms turn; the slow one should
+  // not have to wait for the full turn to elapse.
+  EXPECT_LT(quick.response_time(), SimTime::milliseconds(10));
+  EXPECT_LT(slow.response_time(), SimTime::milliseconds(40));
+}
+
+TEST(GangRotation, UncoordinatedModeDisablesTurns) {
+  auto cfg = gang_machine();
+  cfg.policy.gang_scheduling = false;
+  core::Multicomputer machine(cfg);
+  Job a(1, compute_job(4, SimTime::milliseconds(10)));
+  Job b(2, compute_job(4, SimTime::milliseconds(10)));
+  machine.submit(a);
+  machine.submit(b);
+  machine.run_to_completion();
+  EXPECT_TRUE(a.completed());
+  EXPECT_TRUE(b.completed());
+  EXPECT_EQ(machine.partition_scheduler(0).gang_switches(), 0u);
+}
+
+TEST(GangRotation, StaticPolicyNeverRotates) {
+  auto cfg = gang_machine();
+  cfg.policy.kind = PolicyKind::kStatic;
+  cfg.policy.partition_size = 4;
+  core::Multicomputer machine(cfg);
+  Job a(1, compute_job(4, SimTime::milliseconds(10)));
+  machine.submit(a);
+  machine.run_to_completion();
+  EXPECT_EQ(machine.partition_scheduler(0).gang_switches(), 0u);
+  EXPECT_EQ(machine.partition_scheduler(0).gang_current(), nullptr);
+}
+
+TEST(GangRotation, SuspendedJobsCommunicationIsFrozen) {
+  // Two jobs; job A sends itself a message across the ring. While B's turn
+  // runs, A's message must not be delivered.
+  core::MachineConfig cfg = gang_machine(/*q_ms=*/100);
+  core::Multicomputer machine(cfg);
+
+  JobSpec comm_spec;
+  comm_spec.app = "comm";
+  comm_spec.builder = [](const Job& job, int) {
+    std::vector<node::Program> programs(2);
+    programs[0].send(endpoint_of(job.id(), 1), 1, 50'000).exit();
+    programs[1].receive(1).exit();
+    return programs;
+  };
+  Job comm_job(1, comm_spec);
+  Job hog(2, compute_job(4, SimTime::seconds(1)));
+  machine.submit(comm_job);  // gets the first turn
+  machine.submit(hog);
+  machine.run_to_completion();
+  EXPECT_TRUE(comm_job.completed());
+  // The message takes ~30 ms of transfer; if it progressed during the
+  // hog's turns the comm job would finish far sooner than a full rotation.
+  EXPECT_TRUE(hog.completed());
+}
+
+}  // namespace
+}  // namespace tmc::sched

@@ -1,0 +1,58 @@
+#include "sched/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::sched {
+namespace {
+
+TEST(Partition, EqualPartitionsCoverMachineDisjointly) {
+  const auto parts = equal_partitions(16, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::vector<bool> seen(16, false);
+  for (const auto& part : parts) {
+    EXPECT_EQ(part.size(), 4);
+    for (const auto node : part.nodes) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(node)]);
+      seen[static_cast<std::size_t>(node)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Partition, PartitionsAreConsecutive) {
+  const auto parts = equal_partitions(16, 8);
+  EXPECT_EQ(parts[0].nodes.front(), 0);
+  EXPECT_EQ(parts[0].nodes.back(), 7);
+  EXPECT_EQ(parts[1].nodes.front(), 8);
+  EXPECT_EQ(parts[1].nodes.back(), 15);
+  EXPECT_EQ(parts[0].id, 0);
+  EXPECT_EQ(parts[1].id, 1);
+}
+
+TEST(Partition, WholeMachineIsOnePartition) {
+  const auto parts = equal_partitions(16, 16);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 16);
+}
+
+TEST(Partition, SingletonPartitions) {
+  const auto parts = equal_partitions(16, 1);
+  EXPECT_EQ(parts.size(), 16u);
+}
+
+TEST(Partition, NonDividingSizeThrows) {
+  EXPECT_THROW(equal_partitions(16, 3), std::invalid_argument);
+  EXPECT_THROW(equal_partitions(16, 0), std::invalid_argument);
+  EXPECT_THROW(equal_partitions(16, -4), std::invalid_argument);
+}
+
+TEST(Partition, RankMappingWrapsRoundRobin) {
+  Partition part{0, {4, 5, 6, 7}};
+  EXPECT_EQ(part.node_for_rank(0), 4);
+  EXPECT_EQ(part.node_for_rank(3), 7);
+  EXPECT_EQ(part.node_for_rank(4), 4);
+  EXPECT_EQ(part.node_for_rank(9), 5);
+}
+
+}  // namespace
+}  // namespace tmc::sched

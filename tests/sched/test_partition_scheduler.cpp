@@ -1,0 +1,176 @@
+#include "sched/partition_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+
+namespace tmc::sched {
+namespace {
+
+using sim::SimTime;
+
+/// Compute-only job with a fixed process count.
+JobSpec fixed_job(int procs, SimTime demand_per_proc) {
+  JobSpec spec;
+  spec.app = "test";
+  spec.demand_estimate = demand_per_proc * procs;
+  spec.builder = [procs, demand_per_proc](const Job&, int) {
+    std::vector<node::Program> programs(static_cast<std::size_t>(procs));
+    for (auto& p : programs) p.compute(demand_per_proc).exit();
+    return programs;
+  };
+  return spec;
+}
+
+/// Compute-only job that adapts its width to the allocated partition.
+JobSpec adaptive_job(SimTime demand_per_proc) {
+  JobSpec spec;
+  spec.app = "test-adaptive";
+  spec.arch = SoftwareArch::kAdaptive;
+  spec.demand_estimate = demand_per_proc;
+  spec.builder = [demand_per_proc](const Job&, int partition_size) {
+    std::vector<node::Program> programs(
+        static_cast<std::size_t>(partition_size));
+    for (auto& p : programs) p.compute(demand_per_proc).exit();
+    return programs;
+  };
+  return spec;
+}
+
+core::MachineConfig small_machine(PolicyKind kind, int partition_size) {
+  core::MachineConfig cfg;
+  cfg.processors = 4;
+  cfg.topology = net::TopologyKind::kRing;
+  cfg.policy.kind = kind;
+  cfg.policy.partition_size = partition_size;
+  return cfg;
+}
+
+TEST(PartitionScheduler, RunsJobToCompletion) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 4));
+  Job job(1, fixed_job(4, SimTime::milliseconds(10)));
+  machine.submit(job);
+  machine.run_to_completion();
+  EXPECT_TRUE(job.completed());
+  EXPECT_GT(job.response_time(), SimTime::milliseconds(10));
+  EXPECT_TRUE(job.processes().empty());  // torn down
+  EXPECT_EQ(machine.partition_scheduler(0).jobs_completed(), 1u);
+  EXPECT_EQ(machine.partition_scheduler(0).active_jobs(), 0);
+}
+
+TEST(PartitionScheduler, PlacesProcessesRoundRobin) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 4));
+  Job job(1, fixed_job(8, SimTime::milliseconds(1)));
+  machine.submit(job);  // admitted synchronously
+  ASSERT_EQ(job.processes().size(), 8u);
+  // 8 ranks on 4 nodes: each node gets exactly 2.
+  std::vector<int> per_node(4, 0);
+  for (const auto& p : job.processes()) {
+    ++per_node[static_cast<std::size_t>(p->node())];
+  }
+  for (int count : per_node) EXPECT_EQ(count, 2);
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, DefaultPlacementStacksRankZero) {
+  // Paper-faithful mapping: rank i -> partition processor i for every job.
+  core::Multicomputer machine(small_machine(PolicyKind::kHybrid, 4));
+  Job a(1, fixed_job(1, SimTime::milliseconds(5)));
+  Job b(2, fixed_job(1, SimTime::milliseconds(5)));
+  machine.submit(a);
+  machine.submit(b);
+  ASSERT_EQ(a.processes().size(), 1u);
+  ASSERT_EQ(b.processes().size(), 1u);
+  EXPECT_EQ(a.processes()[0]->node(), b.processes()[0]->node());
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, RotatesPlacementAcrossJobsWhenEnabled) {
+  auto cfg = small_machine(PolicyKind::kHybrid, 4);
+  cfg.partition_sched.rotate_placement = true;
+  core::Multicomputer machine(cfg);
+  Job a(1, fixed_job(1, SimTime::milliseconds(5)));
+  Job b(2, fixed_job(1, SimTime::milliseconds(5)));
+  machine.submit(a);
+  machine.submit(b);
+  ASSERT_EQ(a.processes().size(), 1u);
+  ASSERT_EQ(b.processes().size(), 1u);
+  // Single-process jobs land on different nodes thanks to rotation.
+  EXPECT_NE(a.processes()[0]->node(), b.processes()[0]->node());
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, AdaptiveJobSeesPartitionSize) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 2));
+  Job job(1, adaptive_job(SimTime::milliseconds(1)));
+  machine.submit(job);
+  EXPECT_EQ(job.processes().size(), 2u);  // partition size, not machine size
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, TimeSharingAssignsRrJobQuantum) {
+  auto cfg = small_machine(PolicyKind::kHybrid, 4);
+  cfg.policy.basic_quantum = SimTime::milliseconds(40);
+  core::Multicomputer machine(cfg);
+  Job job(1, fixed_job(8, SimTime::milliseconds(1)));
+  machine.submit(job);
+  // Q = (P/T) q = (4/8) * 40ms = 20ms.
+  for (const auto& p : job.processes()) {
+    EXPECT_EQ(p->quantum(), SimTime::milliseconds(20));
+  }
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, StaticUsesHardwareQuantum) {
+  auto cfg = small_machine(PolicyKind::kStatic, 4);
+  cfg.policy.basic_quantum = SimTime::milliseconds(40);
+  core::Multicomputer machine(cfg);
+  Job job(1, fixed_job(8, SimTime::milliseconds(1)));
+  machine.submit(job);
+  for (const auto& p : job.processes()) {
+    EXPECT_EQ(p->quantum(), cfg.policy.min_quantum);
+  }
+  machine.run_to_completion();
+}
+
+TEST(PartitionScheduler, TracksPeakMultiprogramming) {
+  core::Multicomputer machine(small_machine(PolicyKind::kTimeSharing, 4));
+  Job a(1, fixed_job(2, SimTime::milliseconds(5)));
+  Job b(2, fixed_job(2, SimTime::milliseconds(5)));
+  Job c(3, fixed_job(2, SimTime::milliseconds(5)));
+  machine.submit(a);
+  machine.submit(b);
+  machine.submit(c);
+  machine.run_to_completion();
+  EXPECT_EQ(machine.partition_scheduler(0).peak_multiprogramming(), 3);
+  EXPECT_EQ(machine.partition_scheduler(0).jobs_completed(), 3u);
+}
+
+TEST(PartitionScheduler, ProcessesUnregisteredAfterCompletion) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 4));
+  Job job(1, fixed_job(2, SimTime::milliseconds(1)));
+  machine.submit(job);
+  const auto endpoint = endpoint_of(1, 0);
+  EXPECT_NE(machine.comm().find(endpoint), nullptr);
+  machine.run_to_completion();
+  EXPECT_EQ(machine.comm().find(endpoint), nullptr);
+}
+
+TEST(PartitionScheduler, RecordsConsumedCpu) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 4));
+  Job job(1, fixed_job(4, SimTime::milliseconds(10)));
+  machine.submit(job);
+  machine.run_to_completion();
+  EXPECT_EQ(job.consumed_cpu(), SimTime::milliseconds(40));
+}
+
+TEST(PartitionScheduler, EmptyJobThrows) {
+  core::Multicomputer machine(small_machine(PolicyKind::kStatic, 4));
+  JobSpec spec;
+  spec.builder = [](const Job&, int) { return std::vector<node::Program>{}; };
+  Job job(1, std::move(spec));
+  EXPECT_THROW(machine.submit(job), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tmc::sched

@@ -1,0 +1,59 @@
+#include "sched/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::sched {
+namespace {
+
+using sim::SimTime;
+
+TEST(Policy, RrJobQuantumEqualisesProcessingPower) {
+  PolicyConfig cfg;
+  cfg.basic_quantum = SimTime::milliseconds(50);
+  cfg.min_quantum = SimTime::milliseconds(2);
+  // Q = (P/T) * q: a job with more processes gets a smaller per-process
+  // quantum so each *job* receives the same share.
+  EXPECT_EQ(cfg.rr_job_quantum(16, 16), SimTime::milliseconds(50));
+  EXPECT_EQ(cfg.rr_job_quantum(16, 8), SimTime::milliseconds(100));
+  EXPECT_EQ(cfg.rr_job_quantum(8, 16), SimTime::milliseconds(25));
+  EXPECT_EQ(cfg.rr_job_quantum(4, 16), SimTime::milliseconds(12)
+                                           + SimTime::microseconds(500));
+}
+
+TEST(Policy, QuantumFlooredAtHardwareTimeslice) {
+  PolicyConfig cfg;
+  cfg.basic_quantum = SimTime::milliseconds(4);
+  cfg.min_quantum = SimTime::milliseconds(2);
+  EXPECT_EQ(cfg.rr_job_quantum(1, 16), SimTime::milliseconds(2));
+}
+
+TEST(Policy, RrJobQuantumRejectsEmptyJob) {
+  PolicyConfig cfg;
+  EXPECT_THROW((void)cfg.rr_job_quantum(16, 0), std::invalid_argument);
+}
+
+TEST(Policy, TimeSharedPredicate) {
+  PolicyConfig cfg;
+  cfg.kind = PolicyKind::kStatic;
+  EXPECT_FALSE(cfg.time_shared());
+  cfg.kind = PolicyKind::kTimeSharing;
+  EXPECT_TRUE(cfg.time_shared());
+  cfg.kind = PolicyKind::kHybrid;
+  EXPECT_TRUE(cfg.time_shared());
+}
+
+TEST(Policy, LabelNamesKindAndPartition) {
+  PolicyConfig cfg;
+  cfg.kind = PolicyKind::kHybrid;
+  cfg.partition_size = 4;
+  EXPECT_EQ(cfg.label(), "hybrid/p4");
+}
+
+TEST(Policy, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(PolicyKind::kStatic), "static");
+  EXPECT_EQ(to_string(PolicyKind::kTimeSharing), "time-sharing");
+  EXPECT_EQ(to_string(PolicyKind::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace tmc::sched

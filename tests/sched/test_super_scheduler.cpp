@@ -1,0 +1,155 @@
+#include "sched/super_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace tmc::sched {
+namespace {
+
+using sim::SimTime;
+
+JobSpec compute_job(int procs, SimTime demand_per_proc) {
+  JobSpec spec;
+  spec.app = "test";
+  spec.demand_estimate = demand_per_proc * procs;
+  spec.builder = [procs, demand_per_proc](const Job&, int) {
+    std::vector<node::Program> programs(static_cast<std::size_t>(procs));
+    for (auto& p : programs) p.compute(demand_per_proc).exit();
+    return programs;
+  };
+  return spec;
+}
+
+core::MachineConfig machine_config(PolicyKind kind, int partition_size,
+                                   int set_size = INT_MAX) {
+  core::MachineConfig cfg;
+  cfg.processors = 4;
+  cfg.topology = net::TopologyKind::kLinear;
+  cfg.policy.kind = kind;
+  cfg.policy.partition_size = partition_size;
+  cfg.policy.set_size = set_size;
+  return cfg;
+}
+
+TEST(SuperScheduler, StaticRunsOneJobPerPartition) {
+  core::Multicomputer machine(machine_config(PolicyKind::kStatic, 2));
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 4; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(2, SimTime::milliseconds(10))));
+    machine.submit(*jobs.back());
+  }
+  // Two partitions: jobs 1, 2 dispatched, jobs 3, 4 queued.
+  EXPECT_TRUE(jobs[0]->dispatched());
+  EXPECT_TRUE(jobs[1]->dispatched());
+  EXPECT_FALSE(jobs[2]->dispatched());
+  EXPECT_EQ(machine.scheduler().queued_jobs(), 2u);
+  machine.run_to_completion();
+  for (const auto& job : jobs) EXPECT_TRUE(job->completed());
+  EXPECT_TRUE(machine.scheduler().all_done());
+}
+
+TEST(SuperScheduler, StaticQueuedJobsWaitForPartition) {
+  core::Multicomputer machine(machine_config(PolicyKind::kStatic, 4));
+  Job first(1, compute_job(4, SimTime::milliseconds(10)));
+  Job second(2, compute_job(4, SimTime::milliseconds(10)));
+  machine.submit(first);
+  machine.submit(second);
+  machine.run_to_completion();
+  // Second job's wait spans the first job's entire run.
+  EXPECT_EQ(second.dispatch_time(), first.completion_time());
+  EXPECT_GT(second.wait_time(), SimTime::milliseconds(10));
+  EXPECT_EQ(first.wait_time(), SimTime::zero());
+}
+
+TEST(SuperScheduler, StaticDispatchesFcfs) {
+  core::Multicomputer machine(machine_config(PolicyKind::kStatic, 4));
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<JobId> completion_order;
+  machine.scheduler().set_completion_observer(
+      [&](Job& job) { completion_order.push_back(job.id()); });
+  for (JobId i = 1; i <= 4; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(4, SimTime::milliseconds(5))));
+    machine.submit(*jobs.back());
+  }
+  machine.run_to_completion();
+  EXPECT_EQ(completion_order, (std::vector<JobId>{1, 2, 3, 4}));
+}
+
+TEST(SuperScheduler, TimeSharingDispatchesWholeBatchAtOnce) {
+  core::Multicomputer machine(machine_config(PolicyKind::kTimeSharing, 4));
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 6; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(2, SimTime::milliseconds(5))));
+    machine.submit(*jobs.back());
+  }
+  for (const auto& job : jobs) EXPECT_TRUE(job->dispatched());
+  EXPECT_EQ(machine.scheduler().queued_jobs(), 0u);
+  EXPECT_EQ(machine.partition_scheduler(0).active_jobs(), 6);
+  machine.run_to_completion();
+}
+
+TEST(SuperScheduler, HybridDealsJobsEquitably) {
+  core::Multicomputer machine(machine_config(PolicyKind::kHybrid, 2));
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 6; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(2, SimTime::milliseconds(5))));
+    machine.submit(*jobs.back());
+  }
+  EXPECT_EQ(machine.partition_scheduler(0).active_jobs(), 3);
+  EXPECT_EQ(machine.partition_scheduler(1).active_jobs(), 3);
+  machine.run_to_completion();
+}
+
+TEST(SuperScheduler, SetSizeBoundsPerPartitionMultiprogramming) {
+  core::Multicomputer machine(
+      machine_config(PolicyKind::kHybrid, 2, /*set_size=*/1));
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 4; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(2, SimTime::milliseconds(5))));
+    machine.submit(*jobs.back());
+  }
+  // With set size 1 the hybrid degenerates to space sharing: 2 running,
+  // 2 queued.
+  EXPECT_EQ(machine.scheduler().queued_jobs(), 2u);
+  machine.run_to_completion();
+  EXPECT_EQ(machine.partition_scheduler(0).peak_multiprogramming(), 1);
+  EXPECT_EQ(machine.partition_scheduler(1).peak_multiprogramming(), 1);
+}
+
+TEST(SuperScheduler, CompletionObserverSeesEveryJob) {
+  core::Multicomputer machine(machine_config(PolicyKind::kTimeSharing, 4));
+  int observed = 0;
+  machine.scheduler().set_completion_observer([&](Job&) { ++observed; });
+  std::vector<std::unique_ptr<Job>> jobs;
+  for (JobId i = 1; i <= 5; ++i) {
+    jobs.push_back(
+        std::make_unique<Job>(i, compute_job(1, SimTime::milliseconds(1))));
+    machine.submit(*jobs.back());
+  }
+  machine.run_to_completion();
+  EXPECT_EQ(observed, 5);
+  EXPECT_EQ(machine.scheduler().submitted(), 5u);
+  EXPECT_EQ(machine.scheduler().completed(), 5u);
+}
+
+TEST(SuperScheduler, ArrivalTimeIsSubmissionInstant) {
+  core::Multicomputer machine(machine_config(PolicyKind::kStatic, 4));
+  Job job(1, compute_job(1, SimTime::milliseconds(1)));
+  machine.sim().run_until(SimTime::seconds(3));
+  machine.submit(job);
+  machine.run_to_completion();
+  EXPECT_EQ(job.arrival(), SimTime::seconds(3));
+  EXPECT_GT(job.completion_time(), SimTime::seconds(3));
+}
+
+}  // namespace
+}  // namespace tmc::sched

@@ -1,0 +1,114 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tmc::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.schedule(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(SimTime::seconds(9), [] {});
+  q.schedule(SimTime::seconds(4), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::seconds(4));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  EXPECT_FALSE(q.cancel(kNoEvent));
+}
+
+TEST(EventQueue, CancelledEventsAreSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId early = q.schedule(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.schedule(SimTime::seconds(2), [&] { order.push_back(2); });
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+  q.pop().callback();
+  EXPECT_EQ(order, std::vector<int>{2});
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::milliseconds(7), [] {});
+  auto fired = q.pop();
+  EXPECT_EQ(fired.time, SimTime::milliseconds(7));
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::seconds(1), [] {});
+  q.schedule(SimTime::seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduledCountIsMonotone) {
+  EventQueue q;
+  q.schedule(SimTime::seconds(1), [] {});
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+TEST(EventQueue, MoveOnlyCallbacksSupported) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  q.schedule(SimTime::seconds(1),
+             [p = std::move(payload), &seen] { seen = *p; });
+  q.pop().callback();
+  EXPECT_EQ(seen, 42);
+}
+
+}  // namespace
+}  // namespace tmc::sim

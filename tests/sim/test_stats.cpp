@@ -1,0 +1,167 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tmc::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(OnlineStats, CvIsStddevOverMean) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  // mean 2, var 2, sd sqrt(2)
+  EXPECT_NEAR(s.cv(), std::sqrt(2.0) / 2.0, 1e-12);
+}
+
+TEST(OnlineStats, CiHalfWidthSmallSampleUsesT) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  // sd = 1, se = 1/sqrt(3), t(2, .95) = 4.303
+  EXPECT_NEAR(s.ci_half_width(0.95), 4.303 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(OnlineStats, CiShrinksWithSamples) {
+  OnlineStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) big.add(i % 3);
+  EXPECT_GT(small.ci_half_width(), big.ci_half_width());
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, CountsFallIntoBins) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bin_count(i), 1u);
+  EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string art = h.ascii();
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(TimeWeighted, AveragesPiecewiseConstantSignal) {
+  TimeWeighted tw;
+  tw.update(SimTime::seconds(0), 2.0);   // value 2 on [0, 4)
+  tw.update(SimTime::seconds(4), 6.0);   // value 6 on [4, 8)
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(8)), 4.0);
+  EXPECT_DOUBLE_EQ(tw.peak(), 6.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 6.0);
+}
+
+TEST(TimeWeighted, RespectsObservationStart) {
+  TimeWeighted tw(SimTime::seconds(10));
+  tw.update(SimTime::seconds(10), 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(SimTime::seconds(20)), 4.0);
+}
+
+TEST(BusyTracker, TracksUtilization) {
+  BusyTracker bt;
+  bt.set_busy(SimTime::seconds(0), true);
+  bt.set_busy(SimTime::seconds(3), false);
+  bt.set_busy(SimTime::seconds(5), true);
+  EXPECT_EQ(bt.busy_time(SimTime::seconds(10)), SimTime::seconds(8));
+  EXPECT_DOUBLE_EQ(bt.utilization(SimTime::seconds(10)), 0.8);
+}
+
+TEST(BusyTracker, RedundantTransitionsAreIgnored) {
+  BusyTracker bt;
+  bt.set_busy(SimTime::seconds(0), true);
+  bt.set_busy(SimTime::seconds(1), true);
+  bt.set_busy(SimTime::seconds(2), false);
+  EXPECT_EQ(bt.busy_time(SimTime::seconds(2)), SimTime::seconds(2));
+}
+
+TEST(BusyTracker, ZeroTimeUtilizationIsZero) {
+  BusyTracker bt;
+  EXPECT_DOUBLE_EQ(bt.utilization(SimTime::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace tmc::sim

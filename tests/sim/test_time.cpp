@@ -1,0 +1,75 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tmc::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(SimTime, UnitFactories) {
+  EXPECT_EQ(SimTime::nanoseconds(7).ns(), 7);
+  EXPECT_EQ(SimTime::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(SimTime::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::seconds(1).ns(), 1'000'000'000);
+}
+
+TEST(SimTime, ToSeconds) {
+  EXPECT_DOUBLE_EQ(SimTime::milliseconds(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::microseconds(250).to_milliseconds(), 0.25);
+}
+
+TEST(SimTime, Comparisons) {
+  const auto a = SimTime::microseconds(1);
+  const auto b = SimTime::microseconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, SimTime::nanoseconds(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::milliseconds(3);
+  const auto b = SimTime::milliseconds(1);
+  EXPECT_EQ((a + b).ns(), 4'000'000);
+  EXPECT_EQ((a - b).ns(), 2'000'000);
+  EXPECT_EQ((a * 3).ns(), 9'000'000);
+  EXPECT_EQ((3 * a).ns(), 9'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  auto t = SimTime::seconds(1);
+  t += SimTime::milliseconds(500);
+  EXPECT_EQ(t.ns(), 1'500'000'000);
+  t -= SimTime::seconds(2);
+  EXPECT_TRUE(t.is_negative());
+}
+
+TEST(SimTime, MaxActsAsInfinity) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000));
+}
+
+TEST(SimTime, ScaleRoundsToNearest) {
+  EXPECT_EQ(scale(SimTime::nanoseconds(10), 0.26).ns(), 3);
+  EXPECT_EQ(scale(SimTime::nanoseconds(10), 0.24).ns(), 2);
+  EXPECT_EQ(scale(SimTime::nanoseconds(-10), 0.26).ns(), -3);
+  EXPECT_EQ(scale(SimTime::seconds(2), 1.5), SimTime::seconds(3));
+}
+
+TEST(SimTime, StreamInsertion) {
+  std::ostringstream os;
+  os << SimTime::milliseconds(1500);
+  EXPECT_EQ(os.str(), "1.5s");
+}
+
+}  // namespace
+}  // namespace tmc::sim

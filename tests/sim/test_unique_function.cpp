@@ -1,0 +1,72 @@
+#include "sim/unique_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace tmc::sim {
+namespace {
+
+TEST(UniqueFunction, DefaultIsEmpty) {
+  UniqueFunction<void()> f;
+  EXPECT_FALSE(f);
+}
+
+TEST(UniqueFunction, NullptrConstructibleIsEmpty) {
+  UniqueFunction<void()> f = nullptr;
+  EXPECT_FALSE(f);
+}
+
+TEST(UniqueFunction, InvokesStoredCallable) {
+  int hits = 0;
+  UniqueFunction<void()> f = [&] { ++hits; };
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ForwardsArgumentsAndReturn) {
+  UniqueFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto owned = std::make_unique<std::string>("payload");
+  UniqueFunction<std::string()> f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), "payload");
+}
+
+TEST(UniqueFunction, AcceptsMoveOnlyParameters) {
+  UniqueFunction<int(std::unique_ptr<int>)> f =
+      [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(f(std::make_unique<int>(9)), 9);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  UniqueFunction<void()> a = [&] { ++hits; };
+  UniqueFunction<void()> b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): documented contract
+  EXPECT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+  int first = 0, second = 0;
+  UniqueFunction<void()> f = [&] { ++first; };
+  f = [&] { ++second; };
+  f();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(UniqueFunction, MutableLambdaKeepsState) {
+  UniqueFunction<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+}
+
+}  // namespace
+}  // namespace tmc::sim

@@ -1,0 +1,105 @@
+#include "workload/batch.h"
+
+#include <gtest/gtest.h>
+
+namespace tmc::workload {
+namespace {
+
+TEST(Batch, DefaultsMatchPaperSizes) {
+  const auto mm = default_batch(App::kMatMul, sched::SoftwareArch::kFixed);
+  EXPECT_EQ(mm.small_size, 60u);
+  EXPECT_EQ(mm.large_size, 120u);
+  EXPECT_EQ(mm.small_count, 12);
+  EXPECT_EQ(mm.large_count, 4);
+  const auto st = default_batch(App::kSort, sched::SoftwareArch::kAdaptive);
+  EXPECT_EQ(st.small_size, 6000u);
+  EXPECT_EQ(st.large_size, 14000u);
+  EXPECT_EQ(st.arch, sched::SoftwareArch::kAdaptive);
+}
+
+TEST(Batch, TotalIsSixteen) {
+  const auto params = default_batch(App::kMatMul, sched::SoftwareArch::kFixed);
+  EXPECT_EQ(params.total(), 16);
+  const auto specs = make_batch(params, BatchOrder::kInterleaved);
+  EXPECT_EQ(specs.size(), 16u);
+}
+
+int count_large(const std::vector<sched::JobSpec>& specs) {
+  int n = 0;
+  for (const auto& spec : specs) n += spec.large ? 1 : 0;
+  return n;
+}
+
+TEST(Batch, EveryOrderHasTwelveSmallFourLarge) {
+  const auto params = default_batch(App::kSort, sched::SoftwareArch::kFixed);
+  for (const auto order :
+       {BatchOrder::kInterleaved, BatchOrder::kSmallestFirst,
+        BatchOrder::kLargestFirst}) {
+    const auto specs = make_batch(params, order);
+    EXPECT_EQ(count_large(specs), 4) << to_string(order);
+    EXPECT_EQ(specs.size(), 16u);
+  }
+}
+
+TEST(Batch, SmallestFirstPutsLargeAtEnd) {
+  const auto specs =
+      make_batch(default_batch(App::kMatMul, sched::SoftwareArch::kFixed),
+                 BatchOrder::kSmallestFirst);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_FALSE(specs[i].large);
+  for (std::size_t i = 12; i < 16; ++i) EXPECT_TRUE(specs[i].large);
+}
+
+TEST(Batch, LargestFirstPutsLargeAtFront) {
+  const auto specs =
+      make_batch(default_batch(App::kMatMul, sched::SoftwareArch::kFixed),
+                 BatchOrder::kLargestFirst);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(specs[i].large);
+  for (std::size_t i = 4; i < 16; ++i) EXPECT_FALSE(specs[i].large);
+}
+
+TEST(Batch, InterleavedSpreadsLargeEvenly) {
+  const auto specs =
+      make_batch(default_batch(App::kMatMul, sched::SoftwareArch::kFixed),
+                 BatchOrder::kInterleaved);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(specs[i].large, i % 4 == 3) << "position " << i;
+  }
+}
+
+TEST(Batch, SpecsCarryProblemSizes) {
+  const auto specs =
+      make_batch(default_batch(App::kSort, sched::SoftwareArch::kFixed),
+                 BatchOrder::kSmallestFirst);
+  EXPECT_EQ(specs.front().problem_size, 6000u);
+  EXPECT_EQ(specs.back().problem_size, 14000u);
+  EXPECT_LT(specs.front().demand_estimate, specs.back().demand_estimate);
+}
+
+TEST(Batch, CustomCountsRespected) {
+  auto params = default_batch(App::kMatMul, sched::SoftwareArch::kFixed);
+  params.small_count = 3;
+  params.large_count = 2;
+  const auto specs = make_batch(params, BatchOrder::kInterleaved);
+  EXPECT_EQ(specs.size(), 5u);
+  EXPECT_EQ(count_large(specs), 2);
+}
+
+TEST(Batch, UnsetSizesThrow) {
+  BatchParams params;
+  params.small_size = 0;
+  EXPECT_THROW(make_batch(params, BatchOrder::kInterleaved),
+               std::invalid_argument);
+}
+
+TEST(Batch, BuildersProduceRunnablePrograms) {
+  const auto specs =
+      make_batch(default_batch(App::kMatMul, sched::SoftwareArch::kFixed),
+                 BatchOrder::kInterleaved);
+  // Builders must be callable and consistent with the fixed architecture.
+  sched::Job job(1, specs[0]);
+  const auto programs = job.spec().builder(job, 8);
+  EXPECT_EQ(programs.size(), 16u);
+}
+
+}  // namespace
+}  // namespace tmc::workload

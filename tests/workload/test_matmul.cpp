@@ -1,0 +1,138 @@
+#include "workload/matmul.h"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+namespace tmc::workload {
+namespace {
+
+using node::AllocOp;
+using node::ComputeOp;
+using node::ExitOp;
+using node::Program;
+using node::ReceiveOp;
+using node::SendOp;
+using sim::SimTime;
+
+MatMulParams params(std::size_t n, sched::SoftwareArch arch) {
+  MatMulParams p;
+  p.n = n;
+  p.arch = arch;
+  return p;
+}
+
+TEST(MatMul, FixedArchIgnoresPartitionSize) {
+  const auto progs =
+      build_matmul_programs(params(50, sched::SoftwareArch::kFixed), 1, 4);
+  EXPECT_EQ(progs.size(), 16u);
+}
+
+TEST(MatMul, AdaptiveArchMatchesPartitionSize) {
+  const auto progs =
+      build_matmul_programs(params(50, sched::SoftwareArch::kAdaptive), 1, 4);
+  EXPECT_EQ(progs.size(), 4u);
+}
+
+TEST(MatMul, SingleProcessDegeneratesToSerial) {
+  const auto progs =
+      build_matmul_programs(params(50, sched::SoftwareArch::kAdaptive), 1, 1);
+  ASSERT_EQ(progs.size(), 1u);
+  // alloc, compute, exit -- no communication.
+  EXPECT_EQ(progs[0].total_send_bytes(), 0u);
+  EXPECT_EQ(progs[0].total_compute(), matmul_serial_demand(params(50, {})));
+}
+
+TEST(MatMul, TotalComputeEqualsSerialDemand) {
+  for (int partition : {1, 2, 4, 8, 16}) {
+    const auto progs = build_matmul_programs(
+        params(100, sched::SoftwareArch::kAdaptive), 1, partition);
+    SimTime total;
+    for (const auto& prog : progs) total += prog.total_compute();
+    EXPECT_EQ(total, matmul_serial_demand(params(100, {})))
+        << "partition " << partition;
+  }
+}
+
+TEST(MatMul, WorkDistributionIsBalanced) {
+  const auto progs =
+      build_matmul_programs(params(100, sched::SoftwareArch::kFixed), 1, 16);
+  SimTime min_compute = SimTime::max(), max_compute;
+  for (const auto& prog : progs) {
+    min_compute = std::min(min_compute, prog.total_compute());
+    max_compute = std::max(max_compute, prog.total_compute());
+  }
+  // 100 rows over 16 ranks: 6 or 7 rows each.
+  EXPECT_LT(max_compute.to_seconds() / min_compute.to_seconds(), 7.0 / 6.0 + 0.01);
+}
+
+TEST(MatMul, CoordinatorStructure) {
+  const auto progs =
+      build_matmul_programs(params(50, sched::SoftwareArch::kFixed), 7, 16);
+  const Program& coord = progs[0];
+  // alloc, 15 sends, compute, 15 recvs, exit.
+  ASSERT_EQ(coord.size(), 1u + 15u + 1u + 15u + 1u);
+  EXPECT_TRUE(std::holds_alternative<AllocOp>(coord.ops.front()));
+  EXPECT_TRUE(std::holds_alternative<ExitOp>(coord.ops.back()));
+  int sends = 0, recvs = 0;
+  for (const auto& op : coord.ops) {
+    sends += std::holds_alternative<SendOp>(op) ? 1 : 0;
+    recvs += std::holds_alternative<ReceiveOp>(op) ? 1 : 0;
+  }
+  EXPECT_EQ(sends, 15);
+  EXPECT_EQ(recvs, 15);
+}
+
+TEST(MatMul, WorkerStructure) {
+  const auto progs =
+      build_matmul_programs(params(50, sched::SoftwareArch::kFixed), 7, 16);
+  for (std::size_t rank = 1; rank < progs.size(); ++rank) {
+    const Program& w = progs[rank];
+    ASSERT_EQ(w.size(), 5u) << "rank " << rank;
+    EXPECT_TRUE(std::holds_alternative<AllocOp>(w.ops[0]));
+    EXPECT_TRUE(std::holds_alternative<ReceiveOp>(w.ops[1]));
+    EXPECT_TRUE(std::holds_alternative<ComputeOp>(w.ops[2]));
+    EXPECT_TRUE(std::holds_alternative<SendOp>(w.ops[3]));
+    EXPECT_TRUE(std::holds_alternative<ExitOp>(w.ops[4]));
+    // The result goes back to the coordinator's endpoint.
+    EXPECT_EQ(std::get<SendOp>(w.ops[3]).dst, sched::endpoint_of(7, 0));
+  }
+}
+
+TEST(MatMul, BytesSentMatchBytesReceived) {
+  const auto progs =
+      build_matmul_programs(params(100, sched::SoftwareArch::kFixed), 1, 16);
+  // Every worker receives B + its band of A; the coordinator sends exactly
+  // that. Count conservation: total sends by coordinator == sum of worker
+  // parcel sizes, and worker results land at the coordinator.
+  const std::size_t esz = MatMulParams{}.costs.element_bytes;
+  std::size_t coord_sent = progs[0].total_send_bytes();
+  std::size_t workers_sent = 0;
+  for (std::size_t rank = 1; rank < progs.size(); ++rank) {
+    workers_sent += progs[rank].total_send_bytes();
+  }
+  // Workers return the full C matrix minus the coordinator's band.
+  const std::size_t coord_rows = 100 / 16 + 1;  // rank 0 gets a remainder row
+  EXPECT_EQ(workers_sent, (100 - coord_rows) * 100 * esz);
+  // Coordinator ships 15 copies of B plus all A bands except its own.
+  EXPECT_EQ(coord_sent, 15 * 100 * 100 * esz + (100 - coord_rows) * 100 * esz);
+}
+
+TEST(MatMul, DemandScalesCubically) {
+  const auto small = matmul_serial_demand(params(50, {}));
+  const auto large = matmul_serial_demand(params(100, {}));
+  EXPECT_EQ(large.ns(), 8 * small.ns());
+}
+
+TEST(MatMul, JobSpecCarriesMetadata) {
+  const auto spec = make_matmul_job(params(100, sched::SoftwareArch::kAdaptive),
+                                    /*large=*/true);
+  EXPECT_EQ(spec.app, "matmul");
+  EXPECT_EQ(spec.problem_size, 100u);
+  EXPECT_TRUE(spec.large);
+  EXPECT_EQ(spec.arch, sched::SoftwareArch::kAdaptive);
+  EXPECT_EQ(spec.demand_estimate, matmul_serial_demand(params(100, {})));
+}
+
+}  // namespace
+}  // namespace tmc::workload

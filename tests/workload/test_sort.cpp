@@ -1,0 +1,148 @@
+#include "workload/sort.h"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+namespace tmc::workload {
+namespace {
+
+using node::Program;
+using node::ReceiveOp;
+using node::SendOp;
+using sim::SimTime;
+
+SortParams params(std::size_t elements, sched::SoftwareArch arch) {
+  SortParams p;
+  p.elements = elements;
+  p.arch = arch;
+  return p;
+}
+
+TEST(Sort, FixedArchBuildsSixteenProcesses) {
+  const auto progs =
+      build_sort_programs(params(6000, sched::SoftwareArch::kFixed), 1, 4);
+  EXPECT_EQ(progs.size(), 16u);
+}
+
+TEST(Sort, AdaptiveArchRoundsToPowerOfTwo) {
+  EXPECT_EQ(build_sort_programs(params(6000, sched::SoftwareArch::kAdaptive),
+                                1, 8)
+                .size(),
+            8u);
+  // Non-power-of-two partitions round down.
+  EXPECT_EQ(build_sort_programs(params(6000, sched::SoftwareArch::kAdaptive),
+                                1, 6)
+                .size(),
+            4u);
+}
+
+TEST(Sort, SingleProcessSortsEverythingSerially) {
+  const auto progs =
+      build_sort_programs(params(1000, sched::SoftwareArch::kAdaptive), 1, 1);
+  ASSERT_EQ(progs.size(), 1u);
+  EXPECT_EQ(progs[0].total_send_bytes(), 0u);
+  EXPECT_EQ(progs[0].total_compute(), sort_serial_demand(params(1000, {})));
+}
+
+TEST(Sort, EveryNonRootReceivesWorkExactlyOnce) {
+  const auto progs =
+      build_sort_programs(params(6000, sched::SoftwareArch::kFixed), 3, 16);
+  for (std::size_t rank = 1; rank < progs.size(); ++rank) {
+    int work_recvs = 0;
+    for (const auto& op : progs[rank].ops) {
+      if (const auto* recv = std::get_if<ReceiveOp>(&op)) {
+        if (recv->tag == 1000 + static_cast<int>(rank)) ++work_recvs;
+      }
+    }
+    EXPECT_EQ(work_recvs, 1) << "rank " << rank;
+  }
+}
+
+TEST(Sort, EveryNonRootReturnsResultToItsParent) {
+  const auto progs =
+      build_sort_programs(params(6000, sched::SoftwareArch::kFixed), 3, 16);
+  // The last send of each non-root rank is its sorted segment, addressed to
+  // the parent that spawned it; the root never sends results.
+  EXPECT_EQ(progs[0].total_send_bytes(),
+            progs[0].total_send_bytes());  // root sends only work parcels
+  for (std::size_t rank = 1; rank < progs.size(); ++rank) {
+    const SendOp* last_send = nullptr;
+    for (const auto& op : progs[rank].ops) {
+      if (const auto* send = std::get_if<SendOp>(&op)) last_send = send;
+    }
+    ASSERT_NE(last_send, nullptr) << "rank " << rank;
+    EXPECT_EQ(last_send->tag, 2000 + static_cast<int>(rank));
+  }
+}
+
+TEST(Sort, SegmentsPartitionTheArray) {
+  // The bytes sent down the tree at each level halve the segments; what
+  // every leaf sorts must sum to the whole array. We verify via conservation:
+  // total result bytes returned to the root's merge chain equals the shipped
+  // bytes (every shipped element comes back sorted).
+  const auto p = params(6000, sched::SoftwareArch::kFixed);
+  const auto progs = build_sort_programs(p, 3, 16);
+  const std::size_t esz = p.costs.element_bytes;
+  std::size_t work_bytes = 0, result_bytes = 0;
+  for (const auto& prog : progs) {
+    for (const auto& op : prog.ops) {
+      if (const auto* send = std::get_if<SendOp>(&op)) {
+        (send->tag < 2000 ? work_bytes : result_bytes) += send->bytes;
+      }
+    }
+  }
+  EXPECT_EQ(work_bytes, result_bytes);
+  EXPECT_GT(work_bytes / esz, 0u);
+}
+
+TEST(Sort, TotalComputeShrinksWithMoreProcesses) {
+  // Selection sort is O(n^2): 16 chunks of n/16 cost ~1/16 of one chunk of
+  // n -- the effect behind the paper's section 5.3.
+  const auto serial =
+      build_sort_programs(params(6400, sched::SoftwareArch::kAdaptive), 1, 1);
+  const auto wide =
+      build_sort_programs(params(6400, sched::SoftwareArch::kAdaptive), 1, 16);
+  SimTime serial_total, wide_total;
+  for (const auto& prog : serial) serial_total += prog.total_compute();
+  for (const auto& prog : wide) wide_total += prog.total_compute();
+  EXPECT_LT(wide_total.to_seconds(), serial_total.to_seconds() / 8.0);
+}
+
+TEST(Sort, DemandScalesQuadratically) {
+  const auto small = sort_serial_demand(params(6000, {}));
+  const auto large = sort_serial_demand(params(12000, {}));
+  const double ratio =
+      static_cast<double>(large.ns()) / static_cast<double>(small.ns());
+  EXPECT_NEAR(ratio, 4.0, 0.01);
+}
+
+TEST(Sort, RootStructureBeginsWithAllocEndsWithExit) {
+  const auto progs =
+      build_sort_programs(params(6000, sched::SoftwareArch::kFixed), 1, 16);
+  for (const auto& prog : progs) {
+    EXPECT_TRUE(std::holds_alternative<node::AllocOp>(prog.ops.front()));
+    EXPECT_TRUE(std::holds_alternative<node::ExitOp>(prog.ops.back()));
+  }
+}
+
+TEST(Sort, RootMergesOncePerLevel) {
+  const auto progs =
+      build_sort_programs(params(6000, sched::SoftwareArch::kFixed), 1, 16);
+  int root_recvs = 0;
+  for (const auto& op : progs[0].ops) {
+    root_recvs += std::holds_alternative<ReceiveOp>(op) ? 1 : 0;
+  }
+  EXPECT_EQ(root_recvs, 4);  // log2(16) children over the levels
+}
+
+TEST(Sort, JobSpecCarriesMetadata) {
+  const auto spec =
+      make_sort_job(params(14000, sched::SoftwareArch::kFixed), true);
+  EXPECT_EQ(spec.app, "sort");
+  EXPECT_EQ(spec.problem_size, 14000u);
+  EXPECT_TRUE(spec.large);
+}
+
+}  // namespace
+}  // namespace tmc::workload

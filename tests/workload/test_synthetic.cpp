@@ -1,0 +1,113 @@
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tmc::workload {
+namespace {
+
+using sim::SimTime;
+
+TEST(Synthetic, JobHasForkJoinShape) {
+  SyntheticParams params;
+  params.fixed_processes = 8;
+  const auto spec = make_synthetic_job(params, SimTime::seconds(8));
+  sched::Job job(1, spec);
+  const auto programs = spec.builder(job, 4);
+  ASSERT_EQ(programs.size(), 8u);  // fixed arch
+  // Demand split evenly across ranks.
+  for (const auto& prog : programs) {
+    EXPECT_EQ(prog.total_compute(), SimTime::seconds(1));
+  }
+}
+
+TEST(Synthetic, AdaptiveWidthFollowsPartition) {
+  SyntheticParams params;
+  params.arch = sched::SoftwareArch::kAdaptive;
+  const auto spec = make_synthetic_job(params, SimTime::seconds(4));
+  sched::Job job(1, spec);
+  EXPECT_EQ(spec.builder(job, 2).size(), 2u);
+  EXPECT_EQ(spec.builder(job, 16).size(), 16u);
+}
+
+TEST(Synthetic, DemandEstimateEqualsDrawnDemand) {
+  SyntheticParams params;
+  const auto spec = make_synthetic_job(params, SimTime::seconds(7));
+  EXPECT_EQ(spec.demand_estimate, SimTime::seconds(7));
+}
+
+TEST(Synthetic, BatchMeanTracksConfiguredMean) {
+  SyntheticParams params;
+  params.mean_demand = SimTime::seconds(4);
+  params.cv = 2.0;
+  sim::Rng rng(99);
+  const auto specs = make_synthetic_batch(params, 4000, rng);
+  double sum = 0;
+  for (const auto& spec : specs) sum += spec.demand_estimate.to_seconds();
+  EXPECT_NEAR(sum / 4000.0, 4.0, 0.3);
+}
+
+TEST(Synthetic, BatchCvTracksConfiguredCv) {
+  SyntheticParams params;
+  params.mean_demand = SimTime::seconds(4);
+  params.cv = 3.0;
+  sim::Rng rng(7);
+  const auto specs = make_synthetic_batch(params, 20000, rng);
+  double sum = 0, sq = 0;
+  for (const auto& spec : specs) {
+    const double d = spec.demand_estimate.to_seconds();
+    sum += d;
+    sq += d * d;
+  }
+  const double mean = sum / 20000.0;
+  const double var = sq / 20000.0 - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 3.0, 0.3);
+}
+
+TEST(Synthetic, ZeroCvIsDeterministic) {
+  SyntheticParams params;
+  params.mean_demand = SimTime::seconds(2);
+  params.cv = 0.0;
+  sim::Rng rng(1);
+  const auto specs = make_synthetic_batch(params, 10, rng);
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.demand_estimate, SimTime::seconds(2));
+  }
+}
+
+TEST(Synthetic, LowCvUsesTwoPointMix) {
+  SyntheticParams params;
+  params.mean_demand = SimTime::seconds(2);
+  params.cv = 0.5;
+  sim::Rng rng(1);
+  const auto specs = make_synthetic_batch(params, 1000, rng);
+  for (const auto& spec : specs) {
+    const double d = spec.demand_estimate.to_seconds();
+    EXPECT_TRUE(std::abs(d - 1.0) < 1e-9 || std::abs(d - 3.0) < 1e-9)
+        << d;
+  }
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SyntheticParams params;
+  params.cv = 2.0;
+  sim::Rng a(5), b(5);
+  const auto sa = make_synthetic_batch(params, 50, a);
+  const auto sb = make_synthetic_batch(params, 50, b);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(sa[i].demand_estimate, sb[i].demand_estimate);
+  }
+}
+
+TEST(Synthetic, LargeFlagMarksAboveMeanJobs) {
+  SyntheticParams params;
+  params.mean_demand = SimTime::seconds(4);
+  const auto big = make_synthetic_job(params, SimTime::seconds(10));
+  const auto small = make_synthetic_job(params, SimTime::seconds(1));
+  EXPECT_TRUE(big.large);
+  EXPECT_FALSE(small.large);
+}
+
+}  // namespace
+}  // namespace tmc::workload
