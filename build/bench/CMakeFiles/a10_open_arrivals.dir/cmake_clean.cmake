@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a10_open_arrivals.dir/a10_open_arrivals.cpp.o"
+  "CMakeFiles/a10_open_arrivals.dir/a10_open_arrivals.cpp.o.d"
+  "a10_open_arrivals"
+  "a10_open_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a10_open_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a11_packetization.dir/a11_packetization.cpp.o"
+  "CMakeFiles/a11_packetization.dir/a11_packetization.cpp.o.d"
+  "a11_packetization"
+  "a11_packetization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a11_packetization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for a11_packetization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a1_variance.dir/a1_variance.cpp.o"
+  "CMakeFiles/a1_variance.dir/a1_variance.cpp.o.d"
+  "a1_variance"
+  "a1_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a1_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

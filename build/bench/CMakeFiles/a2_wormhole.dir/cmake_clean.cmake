@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a2_wormhole.dir/a2_wormhole.cpp.o"
+  "CMakeFiles/a2_wormhole.dir/a2_wormhole.cpp.o.d"
+  "a2_wormhole"
+  "a2_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a2_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a3_setsize.dir/a3_setsize.cpp.o"
+  "CMakeFiles/a3_setsize.dir/a3_setsize.cpp.o.d"
+  "a3_setsize"
+  "a3_setsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a3_setsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

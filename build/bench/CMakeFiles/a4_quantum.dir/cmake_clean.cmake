@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a4_quantum.dir/a4_quantum.cpp.o"
+  "CMakeFiles/a4_quantum.dir/a4_quantum.cpp.o.d"
+  "a4_quantum"
+  "a4_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a4_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

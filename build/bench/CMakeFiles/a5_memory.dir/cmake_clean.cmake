@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a5_memory.dir/a5_memory.cpp.o"
+  "CMakeFiles/a5_memory.dir/a5_memory.cpp.o.d"
+  "a5_memory"
+  "a5_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a5_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a6_ordering.dir/a6_ordering.cpp.o"
+  "CMakeFiles/a6_ordering.dir/a6_ordering.cpp.o.d"
+  "a6_ordering"
+  "a6_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a6_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a7_coscheduling.dir/a7_coscheduling.cpp.o"
+  "CMakeFiles/a7_coscheduling.dir/a7_coscheduling.cpp.o.d"
+  "a7_coscheduling"
+  "a7_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a7_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

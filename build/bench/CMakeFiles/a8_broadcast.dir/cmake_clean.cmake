@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a8_broadcast.dir/a8_broadcast.cpp.o"
+  "CMakeFiles/a8_broadcast.dir/a8_broadcast.cpp.o.d"
+  "a8_broadcast"
+  "a8_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a8_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

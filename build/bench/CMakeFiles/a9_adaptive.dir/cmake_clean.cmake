@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a9_adaptive.dir/a9_adaptive.cpp.o"
+  "CMakeFiles/a9_adaptive.dir/a9_adaptive.cpp.o.d"
+  "a9_adaptive"
+  "a9_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a9_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

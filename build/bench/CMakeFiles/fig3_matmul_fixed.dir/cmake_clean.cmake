@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_matmul_fixed.dir/fig3_matmul_fixed.cpp.o"
+  "CMakeFiles/fig3_matmul_fixed.dir/fig3_matmul_fixed.cpp.o.d"
+  "fig3_matmul_fixed"
+  "fig3_matmul_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_matmul_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matmul_adaptive.dir/fig4_matmul_adaptive.cpp.o"
+  "CMakeFiles/fig4_matmul_adaptive.dir/fig4_matmul_adaptive.cpp.o.d"
+  "fig4_matmul_adaptive"
+  "fig4_matmul_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matmul_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sort_fixed.dir/fig5_sort_fixed.cpp.o"
+  "CMakeFiles/fig5_sort_fixed.dir/fig5_sort_fixed.cpp.o.d"
+  "fig5_sort_fixed"
+  "fig5_sort_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sort_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

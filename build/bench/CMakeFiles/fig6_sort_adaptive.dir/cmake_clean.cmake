@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sort_adaptive.dir/fig6_sort_adaptive.cpp.o"
+  "CMakeFiles/fig6_sort_adaptive.dir/fig6_sort_adaptive.cpp.o.d"
+  "fig6_sort_adaptive"
+  "fig6_sort_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sort_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

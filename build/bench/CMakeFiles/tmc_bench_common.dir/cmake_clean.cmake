@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/tmc_bench_common.dir/figure_common.cpp.o.d"
+  "libtmc_bench_common.a"
+  "libtmc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

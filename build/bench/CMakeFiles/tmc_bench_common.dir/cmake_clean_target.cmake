@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmc_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_study.dir/matmul_study.cpp.o"
+  "CMakeFiles/matmul_study.dir/matmul_study.cpp.o.d"
+  "matmul_study"
+  "matmul_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_study.dir/sort_study.cpp.o"
+  "CMakeFiles/sort_study.dir/sort_study.cpp.o.d"
+  "sort_study"
+  "sort_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

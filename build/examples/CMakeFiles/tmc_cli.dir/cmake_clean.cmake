@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_cli.dir/tmc_cli.cpp.o"
+  "CMakeFiles/tmc_cli.dir/tmc_cli.cpp.o.d"
+  "tmc_cli"
+  "tmc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_core.dir/experiment.cpp.o"
+  "CMakeFiles/tmc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/tmc_core.dir/machine.cpp.o"
+  "CMakeFiles/tmc_core.dir/machine.cpp.o.d"
+  "CMakeFiles/tmc_core.dir/open_arrivals.cpp.o"
+  "CMakeFiles/tmc_core.dir/open_arrivals.cpp.o.d"
+  "CMakeFiles/tmc_core.dir/report.cpp.o"
+  "CMakeFiles/tmc_core.dir/report.cpp.o.d"
+  "libtmc_core.a"
+  "libtmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

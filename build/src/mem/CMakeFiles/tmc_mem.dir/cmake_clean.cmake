@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_mem.dir/mmu.cpp.o"
+  "CMakeFiles/tmc_mem.dir/mmu.cpp.o.d"
+  "libtmc_mem.a"
+  "libtmc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmc_mem.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_net.dir/network.cpp.o"
+  "CMakeFiles/tmc_net.dir/network.cpp.o.d"
+  "CMakeFiles/tmc_net.dir/routing.cpp.o"
+  "CMakeFiles/tmc_net.dir/routing.cpp.o.d"
+  "CMakeFiles/tmc_net.dir/topology.cpp.o"
+  "CMakeFiles/tmc_net.dir/topology.cpp.o.d"
+  "libtmc_net.a"
+  "libtmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

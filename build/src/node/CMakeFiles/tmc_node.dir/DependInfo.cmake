@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/comm.cpp" "src/node/CMakeFiles/tmc_node.dir/comm.cpp.o" "gcc" "src/node/CMakeFiles/tmc_node.dir/comm.cpp.o.d"
+  "/root/repo/src/node/transputer.cpp" "src/node/CMakeFiles/tmc_node.dir/transputer.cpp.o" "gcc" "src/node/CMakeFiles/tmc_node.dir/transputer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tmc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

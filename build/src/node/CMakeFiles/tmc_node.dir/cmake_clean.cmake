@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_node.dir/comm.cpp.o"
+  "CMakeFiles/tmc_node.dir/comm.cpp.o.d"
+  "CMakeFiles/tmc_node.dir/transputer.cpp.o"
+  "CMakeFiles/tmc_node.dir/transputer.cpp.o.d"
+  "libtmc_node.a"
+  "libtmc_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive_scheduler.cpp" "src/sched/CMakeFiles/tmc_sched.dir/adaptive_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tmc_sched.dir/adaptive_scheduler.cpp.o.d"
+  "/root/repo/src/sched/buddy.cpp" "src/sched/CMakeFiles/tmc_sched.dir/buddy.cpp.o" "gcc" "src/sched/CMakeFiles/tmc_sched.dir/buddy.cpp.o.d"
+  "/root/repo/src/sched/partition_scheduler.cpp" "src/sched/CMakeFiles/tmc_sched.dir/partition_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tmc_sched.dir/partition_scheduler.cpp.o.d"
+  "/root/repo/src/sched/super_scheduler.cpp" "src/sched/CMakeFiles/tmc_sched.dir/super_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/tmc_sched.dir/super_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/node/CMakeFiles/tmc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

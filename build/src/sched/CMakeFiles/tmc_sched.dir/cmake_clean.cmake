@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_sched.dir/adaptive_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched.dir/adaptive_scheduler.cpp.o.d"
+  "CMakeFiles/tmc_sched.dir/buddy.cpp.o"
+  "CMakeFiles/tmc_sched.dir/buddy.cpp.o.d"
+  "CMakeFiles/tmc_sched.dir/partition_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched.dir/partition_scheduler.cpp.o.d"
+  "CMakeFiles/tmc_sched.dir/super_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched.dir/super_scheduler.cpp.o.d"
+  "libtmc_sched.a"
+  "libtmc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/tmc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tmc_sim.dir/rng.cpp.o"
+  "CMakeFiles/tmc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/tmc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/tmc_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/tmc_sim.dir/stats.cpp.o"
+  "CMakeFiles/tmc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/tmc_sim.dir/trace.cpp.o"
+  "CMakeFiles/tmc_sim.dir/trace.cpp.o.d"
+  "libtmc_sim.a"
+  "libtmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_workload.dir/batch.cpp.o"
+  "CMakeFiles/tmc_workload.dir/batch.cpp.o.d"
+  "CMakeFiles/tmc_workload.dir/matmul.cpp.o"
+  "CMakeFiles/tmc_workload.dir/matmul.cpp.o.d"
+  "CMakeFiles/tmc_workload.dir/random_workload.cpp.o"
+  "CMakeFiles/tmc_workload.dir/random_workload.cpp.o.d"
+  "CMakeFiles/tmc_workload.dir/sort.cpp.o"
+  "CMakeFiles/tmc_workload.dir/sort.cpp.o.d"
+  "CMakeFiles/tmc_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/tmc_workload.dir/synthetic.cpp.o.d"
+  "libtmc_workload.a"
+  "libtmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_core_tests.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/tmc_core_tests.dir/core/test_invariants.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_invariants.cpp.o.d"
+  "CMakeFiles/tmc_core_tests.dir/core/test_machine.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_machine.cpp.o.d"
+  "CMakeFiles/tmc_core_tests.dir/core/test_open_arrivals.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_open_arrivals.cpp.o.d"
+  "CMakeFiles/tmc_core_tests.dir/core/test_random_workloads.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_random_workloads.cpp.o.d"
+  "CMakeFiles/tmc_core_tests.dir/core/test_report.cpp.o"
+  "CMakeFiles/tmc_core_tests.dir/core/test_report.cpp.o.d"
+  "tmc_core_tests"
+  "tmc_core_tests.pdb"
+  "tmc_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

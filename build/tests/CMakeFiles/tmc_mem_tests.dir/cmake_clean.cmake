@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_mem_tests.dir/mem/test_mmu.cpp.o"
+  "CMakeFiles/tmc_mem_tests.dir/mem/test_mmu.cpp.o.d"
+  "tmc_mem_tests"
+  "tmc_mem_tests.pdb"
+  "tmc_mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_fragmentation.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_fragmentation.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_fragmentation.cpp.o.d"
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_network.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_network.cpp.o.d"
+  "/root/repo/tests/net/test_progress_gate.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_progress_gate.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_progress_gate.cpp.o.d"
+  "/root/repo/tests/net/test_routing.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_routing.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_routing.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/tmc_net_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/tmc_net_tests.dir/net/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tmc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

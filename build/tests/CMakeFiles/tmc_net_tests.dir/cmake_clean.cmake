@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_net_tests.dir/net/test_fragmentation.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_fragmentation.cpp.o.d"
+  "CMakeFiles/tmc_net_tests.dir/net/test_link.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_link.cpp.o.d"
+  "CMakeFiles/tmc_net_tests.dir/net/test_network.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_network.cpp.o.d"
+  "CMakeFiles/tmc_net_tests.dir/net/test_progress_gate.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_progress_gate.cpp.o.d"
+  "CMakeFiles/tmc_net_tests.dir/net/test_routing.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_routing.cpp.o.d"
+  "CMakeFiles/tmc_net_tests.dir/net/test_topology.cpp.o"
+  "CMakeFiles/tmc_net_tests.dir/net/test_topology.cpp.o.d"
+  "tmc_net_tests"
+  "tmc_net_tests.pdb"
+  "tmc_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

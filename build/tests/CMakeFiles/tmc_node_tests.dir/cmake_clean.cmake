@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_node_tests.dir/node/test_comm.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_comm.cpp.o.d"
+  "CMakeFiles/tmc_node_tests.dir/node/test_gang.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_gang.cpp.o.d"
+  "CMakeFiles/tmc_node_tests.dir/node/test_mailbox.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_mailbox.cpp.o.d"
+  "CMakeFiles/tmc_node_tests.dir/node/test_program.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_program.cpp.o.d"
+  "CMakeFiles/tmc_node_tests.dir/node/test_service_domain.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_service_domain.cpp.o.d"
+  "CMakeFiles/tmc_node_tests.dir/node/test_transputer.cpp.o"
+  "CMakeFiles/tmc_node_tests.dir/node/test_transputer.cpp.o.d"
+  "tmc_node_tests"
+  "tmc_node_tests.pdb"
+  "tmc_node_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_node_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

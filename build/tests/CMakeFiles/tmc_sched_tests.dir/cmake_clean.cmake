@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_adaptive_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_adaptive_scheduler.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_buddy.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_buddy.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_gang_rotation.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_gang_rotation.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_partition.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_partition.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_partition_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_partition_scheduler.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_policy.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_policy.cpp.o.d"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_super_scheduler.cpp.o"
+  "CMakeFiles/tmc_sched_tests.dir/sched/test_super_scheduler.cpp.o.d"
+  "tmc_sched_tests"
+  "tmc_sched_tests.pdb"
+  "tmc_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

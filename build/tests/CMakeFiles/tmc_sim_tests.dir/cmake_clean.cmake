@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_rng.cpp.o.d"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_simulation.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_simulation.cpp.o.d"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_time.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_time.cpp.o.d"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_unique_function.cpp.o"
+  "CMakeFiles/tmc_sim_tests.dir/sim/test_unique_function.cpp.o.d"
+  "tmc_sim_tests"
+  "tmc_sim_tests.pdb"
+  "tmc_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

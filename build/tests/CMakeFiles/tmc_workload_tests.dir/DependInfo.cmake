@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_batch.cpp" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_batch.cpp.o" "gcc" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_batch.cpp.o.d"
+  "/root/repo/tests/workload/test_matmul.cpp" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_matmul.cpp.o" "gcc" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_matmul.cpp.o.d"
+  "/root/repo/tests/workload/test_sort.cpp" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_sort.cpp.o" "gcc" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_sort.cpp.o.d"
+  "/root/repo/tests/workload/test_synthetic.cpp" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/tmc_workload_tests.dir/workload/test_synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tmc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/tmc_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tmc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

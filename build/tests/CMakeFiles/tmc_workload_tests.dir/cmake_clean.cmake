@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_batch.cpp.o"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_batch.cpp.o.d"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_matmul.cpp.o"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_matmul.cpp.o.d"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_sort.cpp.o"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_sort.cpp.o.d"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_synthetic.cpp.o"
+  "CMakeFiles/tmc_workload_tests.dir/workload/test_synthetic.cpp.o.d"
+  "tmc_workload_tests"
+  "tmc_workload_tests.pdb"
+  "tmc_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmc_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tmc_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_node_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmc_core_tests[1]_include.cmake")
