@@ -9,6 +9,8 @@
 
 #include "core/open_arrivals.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -33,12 +35,14 @@ core::OpenArrivalConfig make_config(sched::PolicyKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A10: open Poisson arrivals, matmul mix (75% small / "
                "25% large),\nmean response over 96 measured jobs (16 warm-up) "
                "x 3 seeds; partition size 4.\n";
 
+  core::SweepRunner runner(threads);
   core::Table table({"arrivals/s", "offered load", "static (s)", "hybrid (s)",
                      "adaptive (s)"});
   for (const double rate : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
@@ -48,16 +52,18 @@ int main() {
                                        sched::PolicyKind::kHybrid,
                                        sched::PolicyKind::kAdaptiveStatic};
     for (int k = 0; k < 3; ++k) {
+      // The three seeded replications of one stream run in parallel;
+      // a nullopt replication means the stream outran the policy.
+      const auto replications = core::run_open_arrival_replications(
+          make_config(kinds[k], rate, /*seed=*/1), 3, runner);
       sim::OnlineStats over_seeds;
       bool saturated = false;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        try {
-          const auto run =
-              core::run_open_arrivals(make_config(kinds[k], rate, seed));
-          over_seeds.add(run.response_all.mean());
-          load = run.offered_load;
-        } catch (const std::runtime_error&) {
-          saturated = true;  // stream outran the policy: unstable
+      for (const auto& run : replications) {
+        if (run) {
+          over_seeds.add(run->response_all.mean());
+          load = run->offered_load;
+        } else {
+          saturated = true;
         }
       }
       cells[k] = saturated ? "unstable" : core::fmt_seconds(over_seeds.mean());

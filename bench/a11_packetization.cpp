@@ -8,9 +8,12 @@
 // hardware of A2. This bench sweeps the packet size on the
 // communication-heavy matmul batch.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -27,27 +30,46 @@ double run_point(sched::PolicyKind kind, net::TopologyKind topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A11: store-and-forward packet-size sweep\n"
                "(matmul batch, adaptive architecture, one 16-node "
                "partition; 0 = whole messages)\n";
 
+  const std::vector<std::size_t> packets = {0, 1024, 4096, 16384};
+  // Column order within each row: static 16L, TS 16L, static 16M, TS 16M.
+  struct Cell {
+    sched::PolicyKind kind;
+    net::TopologyKind topo;
+  };
+  constexpr Cell kCells[] = {
+      {sched::PolicyKind::kStatic, net::TopologyKind::kLinear},
+      {sched::PolicyKind::kTimeSharing, net::TopologyKind::kLinear},
+      {sched::PolicyKind::kStatic, net::TopologyKind::kMesh},
+      {sched::PolicyKind::kTimeSharing, net::TopologyKind::kMesh}};
+
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto mrts = runner.map(
+      packets.size() * 4,
+      [&](std::size_t i) {
+        const auto& cell = kCells[i % 4];
+        return run_point(cell.kind, cell.topo, packets[i / 4]);
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+
   core::Table table({"packet (B)", "static 16L (s)", "TS 16L (s)",
                      "static 16M (s)", "TS 16M (s)"});
-  for (const std::size_t pkt : {std::size_t{0}, std::size_t{1024},
-                                std::size_t{4096}, std::size_t{16384}}) {
-    table.add_row(
-        {pkt == 0 ? "whole" : std::to_string(pkt),
-         core::fmt_seconds(run_point(sched::PolicyKind::kStatic,
-                                     net::TopologyKind::kLinear, pkt)),
-         core::fmt_seconds(run_point(sched::PolicyKind::kTimeSharing,
-                                     net::TopologyKind::kLinear, pkt)),
-         core::fmt_seconds(run_point(sched::PolicyKind::kStatic,
-                                     net::TopologyKind::kMesh, pkt)),
-         core::fmt_seconds(run_point(sched::PolicyKind::kTimeSharing,
-                                     net::TopologyKind::kMesh, pkt))});
-    std::cout << "." << std::flush;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const std::size_t pkt = packets[i];
+    table.add_row({pkt == 0 ? "whole" : std::to_string(pkt),
+                   core::fmt_seconds(mrts[i * 4]),
+                   core::fmt_seconds(mrts[i * 4 + 1]),
+                   core::fmt_seconds(mrts[i * 4 + 2]),
+                   core::fmt_seconds(mrts[i * 4 + 3])});
   }
   std::cout << "\n";
   table.print(std::cout);

@@ -13,6 +13,8 @@
 
 #include "core/machine.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 #include "sim/rng.h"
 #include "workload/synthetic.h"
 
@@ -50,24 +52,60 @@ double run_policy(sched::PolicyKind kind, int partition, double cv,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A1: mean response vs service-demand variance\n"
                "(synthetic fork/join batch of 16 jobs, mean demand 4 s, "
                "mesh,\n5 seeded replications per point; static FCFS vs "
                "time-sharing)\n";
 
-  for (const int partition : {4, 16}) {
+  // Every (policy, partition, cv, seed) point is an independent simulation;
+  // flatten the grid and farm it, then fold results back in grid order so
+  // the tables are identical at any thread count.
+  struct Point {
+    sched::PolicyKind kind;
+    int partition;
+    double cv;
+    std::uint64_t seed;
+  };
+  constexpr int kPartitions[] = {4, 16};
+  constexpr double kCvs[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+  constexpr std::uint64_t kSeeds = 5;
+  std::vector<Point> points;
+  for (const int partition : kPartitions) {
+    const auto ts_kind = partition == 16 ? sched::PolicyKind::kTimeSharing
+                                         : sched::PolicyKind::kHybrid;
+    for (const double cv : kCvs) {
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        points.push_back({sched::PolicyKind::kStatic, partition, cv, seed});
+        points.push_back({ts_kind, partition, cv, seed});
+      }
+    }
+  }
+
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto mrts = runner.map(
+      points.size(),
+      [&](std::size_t i) {
+        const auto& pt = points[i];
+        return run_policy(pt.kind, pt.partition, pt.cv, pt.seed);
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+  std::cout << "\n";
+
+  std::size_t next = 0;
+  for (const int partition : kPartitions) {
     std::cout << "\n-- partition size " << partition << " --\n";
     core::Table table({"cv", "static MRT (s)", "+/-", "TS MRT (s)", "+/-",
                        "TS/static"});
-    for (const double cv : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (const double cv : kCvs) {
       sim::OnlineStats stat_static, stat_ts;
-      const auto ts_kind = partition == 16 ? sched::PolicyKind::kTimeSharing
-                                           : sched::PolicyKind::kHybrid;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        stat_static.add(
-            run_policy(sched::PolicyKind::kStatic, partition, cv, seed));
-        stat_ts.add(run_policy(ts_kind, partition, cv, seed));
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        stat_static.add(mrts[next++]);
+        stat_ts.add(mrts[next++]);
       }
       table.add_row({core::fmt_ratio(cv),
                      core::fmt_seconds(stat_static.mean()),
@@ -75,9 +113,7 @@ int main() {
                      core::fmt_seconds(stat_ts.mean()),
                      core::fmt_seconds(stat_ts.ci_half_width()),
                      core::fmt_ratio(stat_ts.mean() / stat_static.mean())});
-      std::cout << "." << std::flush;
     }
-    std::cout << "\n";
     table.print(std::cout);
   }
   std::cout << "\nExpected shape ([2,3]): TS/static ratio falls as cv grows; "

@@ -7,9 +7,12 @@
 // pure time-sharing on one 16-node partition) under both transports and
 // reports the topology spread.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -25,26 +28,38 @@ double run_point(net::TopologyKind topology, bool wormhole) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A2: store-and-forward vs wormhole routing\n"
                "(matmul batch, fixed architecture, pure time-sharing on one "
                "16-node partition)\n";
 
+  const std::vector<net::TopologyKind> topologies = {
+      net::TopologyKind::kLinear, net::TopologyKind::kRing,
+      net::TopologyKind::kMesh};
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto mrts = runner.map(
+      topologies.size() * 2,
+      [&](std::size_t i) {
+        return run_point(topologies[i / 2], /*wormhole=*/i % 2 == 1);
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+
   core::Table table(
       {"topology", "store-fwd MRT (s)", "wormhole MRT (s)", "speedup"});
   double sf_min = 1e300, sf_max = 0, wh_min = 1e300, wh_max = 0;
-  for (const auto topology :
-       {net::TopologyKind::kLinear, net::TopologyKind::kRing,
-        net::TopologyKind::kMesh}) {
-    const double sf = run_point(topology, false);
-    const double wh = run_point(topology, true);
+  for (std::size_t i = 0; i < topologies.size(); ++i) {
+    const double sf = mrts[i * 2];
+    const double wh = mrts[i * 2 + 1];
     sf_min = std::min(sf_min, sf);
     sf_max = std::max(sf_max, sf);
     wh_min = std::min(wh_min, wh);
     wh_max = std::max(wh_max, wh);
-    table.add_row({topology_name(topology), core::fmt_seconds(sf),
+    table.add_row({topology_name(topologies[i]), core::fmt_seconds(sf),
                    core::fmt_seconds(wh), core::fmt_ratio(sf / wh)});
-    std::cout << "." << std::flush;
   }
   std::cout << "\n";
   table.print(std::cout);

@@ -6,35 +6,49 @@
 // degenerates to static space-sharing with time-sliced processes; large set
 // sizes approach the paper's hybrid.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A3: hybrid set-size sweep\n"
                "(matmul batch, adaptive architecture, partition size 4, "
                "mesh)\n";
 
+  const std::vector<int> set_sizes = {1, 2, 4, 8, 16};
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto runs = runner.map(
+      set_sizes.size(),
+      [&](std::size_t i) {
+        auto config =
+            core::figure_point(workload::App::kMatMul,
+                               sched::SoftwareArch::kAdaptive,
+                               sched::PolicyKind::kHybrid, 4,
+                               net::TopologyKind::kMesh);
+        config.machine.policy.set_size = set_sizes[i];
+        return core::run_batch(config, workload::BatchOrder::kInterleaved);
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+
   core::Table table({"set size", "MRT (s)", "small (s)", "large (s)",
                      "peak MPL"});
-  for (const int set_size : {1, 2, 4, 8, 16}) {
-    auto config =
-        core::figure_point(workload::App::kMatMul,
-                           sched::SoftwareArch::kAdaptive,
-                           sched::PolicyKind::kHybrid, 4,
-                           net::TopologyKind::kMesh);
-    config.machine.policy.set_size = set_size;
-    const auto run =
-        core::run_batch(config, workload::BatchOrder::kInterleaved);
+  for (std::size_t i = 0; i < set_sizes.size(); ++i) {
+    const auto& run = runs[i];
     // Peak MPL equals min(set size, jobs per partition) by construction;
     // report the configured bound alongside the measured response.
-    table.add_row({std::to_string(set_size),
+    table.add_row({std::to_string(set_sizes[i]),
                    core::fmt_seconds(run.mean_response_s()),
                    core::fmt_seconds(run.response_small.mean()),
                    core::fmt_seconds(run.response_large.mean()),
-                   std::to_string(std::min(set_size, 4))});
-    std::cout << "." << std::flush;
+                   std::to_string(std::min(set_sizes[i], 4))});
   }
   std::cout << "\n";
   table.print(std::cout);

@@ -5,32 +5,47 @@
 // context switches; large quanta amortise switching but make the policy
 // behave like run-to-completion within each round.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A4: basic quantum sweep (pure time-sharing, matmul "
                "batch,\nfixed architecture, 16-node mesh)\n";
 
+  const std::vector<int> quanta_ms = {5, 10, 20, 50, 100, 200, 500};
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto runs = runner.map(
+      quanta_ms.size(),
+      [&](std::size_t i) {
+        auto config =
+            core::figure_point(workload::App::kMatMul,
+                               sched::SoftwareArch::kFixed,
+                               sched::PolicyKind::kTimeSharing, 16,
+                               net::TopologyKind::kMesh);
+        config.machine.policy.basic_quantum =
+            sim::SimTime::milliseconds(quanta_ms[i]);
+        return core::run_batch(config, workload::BatchOrder::kInterleaved);
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+
   core::Table table({"q (ms)", "MRT (s)", "ctx switches", "quantum expiries",
                      "cpu util"});
-  for (const int q_ms : {5, 10, 20, 50, 100, 200, 500}) {
-    auto config =
-        core::figure_point(workload::App::kMatMul,
-                           sched::SoftwareArch::kFixed,
-                           sched::PolicyKind::kTimeSharing, 16,
-                           net::TopologyKind::kMesh);
-    config.machine.policy.basic_quantum = sim::SimTime::milliseconds(q_ms);
-    const auto run =
-        core::run_batch(config, workload::BatchOrder::kInterleaved);
-    table.add_row({std::to_string(q_ms),
+  for (std::size_t i = 0; i < quanta_ms.size(); ++i) {
+    const auto& run = runs[i];
+    table.add_row({std::to_string(quanta_ms[i]),
                    core::fmt_seconds(run.mean_response_s()),
                    std::to_string(run.machine.context_switches),
                    std::to_string(run.machine.quantum_expiries),
                    core::fmt_ratio(run.machine.avg_cpu_utilization)});
-    std::cout << "." << std::flush;
   }
   std::cout << "\n";
   table.print(std::cout);

@@ -12,9 +12,12 @@
 // implementation (as it says: implementation exposes overheads that
 // simulation studies neglect); this table maps the boundary.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -32,28 +35,41 @@ double ts_point(bool gang, bool rotate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = bench::parse_threads_only(argc, argv);
+
+  // Point 0 is the static yardstick; 1-4 are the TS variants in table order.
+  core::SweepRunner runner(threads);
+  const auto mrts = runner.map(5, [](std::size_t i) {
+    switch (i) {
+      case 0:
+        return core::run_experiment(
+                   core::figure_point(workload::App::kMatMul,
+                                      sched::SoftwareArch::kAdaptive,
+                                      sched::PolicyKind::kStatic, 16,
+                                      net::TopologyKind::kMesh))
+            .mean_response_s;
+      case 1: return ts_point(true, false);
+      case 2: return ts_point(true, true);
+      case 3: return ts_point(false, false);
+      default: return ts_point(false, true);
+    }
+  });
+
   std::cout << "Ablation A7: de-constructing the time-sharing penalty\n"
                "(matmul batch, adaptive architecture, pure TS on one 16-node "
                "mesh; static = "
-            << core::fmt_seconds(
-                   core::run_experiment(
-                       core::figure_point(workload::App::kMatMul,
-                                          sched::SoftwareArch::kAdaptive,
-                                          sched::PolicyKind::kStatic, 16,
-                                          net::TopologyKind::kMesh))
-                       .mean_response_s)
-            << " s)\n";
+            << core::fmt_seconds(mrts[0]) << " s)\n";
 
   core::Table table({"TS variant", "MRT (s)"});
   table.add_row({"paper: gang rotation, stacked rank-0 (default)",
-                 core::fmt_seconds(ts_point(true, false))});
+                 core::fmt_seconds(mrts[1])});
   table.add_row({"gang rotation, rotated placement",
-                 core::fmt_seconds(ts_point(true, true))});
+                 core::fmt_seconds(mrts[2])});
   table.add_row({"uncoordinated sharing, stacked rank-0",
-                 core::fmt_seconds(ts_point(false, false))});
+                 core::fmt_seconds(mrts[3])});
   table.add_row({"uncoordinated sharing, rotated placement",
-                 core::fmt_seconds(ts_point(false, true))});
+                 core::fmt_seconds(mrts[4])});
   table.print(std::cout);
 
   std::cout << "\nExpected shape: the paper-faithful variant is the worst; "

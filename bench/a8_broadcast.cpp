@@ -10,9 +10,12 @@
 // textbook fix; this bench quantifies how much of the static policy's
 // large-partition pain is the algorithm rather than the scheduler.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -30,30 +33,52 @@ core::ExperimentConfig config_for(sched::PolicyKind kind, int partition,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
   using Broadcast = workload::MatMulParams::Broadcast;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A8: point-to-point vs binomial-tree work "
                "distribution\n(matmul batch, adaptive architecture, mesh "
                "partitions)\n";
 
-  core::Table table({"partition", "algorithm", "static MRT (s)",
-                     "TS MRT (s)", "TS/static"});
+  struct Point {
+    int partition;
+    Broadcast bcast;
+    sched::PolicyKind kind;
+  };
+  std::vector<Point> points;
   for (const int p : {4, 8, 16}) {
     for (const auto bcast : {Broadcast::kPointToPoint, Broadcast::kTree}) {
       const auto ts_kind = p == 16 ? sched::PolicyKind::kTimeSharing
                                    : sched::PolicyKind::kHybrid;
-      const double st =
-          core::run_experiment(config_for(sched::PolicyKind::kStatic, p, bcast))
-              .mean_response_s;
-      const double ts =
-          core::run_experiment(config_for(ts_kind, p, bcast)).mean_response_s;
-      table.add_row({std::to_string(p),
-                     bcast == Broadcast::kTree ? "tree" : "point-to-point",
-                     core::fmt_seconds(st), core::fmt_seconds(ts),
-                     core::fmt_ratio(ts / st)});
-      std::cout << "." << std::flush;
+      points.push_back({p, bcast, sched::PolicyKind::kStatic});
+      points.push_back({p, bcast, ts_kind});
     }
+  }
+
+  core::SweepRunner runner(threads);
+  std::size_t dots = 0;
+  const auto mrts = runner.map(
+      points.size(),
+      [&](std::size_t i) {
+        const auto& pt = points[i];
+        return core::run_experiment(config_for(pt.kind, pt.partition, pt.bcast))
+            .mean_response_s;
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+
+  core::Table table({"partition", "algorithm", "static MRT (s)",
+                     "TS MRT (s)", "TS/static"});
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    const double st = mrts[i];
+    const double ts = mrts[i + 1];
+    table.add_row({std::to_string(points[i].partition),
+                   points[i].bcast == Broadcast::kTree ? "tree"
+                                                       : "point-to-point",
+                   core::fmt_seconds(st), core::fmt_seconds(ts),
+                   core::fmt_ratio(ts / st)});
   }
   std::cout << "\n";
   table.print(std::cout);

@@ -8,9 +8,12 @@
 // the interesting question is whether it lands near the best fixed choice
 // without being told the load.
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
 
 namespace {
 
@@ -26,30 +29,53 @@ core::ExperimentConfig adaptive_config(workload::App app,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tmc;
+  const int threads = bench::parse_threads_only(argc, argv);
   std::cout << "Ablation A9: adaptive space-sharing (buddy-allocated, "
                "equipartition target)\nvs fixed static partitions and the "
                "hybrid policy; mesh, 16-job batch.\n";
 
+  const std::vector<int> partitions = {1, 2, 4, 8, 16};
+  core::SweepRunner runner(threads);
   for (const auto app : {workload::App::kMatMul, workload::App::kSort}) {
     const auto arch = sched::SoftwareArch::kAdaptive;
     core::banner(std::cout, std::string(workload::to_string(app)) +
                                 " / adaptive software architecture");
+    // Points 0-4: static per partition size; 5: hybrid; 6: adaptive-static.
+    std::size_t dots = 0;
+    const auto mrts = runner.map(
+        partitions.size() + 2,
+        [&](std::size_t i) {
+          if (i < partitions.size()) {
+            return core::run_experiment(
+                       core::figure_point(app, arch, sched::PolicyKind::kStatic,
+                                          partitions[i],
+                                          net::TopologyKind::kMesh))
+                .mean_response_s;
+          }
+          if (i == partitions.size()) {
+            return core::run_experiment(
+                       core::figure_point(app, arch, sched::PolicyKind::kHybrid,
+                                          4, net::TopologyKind::kMesh))
+                .mean_response_s;
+          }
+          return core::run_experiment(adaptive_config(app, arch))
+              .mean_response_s;
+        },
+        [&](std::size_t done, std::size_t) {
+          for (; dots < done; ++dots) std::cout << "." << std::flush;
+        });
+
     core::Table table({"policy", "MRT (s)"});
-    for (const int p : {1, 2, 4, 8, 16}) {
-      const auto result = core::run_experiment(core::figure_point(
-          app, arch, sched::PolicyKind::kStatic, p, net::TopologyKind::kMesh));
-      table.add_row({"static p=" + std::to_string(p),
-                     core::fmt_seconds(result.mean_response_s)});
-      std::cout << "." << std::flush;
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      table.add_row({"static p=" + std::to_string(partitions[i]),
+                     core::fmt_seconds(mrts[i])});
     }
-    const auto hybrid = core::run_experiment(core::figure_point(
-        app, arch, sched::PolicyKind::kHybrid, 4, net::TopologyKind::kMesh));
-    table.add_row({"hybrid p=4", core::fmt_seconds(hybrid.mean_response_s)});
-    const auto adaptive = core::run_experiment(adaptive_config(app, arch));
+    table.add_row(
+        {"hybrid p=4", core::fmt_seconds(mrts[partitions.size()])});
     table.add_row({"adaptive-static (buddy)",
-                   core::fmt_seconds(adaptive.mean_response_s)});
+                   core::fmt_seconds(mrts[partitions.size() + 1])});
     std::cout << "\n";
     table.print(std::cout);
   }

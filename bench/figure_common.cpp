@@ -1,22 +1,67 @@
 #include "figure_common.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "core/report.h"
+#include "core/sweep_runner.h"
 
 namespace tmc::bench {
 
-FigureOptions parse_figure_options(int argc, char** argv) {
+namespace {
+
+[[noreturn]] void usage(const char* argv0, bool figure_flags, int exit_code) {
+  auto& os = exit_code == 0 ? std::cout : std::cerr;
+  os << "usage: " << argv0 << " [--threads N]";
+  if (figure_flags) os << " [--csv] [--with-16h]";
+  os << " [--help]\n"
+     << "  --threads N  farm sweep points over N worker threads\n"
+     << "               (0 = hardware thread count; output is identical\n"
+     << "               at any thread count). Default 1.\n";
+  if (figure_flags) {
+    os << "  --csv        also emit the table as CSV\n"
+       << "  --with-16h   include the 16-node hypercube the real machine\n"
+       << "               could not wire\n";
+  }
+  std::exit(exit_code);
+}
+
+int parse_thread_value(const char* argv0, bool figure_flags,
+                       const char* value) {
+  if (value == nullptr) usage(argv0, figure_flags, 2);
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) {
+    std::cerr << argv0 << ": --threads expects an integer in [0, 4096], got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
+}
+
+/// Shared strict parser: `figure_flags` enables --csv/--with-16h.
+FigureOptions parse_options(int argc, char** argv, bool figure_flags) {
   FigureOptions options;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
-    if (std::strcmp(argv[i], "--with-16h") == 0) options.with_16h = true;
+    if (figure_flags && std::strcmp(argv[i], "--csv") == 0) {
+      options.csv = true;
+    } else if (figure_flags && std::strcmp(argv[i], "--with-16h") == 0) {
+      options.with_16h = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.threads = parse_thread_value(
+          argv[0], figure_flags, i + 1 < argc ? argv[i + 1] : nullptr);
+      ++i;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0], figure_flags, 0);
+    } else {
+      std::cerr << argv[0] << ": unknown option '" << argv[i] << "'\n";
+      usage(argv[0], figure_flags, 2);
+    }
   }
   return options;
 }
-
-namespace {
 
 constexpr net::TopologyKind kAllTopologies[] = {
     net::TopologyKind::kLinear, net::TopologyKind::kRing,
@@ -24,11 +69,23 @@ constexpr net::TopologyKind kAllTopologies[] = {
 
 }  // namespace
 
+FigureOptions parse_figure_options(int argc, char** argv) {
+  return parse_options(argc, argv, /*figure_flags=*/true);
+}
+
+int parse_threads_only(int argc, char** argv) {
+  return parse_options(argc, argv, /*figure_flags=*/false).threads;
+}
+
 std::vector<FigureRow> run_figure_sweep(workload::App app,
                                         sched::SoftwareArch arch,
                                         const FigureOptions& options,
                                         std::ostream& progress) {
-  std::vector<FigureRow> rows;
+  struct Point {
+    int partition;
+    net::TopologyKind topology;
+  };
+  std::vector<Point> points;
   for (const int p : options.partition_sizes) {
     for (const auto topology : kAllTopologies) {
       if (p == 16 && topology == net::TopologyKind::kHypercube &&
@@ -38,27 +95,37 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
       // With one processor per partition there are no links; the topology
       // letter is meaningless, so emit a single "1" row.
       if (p == 1 && topology != net::TopologyKind::kLinear) continue;
-
-      FigureRow row;
-      row.label = p == 1 ? "1" : std::to_string(p) + net::topology_letter(topology);
-
-      const auto static_result = core::run_experiment(core::figure_point(
-          app, arch, sched::PolicyKind::kStatic, p, topology));
-      row.static_mrt = static_result.mean_response_s;
-      row.static_best = static_result.primary.mean_response_s();
-      row.static_worst = static_result.worst->mean_response_s();
-
-      // The paper's "TS" line: pure time-sharing at p=16, hybrid below.
-      const auto ts_policy = p == 16 ? sched::PolicyKind::kTimeSharing
-                                     : sched::PolicyKind::kHybrid;
-      const auto ts_result = core::run_experiment(
-          core::figure_point(app, arch, ts_policy, p, topology));
-      row.ts_mrt = ts_result.mean_response_s;
-
-      progress << "." << std::flush;
-      rows.push_back(row);
+      points.push_back({p, topology});
     }
   }
+
+  core::SweepRunner runner(options.threads);
+  std::size_t dots = 0;
+  auto rows = runner.map(
+      points.size(),
+      [&](std::size_t i) {
+        const auto [p, topology] = points[i];
+        FigureRow row;
+        row.label =
+            p == 1 ? "1" : std::to_string(p) + net::topology_letter(topology);
+
+        const auto static_result = core::run_experiment(core::figure_point(
+            app, arch, sched::PolicyKind::kStatic, p, topology));
+        row.static_mrt = static_result.mean_response_s;
+        row.static_best = static_result.primary.mean_response_s();
+        row.static_worst = static_result.worst->mean_response_s();
+
+        // The paper's "TS" line: pure time-sharing at p=16, hybrid below.
+        const auto ts_policy = p == 16 ? sched::PolicyKind::kTimeSharing
+                                       : sched::PolicyKind::kHybrid;
+        const auto ts_result = core::run_experiment(
+            core::figure_point(app, arch, ts_policy, p, topology));
+        row.ts_mrt = ts_result.mean_response_s;
+        return row;
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) progress << "." << std::flush;
+      });
   progress << "\n";
   return rows;
 }

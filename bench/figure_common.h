@@ -20,12 +20,21 @@ struct FigureOptions {
   bool with_16h = false;
   /// Also emit CSV after the table.
   bool csv = false;
+  /// Worker threads for the sweep (0 = hardware thread count). The table is
+  /// bit-identical at any thread count; only wall-clock changes.
+  int threads = 1;
   /// Partition sizes to sweep.
   std::vector<int> partition_sizes{1, 2, 4, 8, 16};
 };
 
-/// Parses --csv / --with-16h flags (used by every figure bench binary).
+/// Parses --csv / --with-16h / --threads N (used by every figure bench
+/// binary). Unknown flags or bad values print a usage message and exit
+/// with code 2; --help exits 0.
 [[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv);
+
+/// Parser for the ablation benches, which take only --threads N (same
+/// validation and exit conventions as parse_figure_options).
+[[nodiscard]] int parse_threads_only(int argc, char** argv);
 
 struct FigureRow {
   std::string label;        // e.g. "8L"
@@ -35,7 +44,8 @@ struct FigureRow {
   double static_worst = 0.0;
 };
 
-/// Runs the full sweep for one application/architecture combination.
+/// Runs the full sweep for one application/architecture combination,
+/// farming the independent figure points across options.threads.
 [[nodiscard]] std::vector<FigureRow> run_figure_sweep(
     workload::App app, sched::SoftwareArch arch, const FigureOptions& options,
     std::ostream& progress);

@@ -34,6 +34,45 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(256)->Arg(4096);
 
+void BM_EventQueueScheduleAndCancel(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          queue.schedule(sim::SimTime::nanoseconds((i * 7919) % 1000), [] {});
+    }
+    // Cancel in reverse so the free list exercises slot reuse patterns.
+    for (int i = batch; i-- > 0;) {
+      benchmark::DoNotOptimize(queue.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_EventQueueScheduleAndCancel)->Arg(256)->Arg(4096);
+
+void BM_EventQueueHoldModel(benchmark::State& state) {
+  // The classic "hold" workload: a full queue in steady state, each pop
+  // immediately rescheduled at a later pseudo-random time. This is the
+  // shape of a running simulation (timers, link frees, quantum expiries).
+  const auto population = static_cast<int>(state.range(0));
+  sim::EventQueue queue;
+  for (int i = 0; i < population; ++i) {
+    queue.schedule(sim::SimTime::nanoseconds((i * 7919) % 4096), [] {});
+  }
+  std::uint64_t hash = 12345;
+  for (auto _ : state) {
+    auto fired = queue.pop();
+    hash = hash * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto delay = static_cast<std::int64_t>(hash >> 52) + 1;
+    queue.schedule(fired.time + sim::SimTime::nanoseconds(delay),
+                   std::move(fired.callback));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueHoldModel)->Arg(64)->Arg(1024)->Arg(16384);
+
 void BM_SimulationEventChain(benchmark::State& state) {
   const auto depth = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
@@ -52,6 +91,43 @@ void BM_SimulationEventChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
 }
 BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+void BM_UniqueFunctionInlineRoundTrip(benchmark::State& state) {
+  // A 32-byte capture fits the small-buffer storage: construct, move (the
+  // schedule/pop path), call, destroy -- no allocation anywhere.
+  struct Payload {
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  } payload;
+  static_assert(
+      sim::UniqueFunction<std::uint64_t()>::stores_inline<Payload>());
+  for (auto _ : state) {
+    sim::UniqueFunction<std::uint64_t()> fn = [payload] {
+      return payload.a + payload.d;
+    };
+    sim::UniqueFunction<std::uint64_t()> moved = std::move(fn);
+    benchmark::DoNotOptimize(moved());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UniqueFunctionInlineRoundTrip);
+
+void BM_UniqueFunctionHeapRoundTrip(benchmark::State& state) {
+  // The same round trip with a capture past kInlineSize: falls back to one
+  // heap block. The gap between this and the inline case is what the SBO
+  // saves per event.
+  struct BigPayload {
+    std::uint64_t words[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  } payload;
+  for (auto _ : state) {
+    sim::UniqueFunction<std::uint64_t()> fn = [payload] {
+      return payload.words[0] + payload.words[8];
+    };
+    sim::UniqueFunction<std::uint64_t()> moved = std::move(fn);
+    benchmark::DoNotOptimize(moved());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UniqueFunctionHeapRoundTrip);
 
 void BM_MmuAllocFree(benchmark::State& state) {
   sim::Simulation sim;

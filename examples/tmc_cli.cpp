@@ -5,7 +5,11 @@
 //           [--topology linear|ring|mesh|hypercube|torus|tree] [--quantum MS]
 //           [--memory MB] [--packet BYTES] [--wormhole] [--rotate-placement]
 //           [--no-gang] [--set-size N] [--order interleaved|sjf|ljf]
-//           [--csv] [--jobs]
+//           [--csv] [--jobs] [--threads N]
+//
+// --threads N farms the static policy's independent best/worst-order runs
+// across N worker threads (0 = hardware thread count); results are
+// identical at any thread count.
 //
 // Examples:
 //   tmc_cli --app sort --arch fixed --policy static --partition 8 --topology ring
@@ -18,6 +22,7 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "core/sweep_runner.h"
 
 namespace {
 
@@ -48,6 +53,7 @@ int main(int argc, char** argv) {
   bool explicit_order = false;
   bool csv = false;
   bool show_jobs = false;
+  int threads = 1;
 
   core::ExperimentConfig config;
 
@@ -105,6 +111,14 @@ int main(int argc, char** argv) {
       else if (v == "sjf") order = workload::BatchOrder::kSmallestFirst;
       else if (v == "ljf") order = workload::BatchOrder::kLargestFirst;
       else usage("unknown order");
+    } else if (opt == "--threads") {
+      const std::string v = next_value(argc, argv, i);
+      char* end = nullptr;
+      const long parsed = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || parsed < 0 || parsed > 4096) {
+        usage("--threads expects an integer in [0, 4096]");
+      }
+      threads = static_cast<int>(parsed);
     } else if (opt == "--csv") {
       csv = true;
     } else if (opt == "--jobs") {
@@ -145,7 +159,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto result = core::run_experiment(config);
+  core::SweepRunner runner(threads);
+  const auto result = core::run_experiment(config, &runner);
   core::Table table({"experiment", "MRT (s)", "small (s)", "large (s)",
                      "cpu util", "peak mem (KB)", "mem blocked"});
   const auto& run = result.primary;

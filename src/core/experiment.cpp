@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/sweep_runner.h"
+
 namespace tmc::core {
 
 RunResult run_batch(const ExperimentConfig& config,
@@ -43,12 +45,23 @@ RunResult run_batch(const ExperimentConfig& config,
   return result;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                SweepRunner* runner) {
   ExperimentResult result;
   result.config = config;
   if (config.machine.policy.space_shared()) {
-    result.primary = run_batch(config, workload::BatchOrder::kSmallestFirst);
-    result.worst = run_batch(config, workload::BatchOrder::kLargestFirst);
+    if (runner != nullptr && runner->thread_count() > 1) {
+      constexpr workload::BatchOrder kOrders[] = {
+          workload::BatchOrder::kSmallestFirst,
+          workload::BatchOrder::kLargestFirst};
+      auto runs = runner->map(
+          2, [&](std::size_t i) { return run_batch(config, kOrders[i]); });
+      result.primary = std::move(runs[0]);
+      result.worst = std::move(runs[1]);
+    } else {
+      result.primary = run_batch(config, workload::BatchOrder::kSmallestFirst);
+      result.worst = run_batch(config, workload::BatchOrder::kLargestFirst);
+    }
     result.mean_response_s = 0.5 * (result.primary.mean_response_s() +
                                     result.worst->mean_response_s());
   } else {

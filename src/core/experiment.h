@@ -17,6 +17,8 @@
 
 namespace tmc::core {
 
+class SweepRunner;
+
 struct ExperimentConfig {
   MachineConfig machine{};
   workload::BatchParams batch{};
@@ -59,8 +61,12 @@ struct ExperimentResult {
 [[nodiscard]] RunResult run_batch(const ExperimentConfig& config,
                                   workload::BatchOrder order);
 
-/// Runs the experiment under the paper's measurement rule.
-[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+/// Runs the experiment under the paper's measurement rule. With a runner,
+/// the static policy's best/worst-order runs are farmed across its threads
+/// (each order is an independent simulation; results are identical either
+/// way).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              SweepRunner* runner = nullptr);
 
 /// Convenience: a fully-populated config for one point of figures 3-6.
 [[nodiscard]] ExperimentConfig figure_point(workload::App app,

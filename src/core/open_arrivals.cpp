@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/sweep_runner.h"
 #include "sim/rng.h"
 #include "workload/matmul.h"
 #include "workload/sort.h"
@@ -85,6 +86,21 @@ OpenArrivalResult run_open_arrivals(const OpenArrivalConfig& config) {
   }
   result.machine = machine.stats();
   return result;
+}
+
+std::vector<std::optional<OpenArrivalResult>> run_open_arrival_replications(
+    const OpenArrivalConfig& config, int replications, SweepRunner& runner) {
+  return runner.map(
+      static_cast<std::size_t>(replications),
+      [&config](std::size_t i) -> std::optional<OpenArrivalResult> {
+        OpenArrivalConfig point = config;
+        point.seed = config.seed + i;
+        try {
+          return run_open_arrivals(point);
+        } catch (const std::runtime_error&) {
+          return std::nullopt;  // stream outran the policy: unstable
+        }
+      });
 }
 
 }  // namespace tmc::core

@@ -9,12 +9,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/machine.h"
 #include "sim/stats.h"
 #include "workload/batch.h"
 
 namespace tmc::core {
+
+class SweepRunner;
 
 struct OpenArrivalConfig {
   MachineConfig machine{};
@@ -45,5 +49,14 @@ struct OpenArrivalResult {
 /// within the machine watchdog (offered load past saturation).
 [[nodiscard]] OpenArrivalResult run_open_arrivals(
     const OpenArrivalConfig& config);
+
+/// Runs `replications` copies of the stream with seeds config.seed,
+/// config.seed + 1, ... farmed across the runner's threads; results come
+/// back in seed order. A replication whose stream outran the policy
+/// (saturation: run_open_arrivals threw) is reported as nullopt instead of
+/// aborting the whole sweep.
+[[nodiscard]] std::vector<std::optional<OpenArrivalResult>>
+run_open_arrival_replications(const OpenArrivalConfig& config,
+                              int replications, SweepRunner& runner);
 
 }  // namespace tmc::core

@@ -1,0 +1,94 @@
+// tmcsim -- parallel sweep execution.
+//
+// Every figure and ablation in the paper is a sweep of independent
+// deterministic simulations (distinct configs or seeds, each with its own
+// RNG and event kernel). SweepRunner farms those points across hardware
+// threads through a shared work queue; because the points share no mutable
+// state and `map` returns (and reports progress in) submission order, a
+// sweep's output is bit-identical at any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sim/unique_function.h"
+
+namespace tmc::core {
+
+class SweepRunner {
+ public:
+  /// `threads` <= 0 selects the hardware thread count; 1 runs every task
+  /// inline on the calling thread (no workers are spawned).
+  explicit SweepRunner(int threads = 0);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  [[nodiscard]] int thread_count() const { return threads_; }
+
+  /// Resolves the `--threads` convention: 0 ("auto") becomes the hardware
+  /// thread count, everything else passes through.
+  [[nodiscard]] static int resolve_threads(int requested);
+
+  /// Invoked on the calling thread as the batch advances, with the number of
+  /// tasks completed so far (monotone, final call sees done == total).
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+
+  /// Runs `fn(0) .. fn(count-1)` across the pool and returns the results
+  /// indexed by submission position. If tasks threw, the lowest-index
+  /// exception is rethrown once the whole batch has settled. Calling map
+  /// from inside a task runs the nested batch inline (never deadlocks the
+  /// pool).
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn, const Progress& progress = nullptr)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using T = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<T>, "map tasks must return a value");
+    std::vector<std::optional<T>> slots(count);
+    std::vector<std::exception_ptr> errors(count);
+    run_indexed(
+        count,
+        [&](std::size_t i) {
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        },
+        progress);
+    for (auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    std::vector<T> results;
+    results.reserve(count);
+    for (auto& slot : slots) results.push_back(std::move(*slot));
+    return results;
+  }
+
+ private:
+  using Task = sim::UniqueFunction<void()>;
+
+  /// Executes body(0..count-1) across the workers (or inline) and blocks
+  /// until all have finished. `body` must not throw.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& body,
+                   const Progress& progress);
+  void worker_loop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace tmc::core

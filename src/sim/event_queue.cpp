@@ -1,47 +1,85 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace tmc::sim {
 
 EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  callbacks_.emplace(id, std::move(cb));
+  std::uint32_t index;
+  if (free_head_ != kFreeListEnd) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    if (slots_.size() == slots_.capacity()) {
+      // One queue serves a whole simulation and routinely holds thousands of
+      // pending events; sizing the pool up front (and doubling after that)
+      // keeps slot relocation off the schedule hot path.
+      slots_.reserve(std::max<std::size_t>(kInitialSlots, slots_.size() * 2));
+      heap_.reserve(slots_.capacity());
+    }
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.callback = std::move(cb);
+  slot.live = true;
+  heap_.push_back(Entry{at, ++scheduled_, index, slot.generation});
+  sift_up(heap_.size() - 1);
   ++live_;
-  return id;
+  return make_id(index, slot.generation);
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_;
+  const auto low = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (low == 0) return false;  // kNoEvent or malformed
+  const std::uint32_t index = low - 1;
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already fired/cancelled, or a stale handle to a reused slot
+  }
+  // Destroying the callback can release resources whose teardown re-enters
+  // schedule() (and may grow slots_); move it out and finish all bookkeeping
+  // before the destructor runs at return.
+  Callback doomed = std::move(slot.callback);
+  retire_slot(index);
   return true;
 }
 
-void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+void EventQueue::retire_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.live = false;
+  ++slot.generation;
+  slot.next_free = free_head_;
+  free_head_ = index;
+  --live_;
+}
+
+void EventQueue::drop_stale_top() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.generation == top.generation) return;
+    pop_top();
   }
 }
 
 SimTime EventQueue::next_time() const {
-  skip_cancelled();
+  drop_stale_top();
   assert(!heap_.empty() && "next_time() on empty EventQueue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skip_cancelled();
+  drop_stale_top();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_;
+  const Entry top = heap_.front();
+  pop_top();
+  Fired fired{top.time, make_id(top.slot, top.generation),
+              std::move(slots_[top.slot].callback)};
+  retire_slot(top.slot);
   return fired;
 }
 
@@ -53,6 +91,41 @@ std::size_t EventQueue::discard_all() {
     ++n;
   }
   return n;
+}
+
+void EventQueue::pop_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  const Entry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const Entry entry = heap_[i];
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
 }
 
 }  // namespace tmc::sim

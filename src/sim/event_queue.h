@@ -1,9 +1,8 @@
 // tmcsim -- pending-event set for the discrete-event kernel.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.h"
@@ -21,9 +20,25 @@ inline constexpr EventId kNoEvent = 0;
 /// Ties are broken by insertion order (FIFO), which makes simulations
 /// deterministic: two events scheduled for the same instant fire in the order
 /// they were scheduled. Cancellation is O(1) (lazy deletion on pop).
+///
+/// Implementation: a 4-ary min-heap of (time, sequence) keys over a
+/// generation-tagged slot pool that stores the callbacks inline. The hot
+/// schedule/pop path touches only the heap array and one pool slot -- no
+/// hashing anywhere -- and with UniqueFunction's small-buffer storage a
+/// typical event never allocates. A handle encodes (slot, generation);
+/// cancel() destroys the callback and retires the slot immediately, leaving
+/// the heap entry to be skipped when it surfaces (the generation tag
+/// detects staleness even after the slot has been reused).
 class EventQueue {
  public:
   using Callback = UniqueFunction<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  /// Pending callbacks are destroyed without firing, via discard_all(), so
+  /// destructors that schedule follow-up events stay well-defined.
+  ~EventQueue() { discard_all(); }
 
   /// Schedules `cb` to fire at absolute time `at`. Returns a handle that can
   /// be passed to `cancel`.
@@ -49,7 +64,7 @@ class EventQueue {
   Fired pop();
 
   /// Total events ever scheduled (monotone; includes cancelled ones).
-  [[nodiscard]] std::uint64_t scheduled_count() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
 
   /// Destroys all pending events without firing them. Destroying a callback
   /// can release resources that schedule new events; the loop keeps going
@@ -59,19 +74,50 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    EventId id;
-    // min-heap: earliest time first, then lowest id (insertion order).
-    bool operator>(const Entry& rhs) const {
-      if (time != rhs.time) return time > rhs.time;
-      return id > rhs.id;
-    }
+    std::uint64_t seq;  // global schedule order: the FIFO tie-break
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kFreeListEnd;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
+  /// Slot-pool capacity reserved on first use (~380 KB with the heap array).
+  /// One queue serves a whole simulated machine, so this is paid once per
+  /// simulation; it covers the pending-set peaks the paper's experiments
+  /// reach so the pool never regrows mid-run.
+  static constexpr std::size_t kInitialSlots = 4096;
 
-  void skip_cancelled() const;
+  static constexpr EventId make_id(std::uint32_t slot,
+                                   std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           static_cast<EventId>(slot + 1);
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  EventId next_id_ = 1;
+  // min-heap order: earliest time first, then lowest sequence number.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Marks the slot dead, bumps its generation (invalidating outstanding
+  /// handles and heap entries), and returns it to the free list.
+  void retire_slot(std::uint32_t index);
+
+  // Lazy deletion happens on the read path (next_time is const), so the
+  // heap maintenance helpers are const over the mutable heap array.
+  void drop_stale_top() const;
+  void pop_top() const;
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kFreeListEnd;
+  std::uint64_t scheduled_ = 0;
   std::size_t live_ = 0;
 };
 

@@ -1,0 +1,146 @@
+#include "core/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace tmc::core {
+namespace {
+
+TEST(SweepRunner, ResolveThreadsPassesPositiveThrough) {
+  EXPECT_EQ(SweepRunner::resolve_threads(1), 1);
+  EXPECT_EQ(SweepRunner::resolve_threads(7), 7);
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1);  // auto: hardware count
+}
+
+TEST(SweepRunner, MapReturnsResultsInSubmissionOrder) {
+  SweepRunner runner(4);
+  const auto results =
+      runner.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+TEST(SweepRunner, SingleThreadRunsInline) {
+  SweepRunner runner(1);
+  EXPECT_EQ(runner.thread_count(), 1);
+  const auto results = runner.map(5, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(results, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(SweepRunner, ProgressIsMonotoneAndEndsAtTotal) {
+  SweepRunner runner(4);
+  std::vector<std::size_t> reports;
+  (void)runner.map(
+      17, [](std::size_t i) { return i; },
+      [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 17u);
+        reports.push_back(done);
+      });
+  ASSERT_FALSE(reports.empty());
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GT(reports[i], reports[i - 1]);
+  }
+  EXPECT_EQ(reports.back(), 17u);
+}
+
+TEST(SweepRunner, ExceptionsRethrowLowestIndexAfterBatchSettles) {
+  SweepRunner runner(4);
+  std::atomic<int> completed{0};
+  try {
+    (void)runner.map(20, [&](std::size_t i) {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+      ++completed;
+      return i;
+    });
+    FAIL() << "expected map to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  EXPECT_EQ(completed.load(), 18);  // every non-throwing task still ran
+}
+
+TEST(SweepRunner, NestedMapRunsInlineWithoutDeadlock) {
+  SweepRunner runner(2);
+  const auto results = runner.map(4, [&](std::size_t i) {
+    const auto inner =
+        runner.map(3, [i](std::size_t j) { return i * 10 + j; });
+    return inner[0] + inner[1] + inner[2];
+  });
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i], i * 30 + 3);
+  }
+}
+
+// The satellite regression test: one figure point swept at 1 thread and at
+// 4 threads must produce bit-identical RunResult numbers. Any shared RNG,
+// ordering, or accumulation leak into the parallel path shows up here.
+TEST(SweepRunner, FigurePointIsBitIdenticalAcrossThreadCounts) {
+  // A reduced batch keeps the test fast; the code path is the full one.
+  auto config = figure_point(workload::App::kMatMul,
+                             sched::SoftwareArch::kAdaptive,
+                             sched::PolicyKind::kHybrid, 4,
+                             net::TopologyKind::kMesh);
+  config.batch.small_size = 12;
+  config.batch.large_size = 20;
+
+  const auto sweep = [&config](int threads) {
+    SweepRunner runner(threads);
+    return runner.map(4, [&config](std::size_t i) {
+      auto point = config;
+      point.machine.policy.partition_size = 1 << i;  // 1, 2, 4, 8
+      return run_batch(point, workload::BatchOrder::kInterleaved);
+    });
+  };
+
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Exact equality on purpose: determinism means identical bits, not
+    // "close enough".
+    EXPECT_EQ(serial[i].mean_response_s(), parallel[i].mean_response_s());
+    EXPECT_EQ(serial[i].makespan_s, parallel[i].makespan_s);
+    EXPECT_EQ(serial[i].response_small.mean(),
+              parallel[i].response_small.mean());
+    EXPECT_EQ(serial[i].response_large.mean(),
+              parallel[i].response_large.mean());
+    ASSERT_EQ(serial[i].jobs.size(), parallel[i].jobs.size());
+    for (std::size_t j = 0; j < serial[i].jobs.size(); ++j) {
+      EXPECT_EQ(serial[i].jobs[j].response_s, parallel[i].jobs[j].response_s);
+      EXPECT_EQ(serial[i].jobs[j].wait_s, parallel[i].jobs[j].wait_s);
+    }
+  }
+}
+
+// Same property through run_experiment's farmed best/worst orders.
+TEST(SweepRunner, ExperimentIsBitIdenticalWithAndWithoutRunner) {
+  auto config = figure_point(workload::App::kSort,
+                             sched::SoftwareArch::kAdaptive,
+                             sched::PolicyKind::kStatic, 4,
+                             net::TopologyKind::kMesh);
+  config.batch.small_size = 192;
+  config.batch.large_size = 384;
+
+  const auto serial = run_experiment(config);
+  SweepRunner runner(4);
+  const auto parallel = run_experiment(config, &runner);
+  EXPECT_EQ(serial.mean_response_s, parallel.mean_response_s);
+  EXPECT_EQ(serial.primary.mean_response_s(),
+            parallel.primary.mean_response_s());
+  ASSERT_TRUE(serial.worst.has_value());
+  ASSERT_TRUE(parallel.worst.has_value());
+  EXPECT_EQ(serial.worst->mean_response_s(), parallel.worst->mean_response_s());
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace tmc::sim {
@@ -98,6 +102,118 @@ TEST(EventQueue, ScheduledCountIsMonotone) {
   const EventId id = q.schedule(SimTime::seconds(1), [] {});
   q.cancel(id);
   EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::seconds(1), [] {});
+  q.pop().callback();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelSlotReuse) {
+  // Cancelling with a handle whose slot has been reused by a later event
+  // must fail and leave the new occupant untouched (generation tag).
+  EventQueue q;
+  const EventId old_id = q.schedule(SimTime::seconds(1), [] {});
+  ASSERT_TRUE(q.cancel(old_id));
+  bool fired = false;
+  const EventId new_id = q.schedule(SimTime::seconds(2), [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().callback();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StaleHandleAfterFireDoesNotCancelSlotReuse) {
+  EventQueue q;
+  const EventId old_id = q.schedule(SimTime::seconds(1), [] {});
+  q.pop().callback();
+  q.schedule(SimTime::seconds(2), [] {});
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, FifoTieBreakSurvivesInterleavedCancels) {
+  // A few hundred events across a handful of equal timestamps, with a
+  // deterministic subset cancelled: survivors must still pop in
+  // nondecreasing time and, within a time, in schedule order.
+  EventQueue q;
+  struct Scheduled {
+    EventId id;
+    std::int64_t time;
+    int seq;
+  };
+  std::vector<Scheduled> events;
+  std::vector<std::pair<std::int64_t, int>> fired;
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t t = (i * 13) % 7;  // many ties per timestamp
+    const EventId id = q.schedule(
+        SimTime::seconds(t),
+        [&fired, t, i] { fired.emplace_back(t, i); });
+    events.push_back({id, t, i});
+  }
+  std::vector<std::pair<std::int64_t, int>> expected;
+  for (const auto& event : events) {
+    if (event.seq % 3 == 1) {
+      EXPECT_TRUE(q.cancel(event.id));
+    } else {
+      expected.emplace_back(event.time, event.seq);
+    }
+  }
+  std::sort(expected.begin(), expected.end());  // time, then schedule order
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, DiscardAllReentrancy) {
+  // A callback whose *destructor* schedules follow-up events: discard_all
+  // must keep draining until the set is truly empty.
+  EventQueue q;
+  struct RescheduleOnDestroy {
+    RescheduleOnDestroy(EventQueue* q, int d) : queue(q), depth(d) {}
+    ~RescheduleOnDestroy() {
+      if (depth > 0) {
+        auto guard = std::make_unique<RescheduleOnDestroy>(queue, depth - 1);
+        queue->schedule(SimTime::seconds(depth),
+                        [g = std::move(guard)] { (void)g; });
+      }
+    }
+    EventQueue* queue;
+    int depth;
+  };
+  for (int i = 0; i < 3; ++i) {
+    auto guard = std::make_unique<RescheduleOnDestroy>(&q, 2);
+    q.schedule(SimTime::seconds(1), [g = std::move(guard)] { (void)g; });
+  }
+  // 3 originals + 3 depth-1 + 3 depth-0 reschedules.
+  EXPECT_EQ(q.discard_all(), 9u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelDestroysCallbackImmediately) {
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id =
+      q.schedule(SimTime::seconds(1), [t = std::move(token)] { (void)t; });
+  EXPECT_FALSE(watch.expired());
+  q.cancel(id);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, ManyEventsHeapOrder) {
+  // Larger-scale ordering check across the 4-ary heap's sift paths.
+  EventQueue q;
+  std::vector<std::int64_t> fired;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t t = (i * 7919) % 997;
+    q.schedule(SimTime::nanoseconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 2000u);
 }
 
 TEST(EventQueue, MoveOnlyCallbacksSupported) {
