@@ -105,8 +105,7 @@ std::uint64_t Multicomputer::run_to_completion() {
   // utilisations are then measured over the actual makespan, not the
   // watchdog horizon.
   std::uint64_t fired = 0;
-  while (!sim_.idle() && sim_.next_event_time() <= cfg_.max_sim_time) {
-    sim_.step();
+  while (sim_.step_until(cfg_.max_sim_time)) {
     ++fired;
   }
   if (!scheduler_->all_done()) {

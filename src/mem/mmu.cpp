@@ -22,6 +22,11 @@ Mmu::Mmu(sim::Simulation& sim, std::size_t capacity, sim::SimTime service_time,
       service_time_(service_time),
       discipline_(discipline) {
   if (capacity == 0) throw std::invalid_argument("Mmu capacity must be > 0");
+  // Paid at construction so the steady state stays allocation-free: the
+  // free list fragments and recoalesces under churn, and the grant pool
+  // fills on the first burst of requests.
+  free_.reserve(32);
+  grants_.reserve(16);
   free_.push_back(FreeRange{0, capacity});
 }
 
@@ -66,12 +71,58 @@ void Mmu::release_range(std::size_t offset, std::size_t size) {
   }
 }
 
+std::uint32_t Mmu::acquire_grant(std::size_t offset, std::size_t bytes,
+                                 Grant on_grant) {
+  std::uint32_t slot;
+  if (grant_free_ != kFreeListEnd) {
+    slot = grant_free_;
+    grant_free_ = grants_[slot].next_free;
+  } else {
+    if (grants_.size() == grants_.capacity()) {
+      grants_.reserve(std::max<std::size_t>(16, grants_.size() * 2));
+    }
+    slot = static_cast<std::uint32_t>(grants_.size());
+    grants_.emplace_back();
+  }
+  GrantSlot& g = grants_[slot];
+  g.offset = offset;
+  g.bytes = bytes;
+  g.on_grant = std::move(on_grant);
+  g.live = true;
+  return slot;
+}
+
+void Mmu::retire_grant(std::uint32_t slot) {
+  GrantSlot& g = grants_[slot];
+  g.live = false;
+  ++g.generation;
+  g.next_free = grant_free_;
+  grant_free_ = slot;
+}
+
+void Mmu::fire_grant(std::uint32_t slot, std::uint32_t generation) {
+  GrantSlot& g = grants_[slot];
+  if (!g.live || g.generation != generation) return;  // discarded grant
+  const std::size_t offset = g.offset;
+  const std::size_t bytes = g.bytes;
+  Grant cb = std::move(g.on_grant);
+  // Retire before running the callback: it may request again and reuse the
+  // slot.
+  retire_grant(slot);
+  cb(Block(this, offset, bytes));
+}
+
 void Mmu::deliver(std::size_t offset, std::size_t bytes, Grant on_grant) {
   ++alloc_count_;
-  sim_.schedule(service_time_,
-                [this, offset, bytes, cb = std::move(on_grant)]() mutable {
-                  cb(Block(this, offset, bytes));
-                });
+  const std::uint32_t slot = acquire_grant(offset, bytes, std::move(on_grant));
+  auto fire = [this, slot, generation = grants_[slot].generation] {
+    fire_grant(slot, generation);
+  };
+  if (pump_batching_) {
+    pump_batch_.add(std::move(fire));
+  } else {
+    sim_.schedule(service_time_, std::move(fire));
+  }
 }
 
 void Mmu::request(std::size_t bytes, Grant on_grant) {
@@ -111,6 +162,13 @@ std::optional<Block> Mmu::try_alloc(std::size_t bytes) {
 }
 
 void Mmu::pump() {
+  // Grants found in one scan all fire at now + service_time; batching them
+  // through one bulk insert preserves their relative order (consecutive
+  // sequence numbers, oldest request first) while touching the event heap
+  // once. No user code runs inside the scan, so the scratch batch cannot be
+  // re-entered.
+  assert(!pump_batching_ && "pump() re-entered mid-scan");
+  pump_batching_ = true;
   if (discipline_ == MmuDiscipline::kFifo) {
     while (!queue_.empty()) {
       auto offset = carve(queue_.front().bytes);
@@ -120,20 +178,22 @@ void Mmu::pump() {
       total_block_time_ += sim_.now() - head.enqueued;
       deliver(*offset, head.bytes, std::move(head.on_grant));
     }
-    return;
-  }
-  // First-fit scan: grant anything that fits, oldest first.
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    auto offset = carve(it->bytes);
-    if (!offset) {
-      ++it;
-      continue;
+  } else {
+    // First-fit scan: grant anything that fits, oldest first.
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      auto offset = carve(it->bytes);
+      if (!offset) {
+        ++it;
+        continue;
+      }
+      Pending granted = std::move(*it);
+      it = queue_.erase(it);
+      total_block_time_ += sim_.now() - granted.enqueued;
+      deliver(*offset, granted.bytes, std::move(granted.on_grant));
     }
-    Pending granted = std::move(*it);
-    it = queue_.erase(it);
-    total_block_time_ += sim_.now() - granted.enqueued;
-    deliver(*offset, granted.bytes, std::move(granted.on_grant));
   }
+  pump_batching_ = false;
+  if (!pump_batch_.empty()) sim_.schedule_batch(service_time_, pump_batch_);
 }
 
 std::size_t Mmu::discard_pending() {
@@ -144,6 +204,17 @@ std::size_t Mmu::discard_pending() {
     ++n;
     // head.on_grant destroyed here; may release blocks and re-enter pump(),
     // which is safe: the queue entry was already removed.
+  }
+  // Granted-but-undelivered allocations: their delivery events may have
+  // been discarded with the event queue, so drop the parked callbacks too.
+  // The arena range stays carved (teardown only). Destroying a callback can
+  // release blocks and pump new grants into the pool, so iterate by index
+  // and let the caller loop to a fixed point.
+  for (std::size_t slot = 0; slot < grants_.size(); ++slot) {
+    if (!grants_[slot].live) continue;
+    Grant doomed = std::move(grants_[slot].on_grant);
+    retire_grant(static_cast<std::uint32_t>(slot));
+    ++n;
   }
   return n;
 }

@@ -110,9 +110,9 @@ class Mmu {
   /// Immediate allocation attempt that never blocks or queues.
   [[nodiscard]] std::optional<Block> try_alloc(std::size_t bytes);
 
-  /// Destroys all queued (blocked) requests without granting them
-  /// (teardown aid: queued grant callbacks may own Blocks of other MMUs).
-  /// Returns the number discarded.
+  /// Destroys all queued (blocked) requests and all granted-but-undelivered
+  /// allocations without running their callbacks (teardown aid: grant
+  /// callbacks may own Blocks of other MMUs). Returns the number discarded.
   std::size_t discard_pending();
 
   /// Optional trace sink (category kMemory); owner must outlive us.
@@ -152,13 +152,33 @@ class Mmu {
     Grant on_grant;
     sim::SimTime enqueued;
   };
+  /// A granted-but-not-yet-delivered allocation parked in the grant pool.
+  /// The event scheduled by deliver() captures only {this, slot, generation}
+  /// (inline in UniqueFunction's small buffer), so granting never allocates;
+  /// the generation tag keeps an event for a discarded grant from touching a
+  /// reused slot.
+  struct GrantSlot {
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+    Grant on_grant;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kFreeListEnd;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
 
   /// Carves `bytes` from the free list; nullopt if no range fits.
   std::optional<std::size_t> carve(std::size_t bytes);
   void release_range(std::size_t offset, std::size_t size);
-  /// Grants queued requests that now fit, per the discipline.
+  /// Grants queued requests that now fit, per the discipline. Multi-grant
+  /// rounds (the first-fit scan a broadcast's buffer releases trigger) are
+  /// committed through one EventQueue bulk insert.
   void pump();
   void deliver(std::size_t offset, std::size_t bytes, Grant on_grant);
+  std::uint32_t acquire_grant(std::size_t offset, std::size_t bytes,
+                              Grant on_grant);
+  void fire_grant(std::uint32_t slot, std::uint32_t generation);
+  void retire_grant(std::uint32_t slot);
 
   sim::Simulation& sim_;
   std::size_t capacity_;
@@ -168,6 +188,12 @@ class Mmu {
   std::string label_;
   std::vector<FreeRange> free_;  // sorted by offset, coalesced
   std::deque<Pending> queue_;
+  std::vector<GrantSlot> grants_;
+  std::uint32_t grant_free_ = kFreeListEnd;
+  /// While pump() scans, deliver() appends grant events here instead of
+  /// scheduling them one by one; the scan commits the batch in one insert.
+  sim::EventBatch pump_batch_;
+  bool pump_batching_ = false;
   std::size_t used_ = 0;
   std::size_t high_watermark_ = 0;
   std::uint64_t alloc_count_ = 0;

@@ -10,7 +10,20 @@ namespace tmc::net {
 
 /// Endpoint identifier: a process id in the scheduling layer. The network
 /// itself only routes on node ids; endpoints ride along for final delivery.
+/// The canonical encoding packs (job, rank) with the rank in the low bits,
+/// so layers that index per-job tables can split an id without consulting
+/// the scheduler.
 using EndpointId = std::uint64_t;
+
+/// Low bits of an EndpointId holding the within-job rank.
+inline constexpr unsigned kEndpointRankBits = 20;
+
+[[nodiscard]] constexpr std::uint64_t endpoint_job(EndpointId id) {
+  return id >> kEndpointRankBits;
+}
+[[nodiscard]] constexpr std::uint64_t endpoint_rank(EndpointId id) {
+  return id & ((EndpointId{1} << kEndpointRankBits) - 1);
+}
 
 struct Message {
   std::uint64_t id = 0;

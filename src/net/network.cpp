@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -192,6 +193,48 @@ WormholeNetwork::WormholeNetwork(sim::Simulation& sim, const Topology& topo,
       params_(params),
       links_(make_links(topo)) {
   check_mmus(topo_, mmus_);
+  // Per-topology reservation: the in-flight population is bounded by
+  // concurrent sends, which scale with node count; four slots per node
+  // covers the paper's workloads without regrowth.
+  reserve_worms(std::max<std::size_t>(
+      64, static_cast<std::size_t>(topo.node_count()) * 4));
+}
+
+void WormholeNetwork::reserve_worms(std::size_t capacity) {
+  worms_.reserve(capacity);
+}
+
+std::uint32_t WormholeNetwork::acquire_worm(const Message& msg,
+                                            mem::Block payload) {
+  std::uint32_t index;
+  if (worm_free_ != kFreeListEnd) {
+    index = worm_free_;
+    worm_free_ = worms_[index].next_free;
+  } else {
+    if (worms_.size() == worms_.capacity()) {
+      ++pool_growths_;
+      reserve_worms(worms_.capacity() * 2);
+    }
+    index = static_cast<std::uint32_t>(worms_.size());
+    worms_.emplace_back();
+  }
+  Worm& w = worms_[index];
+  w.msg = msg;
+  w.src = std::move(payload);
+  w.hop_count = 0;
+  w.live = true;
+  ++live_worms_;
+  peak_worms_ = std::max(peak_worms_, live_worms_);
+  return index;
+}
+
+void WormholeNetwork::release_worm(std::uint32_t index) {
+  Worm& w = worms_[index];
+  w.live = false;
+  ++w.generation;
+  w.next_free = worm_free_;
+  worm_free_ = index;
+  --live_worms_;
 }
 
 void WormholeNetwork::send(Message msg, mem::Block payload) {
@@ -202,10 +245,18 @@ void WormholeNetwork::send(Message msg, mem::Block payload) {
 }
 
 void WormholeNetwork::kick() {
-  std::vector<Pending> retry;
-  retry.swap(parked_);
-  for (auto& p : retry) {
+  kick_scratch_.clear();
+  kick_scratch_.swap(parked_);
+  for (auto& p : kick_scratch_) {
     launch(p.msg, std::move(p.payload));
+  }
+  kick_scratch_.clear();
+  // Hand the warmed buffer back: launch() may have re-parked messages into
+  // parked_ (then both vectors earn their capacity), but in the common
+  // everything-resumes case parked_ is empty and would otherwise be left
+  // holding the cold buffer, allocating again on the next suspension.
+  if (parked_.empty() && parked_.capacity() < kick_scratch_.capacity()) {
+    parked_.swap(kick_scratch_);
   }
 }
 
@@ -219,49 +270,71 @@ void WormholeNetwork::launch(Message msg, mem::Block payload) {
     parked_.push_back(Pending{msg, std::move(payload)});
     return;
   }
+  // The worm slot is taken before the destination-buffer request so the
+  // source payload has a stable home while the message waits on memory
+  // pressure; parked messages above hold no slot.
+  const std::uint32_t index = acquire_worm(msg, std::move(payload));
+  const std::uint32_t generation = worms_[index].generation;
   // Only the destination buffers the message; intermediate nodes hold at
   // most a flit, which we do not charge against their memory.
   mmus_[static_cast<std::size_t>(msg.dst_node)]->request(
       msg.bytes + params_.header_bytes,
-      [this, msg, payload = std::move(payload)](mem::Block dst_buf) mutable {
-        transmit(msg, std::move(payload), std::move(dst_buf));
+      [this, index, generation](mem::Block dst_buf) {
+        transmit(index, generation, std::move(dst_buf));
       });
 }
 
-void WormholeNetwork::transmit(Message msg, mem::Block src, mem::Block dst) {
-  const std::vector<NodeId> path = routing_.route(msg.src_node, msg.dst_node);
-  const auto path_hops = static_cast<std::int64_t>(path.size()) - 1;
+void WormholeNetwork::transmit(std::uint32_t index, std::uint32_t generation,
+                               mem::Block dst) {
+  Worm& w = worms_[index];
+  assert(w.live && w.generation == generation);
+  w.dst = std::move(dst);
+  const Message& msg = w.msg;
+
+  // The route is static: its link ids come precomputed from the routing
+  // table, so the only per-message path work is folding in availability.
+  const std::span<const LinkId> path =
+      routing_.link_path(msg.src_node, msg.dst_node);
+  const std::size_t hops = path.size();
+  sim::SimTime start = sim_.now();
+  for (const LinkId id : path) {
+    start = std::max(start, links_[static_cast<std::size_t>(id)].busy_until());
+  }
+  w.hop_count = static_cast<std::uint16_t>(hops);
+
   // Pipelined duration: header worms through each router, payload streams
   // behind it. Single virtual channel: the whole path is held for the
   // duration (circuit-switching approximation of wormhole blocking).
   const sim::SimTime duration =
-      params_.per_hop_latency * path_hops +
+      params_.per_hop_latency * static_cast<std::int64_t>(hops) +
       params_.per_byte *
           static_cast<std::int64_t>(msg.bytes + params_.header_bytes);
-
-  sim::SimTime start = sim_.now();
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const auto link_id = topo_.link_between(path[i], path[i + 1]);
-    assert(link_id.has_value());
-    const Link& link = links_[static_cast<std::size_t>(*link_id)];
-    start = std::max(start, link.busy_until());
-  }
-  sim::SimTime done = start + duration;
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    const auto link_id = topo_.link_between(path[i], path[i + 1]);
-    Link& link = links_[static_cast<std::size_t>(*link_id)];
+  const sim::SimTime done = start + duration;
+  for (const LinkId id : path) {
     // Reserve from the common start so the path is held as one circuit.
-    link.reserve(start, duration, msg.bytes + params_.header_bytes);
+    links_[static_cast<std::size_t>(id)].reserve(
+        start, duration, msg.bytes + params_.header_bytes);
   }
-  hops_ += static_cast<std::uint64_t>(path_hops);
+  hops_ += static_cast<std::uint64_t>(hops);
 
-  sim_.schedule_at(done, [this, msg, src = std::move(src),
-                          dst = std::move(dst)]() mutable {
-    ++delivered_;
-    src.release();
-    if (hop_hook_) hop_hook_(msg.dst_node, msg, msg.bytes);
-    deliver_(msg, std::move(dst));
+  sim_.schedule_at(done, [this, index, generation] {
+    complete(index, generation);
   });
+}
+
+void WormholeNetwork::complete(std::uint32_t index, std::uint32_t generation) {
+  Worm& w = worms_[index];
+  assert(w.live && w.generation == generation);
+  (void)generation;
+  ++delivered_;
+  w.src.release();
+  const Message msg = w.msg;
+  mem::Block dst = std::move(w.dst);
+  // Tail flit has left the path: the slot is free before delivery runs, so
+  // a send triggered by this delivery can reuse it without growing the pool.
+  release_worm(index);
+  if (hop_hook_) hop_hook_(msg.dst_node, msg, msg.bytes);
+  deliver_(msg, std::move(dst));
 }
 
 }  // namespace tmc::net

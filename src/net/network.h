@@ -168,6 +168,16 @@ class StoreForwardNetwork final : public Network {
 };
 
 /// Wormhole-routed engine (paper's suggested improvement; bench A2).
+///
+/// In-flight state lives in a generation-tagged slot pool: each message
+/// occupies one Worm slot holding its Message, source payload, destination
+/// buffer and the hop count of the path whose channels it occupies (the link
+/// ids themselves are static per (src, dst) and come from the routing
+/// table's precomputed link paths). The pool is pre-reserved per topology, a
+/// worm's slot is released in O(1) when its tail flit leaves the path, and
+/// every callback on the advance path captures only {this, slot, generation}
+/// -- inline in UniqueFunction's small buffer -- so launching, transmitting
+/// and completing a message perform zero heap allocations once warm.
 class WormholeNetwork final : public Network {
  public:
   WormholeNetwork(sim::Simulation& sim, const Topology& topo,
@@ -182,14 +192,47 @@ class WormholeNetwork final : public Network {
   }
   [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
 
+  // --- pool observability (tests, perf gates) ---------------------------
+  /// Worm slots currently occupied (messages between launch and tail-flit
+  /// departure; parked and self-send messages hold no slot).
+  [[nodiscard]] std::size_t worms_in_flight() const { return live_worms_; }
+  [[nodiscard]] std::size_t peak_worms_in_flight() const { return peak_worms_; }
+  /// Slots the pool can hold without regrowing.
+  [[nodiscard]] std::size_t worm_pool_capacity() const {
+    return worms_.capacity();
+  }
+  /// Times the pool had to regrow beyond the per-topology reservation.
+  [[nodiscard]] std::uint64_t worm_pool_growths() const {
+    return pool_growths_;
+  }
+  [[nodiscard]] std::size_t parked_messages() const { return parked_.size(); }
+
  private:
   struct Pending {
     Message msg;
     mem::Block payload;
   };
+  /// One in-flight message: circuit-style occupancy of its whole path.
+  struct Worm {
+    Message msg;
+    mem::Block src;  // source payload, released on tail-flit departure
+    mem::Block dst;  // destination buffer, handed to delivery
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kFreeListEnd;
+    std::uint16_t hop_count = 0;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
 
-  void transmit(Message msg, mem::Block src, mem::Block dst);
+  /// Grows the pool to `capacity` slots.
+  void reserve_worms(std::size_t capacity);
+  std::uint32_t acquire_worm(const Message& msg, mem::Block payload);
+  /// O(1): bumps the generation and pushes the slot on the free list.
+  void release_worm(std::uint32_t index);
+
   void launch(Message msg, mem::Block payload);
+  void transmit(std::uint32_t index, std::uint32_t generation, mem::Block dst);
+  void complete(std::uint32_t index, std::uint32_t generation);
 
   sim::Simulation& sim_;
   const Topology& topo_;
@@ -197,7 +240,15 @@ class WormholeNetwork final : public Network {
   std::vector<mem::Mmu*> mmus_;
   NetworkParams params_;
   std::vector<Link> links_;
+  std::vector<Worm> worms_;
+  std::uint32_t worm_free_ = kFreeListEnd;
+  std::size_t live_worms_ = 0;
+  std::size_t peak_worms_ = 0;
+  std::uint64_t pool_growths_ = 0;
   std::vector<Pending> parked_;
+  /// kick() drains parked_ through this scratch so the per-gang-turn retry
+  /// reuses capacity instead of allocating a fresh vector.
+  std::vector<Pending> kick_scratch_;
 };
 
 }  // namespace tmc::net

@@ -37,6 +37,33 @@ RoutingTable::RoutingTable(const Topology& topo)
       }
     }
   }
+  // Materialise the per-pair link paths: walk each next-hop chain once and
+  // record the traversed link ids back to back, with a prefix-offset table
+  // for O(1) span lookup. Total size is the sum of all pair distances.
+  const std::size_t pairs = static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  path_off_.resize(pairs + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    path_off_[i] = static_cast<std::uint32_t>(total);
+    if (dist_[i] > 0) total += static_cast<std::size_t>(dist_[i]);
+  }
+  path_off_[pairs] = static_cast<std::uint32_t>(total);
+  path_links_.resize(total);
+  for (NodeId src = 0; src < n_; ++src) {
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      // Unreachable pairs (a tiled machine is a forest of partitions) have
+      // no path; their span stays empty.
+      if (dist_[index(src, dst)] <= 0) continue;
+      LinkId* out = path_links_.data() + path_off_[index(src, dst)];
+      for (NodeId u = src; u != dst;) {
+        const NodeId next = next_hop_[index(u, dst)];
+        const auto link = topo.link_between(u, next);
+        assert(link.has_value());
+        *out++ = *link;
+        u = next;
+      }
+    }
+  }
 }
 
 NodeId RoutingTable::next_hop(NodeId src, NodeId dst) const {

@@ -8,6 +8,8 @@
 // numbering, coincides with dimension-ordered routing).
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/topology.h"
@@ -28,6 +30,17 @@ class RoutingTable {
   /// Hop count of the shortest path (0 when src == dst).
   [[nodiscard]] int distance(NodeId src, NodeId dst) const;
 
+  /// Link ids along the shortest path src -> dst, in hop order (empty when
+  /// src == dst). Routes are static for a given wiring, so the table is
+  /// materialised once here and a transport's per-message path walk becomes
+  /// a single lookup instead of a next-hop/link scan per hop.
+  [[nodiscard]] std::span<const LinkId> link_path(NodeId src,
+                                                  NodeId dst) const {
+    const std::size_t i = index(src, dst);
+    return {path_links_.data() + path_off_[i],
+            path_links_.data() + path_off_[i + 1]};
+  }
+
   [[nodiscard]] int node_count() const { return n_; }
 
  private:
@@ -39,6 +52,8 @@ class RoutingTable {
   int n_;
   std::vector<NodeId> next_hop_;  // n x n
   std::vector<int> dist_;        // n x n
+  std::vector<std::uint32_t> path_off_;  // n x n + 1 offsets into path_links_
+  std::vector<LinkId> path_links_;       // concatenated per-pair link paths
 };
 
 }  // namespace tmc::net

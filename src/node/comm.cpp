@@ -1,5 +1,6 @@
 #include "node/comm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -37,28 +38,45 @@ CommSystem::CommSystem(sim::Simulation& sim, net::Network& network,
 
 void CommSystem::register_process(Process& p) {
   assert(p.node() != net::kInvalidNode && "bind process to a node first");
-  const auto [it, inserted] = registry_.emplace(p.id(), &p);
-  (void)it;
-  if (!inserted) {
+  const auto job = static_cast<std::size_t>(net::endpoint_job(p.id()));
+  const auto rank = static_cast<std::size_t>(net::endpoint_rank(p.id()));
+  if (registry_.size() <= job) registry_.resize(job + 1);
+  auto& ranks = registry_[job];
+  if (ranks.size() <= rank) ranks.resize(rank + 1, nullptr);
+  if (ranks[rank] != nullptr) {
     throw std::logic_error("endpoint " + std::to_string(p.id()) +
                            " already registered");
   }
+  ranks[rank] = &p;
 }
 
 void CommSystem::unregister_process(net::EndpointId id) {
-  registry_.erase(id);
+  const auto job = static_cast<std::size_t>(net::endpoint_job(id));
+  const auto rank = static_cast<std::size_t>(net::endpoint_rank(id));
+  if (job < registry_.size() && rank < registry_[job].size()) {
+    registry_[job][rank] = nullptr;
+  }
 }
 
 Process* CommSystem::find(net::EndpointId id) const {
-  const auto it = registry_.find(id);
-  return it == registry_.end() ? nullptr : it->second;
+  const auto job = static_cast<std::size_t>(net::endpoint_job(id));
+  const auto rank = static_cast<std::size_t>(net::endpoint_rank(id));
+  if (job >= registry_.size() || rank >= registry_[job].size()) return nullptr;
+  return registry_[job][rank];
 }
 
 void CommSystem::set_job_active(JobId job, bool active) {
+  const auto it =
+      std::find(suspended_jobs_.begin(), suspended_jobs_.end(), job);
   if (active) {
-    if (suspended_jobs_.erase(job) > 0) network_.kick();
-  } else {
-    suspended_jobs_.insert(job);
+    if (it != suspended_jobs_.end()) {
+      // Membership only -- order is irrelevant, so swap-and-pop.
+      *it = suspended_jobs_.back();
+      suspended_jobs_.pop_back();
+      network_.kick();
+    }
+  } else if (it == suspended_jobs_.end()) {
+    suspended_jobs_.push_back(job);
   }
 }
 
@@ -83,6 +101,45 @@ void CommSystem::send_from(Process& src, const SendOp& op,
   network_.send(msg, std::move(payload));
 }
 
+std::uint32_t CommSystem::acquire_delivery(const net::Message& msg,
+                                           mem::Block buffer, Process* dst) {
+  std::uint32_t slot;
+  if (delivery_free_ != kFreeListEnd) {
+    slot = delivery_free_;
+    delivery_free_ = delivery_pool_[slot].next_free;
+  } else {
+    if (delivery_pool_.size() == delivery_pool_.capacity()) {
+      delivery_pool_.reserve(
+          std::max<std::size_t>(16, delivery_pool_.size() * 2));
+    }
+    slot = static_cast<std::uint32_t>(delivery_pool_.size());
+    delivery_pool_.emplace_back();
+  }
+  DeliverySlot& d = delivery_pool_[slot];
+  d.msg = msg;
+  d.buffer = std::move(buffer);
+  d.dst = dst;
+  d.live = true;
+  return slot;
+}
+
+void CommSystem::finish_delivery(std::uint32_t slot, std::uint32_t generation) {
+  DeliverySlot& d = delivery_pool_[slot];
+  assert(d.live && d.generation == generation);
+  (void)generation;
+  const net::Message msg = d.msg;
+  mem::Block buffer = std::move(d.buffer);
+  Process* dst = d.dst;
+  // Retire before delivering: the deposit can wake the receiver, whose next
+  // receive can trigger another delivery that reuses this slot.
+  d.live = false;
+  ++d.generation;
+  d.next_free = delivery_free_;
+  delivery_free_ = slot;
+  cpus_[static_cast<std::size_t>(dst->node())]->deliver(*dst, msg,
+                                                        std::move(buffer));
+}
+
 void CommSystem::on_delivery(const net::Message& msg, mem::Block buffer) {
   Process* dst = find(msg.dst_endpoint);
   if (dst == nullptr) {
@@ -91,10 +148,12 @@ void CommSystem::on_delivery(const net::Message& msg, mem::Block buffer) {
   }
   ++deliveries_;
   Transputer* cpu = cpus_[static_cast<std::size_t>(dst->node())];
-  cpu->post_service(params_.delivery_cpu,
-                    [cpu, dst, msg, buffer = std::move(buffer)]() mutable {
-                      cpu->deliver(*dst, msg, std::move(buffer));
-                    });
+  const std::uint32_t slot = acquire_delivery(msg, std::move(buffer), dst);
+  cpu->post_service(
+      params_.delivery_cpu,
+      [this, slot, generation = delivery_pool_[slot].generation] {
+        finish_delivery(slot, generation);
+      });
 }
 
 }  // namespace tmc::node

@@ -10,9 +10,8 @@
 // traverse the same buffered path, as the paper notes they must.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/mmu.h"
@@ -62,7 +61,8 @@ class CommSystem {
   /// the partition schedulers on gang turn boundaries.
   void set_job_active(JobId job, bool active);
   [[nodiscard]] bool job_active(JobId job) const {
-    return !suspended_jobs_.contains(job);
+    return std::find(suspended_jobs_.begin(), suspended_jobs_.end(), job) ==
+           suspended_jobs_.end();
   }
 
   [[nodiscard]] std::uint64_t sends() const { return sends_; }
@@ -71,15 +71,43 @@ class CommSystem {
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
+  /// A delivered message parked while the destination CPU charges the
+  /// mailbox-deposit cost. Pool-indexed (like the wormhole's worm slots) so
+  /// the daemon work item captures only {this, slot, generation} inline --
+  /// deliveries allocate nothing once the pool is warm.
+  struct DeliverySlot {
+    net::Message msg;
+    mem::Block buffer;
+    Process* dst = nullptr;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kFreeListEnd;
+    bool live = false;
+  };
+  static constexpr std::uint32_t kFreeListEnd = 0xffffffffu;
+
   void send_from(Process& src, const SendOp& op, mem::Block payload);
   void on_delivery(const net::Message& msg, mem::Block buffer);
+  std::uint32_t acquire_delivery(const net::Message& msg, mem::Block buffer,
+                                 Process* dst);
+  void finish_delivery(std::uint32_t slot, std::uint32_t generation);
 
   sim::Simulation& sim_;
   net::Network& network_;
   std::vector<Transputer*> cpus_;
   Params params_;
-  std::unordered_map<net::EndpointId, Process*> registry_;
-  std::unordered_set<JobId> suspended_jobs_;
+  /// Endpoint registry indexed [job][rank] via the canonical EndpointId
+  /// encoding. JobIds are assigned densely by the workload generators and
+  /// ranks are dense per job, so a two-level flat table resolves every send
+  /// and delivery without hashing, and registration costs one small vector
+  /// per job instead of a map node per process.
+  std::vector<std::vector<Process*>> registry_;
+  /// Jobs whose communication is frozen. At most the machine's total
+  /// multiprogramming level entries, toggled on every gang turn: a flat
+  /// vector with linear membership checks never allocates once warm, where
+  /// a node-based set paid an allocation per suspension.
+  std::vector<JobId> suspended_jobs_;
+  std::vector<DeliverySlot> delivery_pool_;
+  std::uint32_t delivery_free_ = kFreeListEnd;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t self_sends_ = 0;

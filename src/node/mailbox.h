@@ -6,8 +6,8 @@
 // memory pressure the paper measures under high multiprogramming levels.
 #pragma once
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "mem/mmu.h"
 #include "net/message.h"
@@ -57,7 +57,11 @@ class Mailbox {
   }
 
  private:
-  std::deque<Delivered> queue_;
+  /// Arrival order, oldest first. Mailboxes are shallow (a handful of
+  /// in-flight messages), so a vector's shifting erase is cheap -- and unlike
+  /// a deque it allocates nothing at construction, which matters because
+  /// every Process embeds one.
+  std::vector<Delivered> queue_;
 };
 
 }  // namespace tmc::node

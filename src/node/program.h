@@ -60,6 +60,13 @@ struct Program {
   [[nodiscard]] bool empty() const { return ops.empty(); }
   [[nodiscard]] std::size_t size() const { return ops.size(); }
 
+  /// Builders that know their op count up front reserve it so a script is
+  /// laid out in one allocation instead of log2(n) regrowths.
+  Program& reserve(std::size_t op_count) {
+    ops.reserve(op_count);
+    return *this;
+  }
+
   Program& compute(sim::SimTime cost) {
     ops.emplace_back(ComputeOp{cost});
     return *this;

@@ -23,7 +23,7 @@ Transputer::Transputer(sim::Simulation& sim, net::NodeId node, mem::Mmu& mmu,
                        Params params)
     : sim_(sim), node_(node), mmu_(mmu), params_(params) {}
 
-void Transputer::make_ready(Process& p) {
+void Transputer::make_ready(Process& p, sim::EventBatch* batch) {
   assert(p.node() == node_ && "process bound to a different node");
   assert(p.state_ != ProcessState::kReady &&
          p.state_ != ProcessState::kRunning &&
@@ -35,21 +35,21 @@ void Transputer::make_ready(Process& p) {
   }
   p.state_ = ProcessState::kReady;
   low_queue_.push_back(&p);
-  request_dispatch();
+  request_dispatch(batch);
 }
 
-void Transputer::suspend(Process& p) {
+void Transputer::suspend(Process& p, sim::EventBatch* batch) {
   p.gang_active_ = false;
   switch (p.state_) {
     case ProcessState::kReady:
-      std::erase(low_queue_, &p);
+      low_queue_.erase_value(&p);
       p.state_ = ProcessState::kSuspended;
       return;
     case ProcessState::kRunning: {
       Process& interrupted = interrupt_low_charge();
       assert(&interrupted == &p);
       interrupted.state_ = ProcessState::kSuspended;
-      request_dispatch();
+      request_dispatch(batch);
       return;
     }
     default:
@@ -59,13 +59,13 @@ void Transputer::suspend(Process& p) {
   }
 }
 
-void Transputer::resume(Process& p) {
+void Transputer::resume(Process& p, sim::EventBatch* batch) {
   p.gang_active_ = true;
-  if (p.state_ == ProcessState::kSuspended) make_ready(p);
+  if (p.state_ == ProcessState::kSuspended) make_ready(p, batch);
 }
 
-void Transputer::post_high(sim::SimTime cost,
-                           sim::UniqueFunction<void()> done) {
+void Transputer::post_high(sim::SimTime cost, sim::UniqueFunction<void()> done,
+                           sim::EventBatch* batch) {
   ++high_items_;
   high_queue_.push_back(HighWork{cost, std::move(done)});
   if (charge_kind_ == ChargeKind::kOp || charge_kind_ == ChargeKind::kContext) {
@@ -73,7 +73,7 @@ void Transputer::post_high(sim::SimTime cost,
   } else if (charge_kind_ == ChargeKind::kService) {
     interrupt_service();
   }
-  request_dispatch();
+  request_dispatch(batch);
 }
 
 void Transputer::post_service(sim::SimTime cost,
@@ -121,13 +121,18 @@ void Transputer::deliver(Process& receiver, const net::Message& msg,
   }
 }
 
-void Transputer::request_dispatch() {
+void Transputer::request_dispatch(sim::EventBatch* batch) {
   if (pump_scheduled_) return;
   pump_scheduled_ = true;
-  sim_.schedule(sim::SimTime::zero(), [this] {
+  auto pump = [this] {
     pump_scheduled_ = false;
     dispatch();
-  });
+  };
+  if (batch != nullptr) {
+    batch->add(std::move(pump));
+  } else {
+    sim_.schedule(sim::SimTime::zero(), std::move(pump));
+  }
 }
 
 void Transputer::dispatch() {
@@ -144,8 +149,8 @@ void Transputer::dispatch() {
     // application process is ready, draining as many queued items as fit.
     if (!service_queue_.empty() && (service_turn_ || low_queue_.empty())) {
       sim::SimTime planned;
-      for (const auto& item : service_queue_) {
-        planned += item.remaining;
+      for (std::size_t i = 0; i < service_queue_.size(); ++i) {
+        planned += service_queue_[i].remaining;
         if (planned >= params_.daemon_slice) {
           planned = params_.daemon_slice;
           break;

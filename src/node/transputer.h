@@ -21,12 +21,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "mem/mmu.h"
 #include "node/process.h"
 #include "node/program.h"
+#include "sim/ring_queue.h"
 #include "sim/simulation.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -73,12 +73,20 @@ class Transputer {
   [[nodiscard]] const Params& params() const { return params_; }
 
   // --- scheduler interface ----------------------------------------------
+  // The entry points below take an optional `batch`: when non-null, the
+  // zero-delay dispatch pump they would schedule is appended to it instead,
+  // so a partition-wide fan-out (gang dispatch, job admission) commits all
+  // its pumps through one Simulation::schedule_batch bulk insert. The
+  // pump_scheduled_ dedup still applies, so each CPU contributes at most
+  // one pump per batch.
+
   /// Makes a (new or unblocked) process runnable on this CPU.
-  void make_ready(Process& p);
+  void make_ready(Process& p, sim::EventBatch* batch = nullptr);
 
   /// Enqueues high-priority work costing `cost` CPU; `done` runs when it
   /// completes. Preempts any running low-priority process immediately.
-  void post_high(sim::SimTime cost, sim::UniqueFunction<void()> done);
+  void post_high(sim::SimTime cost, sim::UniqueFunction<void()> done,
+                 sim::EventBatch* batch = nullptr);
 
   /// Enqueues system-daemon work (mailbox management, store-and-forward
   /// copying). The daemon is a LOW-priority software process, as in the
@@ -96,9 +104,9 @@ class Transputer {
   /// Takes `p` out of circulation for the rest of its job's rotation: a
   /// ready process parks as kSuspended, a running one is preempted off the
   /// CPU, and a blocked one will park instead of waking. Idempotent.
-  void suspend(Process& p);
+  void suspend(Process& p, sim::EventBatch* batch = nullptr);
   /// Puts `p` back in circulation (enqueues it if it was parked ready).
-  void resume(Process& p);
+  void resume(Process& p, sim::EventBatch* batch = nullptr);
 
   // --- observability ------------------------------------------------------
   [[nodiscard]] std::size_t ready_count() const { return low_queue_.size(); }
@@ -134,8 +142,9 @@ class Transputer {
   /// Schedules a zero-delay dispatch pump. External entry points (make_ready,
   /// post_high) never run the interpreter inline: this keeps op side effects
   /// (which can re-enter the same CPU, e.g. a self-send's delivery) from
-  /// nesting inside an in-flight interpreter step.
-  void request_dispatch();
+  /// nesting inside an in-flight interpreter step. With `batch` non-null the
+  /// pump is appended there for a caller-side bulk insert instead.
+  void request_dispatch(sim::EventBatch* batch = nullptr);
   /// Picks the next work item if the CPU is idle.
   void dispatch();
   /// Interprets ops of `current_` until a charge is planned, the process
@@ -168,9 +177,11 @@ class Transputer {
   SendDispatcher send_dispatcher_;
   const sim::Tracer* tracer_ = nullptr;
 
-  std::deque<HighWork> high_queue_;
-  std::deque<Process*> low_queue_;
-  std::deque<ServiceWork> service_queue_;
+  // Ring-buffer FIFOs: these queues churn on every dispatch, and a deque
+  // would pay a block allocation every few dozen pushes forever.
+  sim::RingQueue<HighWork> high_queue_;
+  sim::RingQueue<Process*> low_queue_;
+  sim::RingQueue<ServiceWork> service_queue_;
   /// Alternates the low-priority domain between the comm daemon and the
   /// application processes so neither starves the other.
   bool service_turn_ = false;

@@ -23,7 +23,7 @@ using node::JobId;
 /// Endpoint id of process `rank` of job `job`. Stable encoding used by the
 /// workload builders to address sibling processes in their scripts.
 [[nodiscard]] constexpr net::EndpointId endpoint_of(JobId job, int rank) {
-  return (static_cast<net::EndpointId>(job) << 20) |
+  return (static_cast<net::EndpointId>(job) << net::kEndpointRankBits) |
          static_cast<net::EndpointId>(rank);
 }
 

@@ -48,7 +48,7 @@ void PartitionScheduler::admit(Job& job) {
                            " built no processes");
   }
   const int procs = static_cast<int>(programs.size());
-  live_processes_[job.id()] = procs;
+  live_processes_.emplace_back(job.id(), procs);
 
   const sim::SimTime quantum =
       policy_.time_shared()
@@ -56,6 +56,7 @@ void PartitionScheduler::admit(Job& job) {
           : policy_.min_quantum;  // hardware timeslice under space-sharing
 
   const int rotation = params_.rotate_placement ? placement_rotation_++ : 0;
+  job.processes().reserve(static_cast<std::size_t>(procs));
   for (int rank = 0; rank < procs; ++rank) {
     auto process = std::make_unique<node::Process>(
         endpoint_of(job.id(), rank), job.id(), std::move(programs[static_cast<std::size_t>(rank)]));
@@ -67,18 +68,22 @@ void PartitionScheduler::admit(Job& job) {
     job.processes().push_back(std::move(process));
   }
   // Placement: notify each local scheduler. The scheduler software itself
-  // costs CPU, charged as high-priority work on the target node.
+  // costs CPU, charged as high-priority work on the target node. This is
+  // the O(partition)-pumps-at-one-instant fan-out (the matmul broadcast's
+  // admission): each touched CPU contributes one dispatch pump to the
+  // scratch batch, committed below as a single bulk insert.
   const bool gang = gang_mode();
   for (auto& process : job.processes()) {
     node::Transputer* cpu = cpus_[static_cast<std::size_t>(process->node())];
     if (!params_.dispatch_overhead.is_zero()) {
-      cpu->post_high(params_.dispatch_overhead, nullptr);
+      cpu->post_high(params_.dispatch_overhead, nullptr, &dispatch_batch_);
     }
     // Under gang rotation a job is admitted parked; its first turn (or the
     // sole-job fast path below) resumes it.
-    if (gang) cpu->suspend(*process);
-    cpu->make_ready(*process);
+    if (gang) cpu->suspend(*process, &dispatch_batch_);
+    cpu->make_ready(*process, &dispatch_batch_);
   }
+  sim_.schedule_batch(sim::SimTime::zero(), dispatch_batch_);
   if (gang) {
     gang_ring_.push_back(&job);
     if (gang_current_ == nullptr) {
@@ -96,14 +101,18 @@ void PartitionScheduler::admit(Job& job) {
 void PartitionScheduler::gang_set_active(Job& job, bool active) {
   // Freeze/thaw the job's in-flight communication along with its processes.
   comm_.set_job_active(job.id(), active);
+  // Gang fan-out: every partition CPU wakes (or parks) at this instant, so
+  // the per-CPU dispatch pumps are accumulated and committed in one bulk
+  // insert rather than one heap push each.
   for (auto& process : job.processes()) {
     node::Transputer* cpu = cpus_[static_cast<std::size_t>(process->node())];
     if (active) {
-      cpu->resume(*process);
+      cpu->resume(*process, &dispatch_batch_);
     } else {
-      cpu->suspend(*process);
+      cpu->suspend(*process, &dispatch_batch_);
     }
   }
+  sim_.schedule_batch(sim::SimTime::zero(), dispatch_batch_);
 }
 
 void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
@@ -113,8 +122,9 @@ void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
     if (!params_.gang_switch_overhead.is_zero()) {
       for (const net::NodeId node : partition_.nodes) {
         cpus_[static_cast<std::size_t>(node)]->post_high(
-            params_.gang_switch_overhead, nullptr);
+            params_.gang_switch_overhead, nullptr, &dispatch_batch_);
       }
+      sim_.schedule_batch(sim::SimTime::zero(), dispatch_batch_);
     }
   }
   gang_set_active(job, true);
@@ -156,7 +166,8 @@ void PartitionScheduler::gang_leave(Job& job) {
 }
 
 void PartitionScheduler::on_process_exit(Job& job) {
-  auto it = live_processes_.find(job.id());
+  auto it = live_processes_.begin();
+  while (it != live_processes_.end() && it->first != job.id()) ++it;
   assert(it != live_processes_.end());
   if (--it->second > 0) return;
   live_processes_.erase(it);

@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "node/comm.h"
@@ -92,7 +92,14 @@ class PartitionScheduler {
   Params params_;
   CompletionHandler on_complete_;
 
-  std::unordered_map<JobId, int> live_processes_;
+  /// Outstanding process count per resident job. A partition hosts at most
+  /// set_size jobs, so a flat array beats hashing (and never allocates once
+  /// its capacity covers the multiprogramming level).
+  std::vector<std::pair<JobId, int>> live_processes_;
+  /// Scratch for the admission/gang fan-outs: per-CPU dispatch pumps are
+  /// accumulated here and committed with one Simulation::schedule_batch
+  /// call. Reused across fan-outs, so it stops allocating once warm.
+  sim::EventBatch dispatch_batch_;
   /// Round-robin ring of resident jobs and the current turn.
   std::vector<Job*> gang_ring_;
   std::size_t gang_index_ = 0;

@@ -6,7 +6,7 @@
 
 namespace tmc::sim {
 
-EventId EventQueue::schedule(SimTime at, Callback cb) {
+std::uint32_t EventQueue::acquire_slot(Callback cb) {
   std::uint32_t index;
   if (free_head_ != kFreeListEnd) {
     index = free_head_;
@@ -25,10 +25,54 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   Slot& slot = slots_[index];
   slot.callback = std::move(cb);
   slot.live = true;
-  heap_.push_back(Entry{at, ++scheduled_, index, slot.generation});
-  sift_up(heap_.size() - 1);
+  return index;
+}
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const std::uint32_t index = acquire_slot(std::move(cb));
+  Slot& slot = slots_[index];
   ++live_;
+  if (fifo_eligible(at)) {
+    now_fifo_.push_back(Entry{at, ++scheduled_, index, slot.generation});
+  } else {
+    heap_.push_back(Entry{at, ++scheduled_, index, slot.generation});
+    sift_up(heap_.size() - 1);
+  }
   return make_id(index, slot.generation);
+}
+
+std::size_t EventQueue::schedule_batch(SimTime at, std::span<Callback> cbs,
+                                       EventId* ids) {
+  const std::size_t k = cbs.size();
+  if (k == 0) return 0;
+  // Sequence numbers are handed out in span order, so the batch ties-break
+  // exactly as k individual schedule() calls would. A same-instant batch
+  // (the common case: dispatch fan-out committed at zero delay) appends to
+  // the FIFO lane and never touches the heap.
+  const bool fast = fifo_eligible(at);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint32_t index = acquire_slot(std::move(cbs[i]));
+    const Slot& slot = slots_[index];
+    const Entry entry{at, ++scheduled_, index, slot.generation};
+    if (fast) {
+      now_fifo_.push_back(entry);
+    } else {
+      heap_.push_back(entry);
+    }
+    if (ids != nullptr) ids[i] = make_id(index, slot.generation);
+  }
+  live_ += k;
+  if (fast) return k;
+  // The first heap_.size()-k elements still satisfy the heap property, so a
+  // small batch sifts each appended entry up (O(k log n)); a batch that
+  // rivals the pending set rebuilds bottom-up in O(n). Heap order is the
+  // strict total order (time, seq), so pop order is identical either way.
+  if (k < heap_.size() / 2) {
+    for (std::size_t i = heap_.size() - k; i < heap_.size(); ++i) sift_up(i);
+  } else {
+    heapify();
+  }
+  return k;
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -66,21 +110,73 @@ void EventQueue::drop_stale_top() const {
   }
 }
 
+void EventQueue::drop_stale_fifo() const {
+  while (now_head_ < now_fifo_.size()) {
+    const Entry& e = now_fifo_[now_head_];
+    const Slot& slot = slots_[e.slot];
+    if (slot.live && slot.generation == e.generation) return;
+    ++now_head_;
+  }
+  // Fully drained: rewind so the lane's storage is reused, not grown.
+  now_fifo_.clear();
+  now_head_ = 0;
+}
+
 SimTime EventQueue::next_time() const {
   drop_stale_top();
-  assert(!heap_.empty() && "next_time() on empty EventQueue");
+  drop_stale_fifo();
+  if (fifo_drained()) {
+    assert(!heap_.empty() && "next_time() on empty EventQueue");
+    return heap_.front().time;
+  }
+  const Entry& front = now_fifo_[now_head_];
+  if (heap_.empty() || before(front, heap_.front())) return front.time;
   return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop_fifo_front() {
+  const Entry e = now_fifo_[now_head_++];
+  current_ = e.time;
+  Fired fired{e.time, make_id(e.slot, e.generation),
+              std::move(slots_[e.slot].callback)};
+  retire_slot(e.slot);
+  return fired;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_stale_top();
+  drop_stale_fifo();
+  if (!fifo_drained() &&
+      (heap_.empty() || before(now_fifo_[now_head_], heap_.front()))) {
+    return pop_fifo_front();
+  }
   assert(!heap_.empty() && "pop() on empty EventQueue");
   const Entry top = heap_.front();
   pop_top();
+  current_ = top.time;
   Fired fired{top.time, make_id(top.slot, top.generation),
               std::move(slots_[top.slot].callback)};
   retire_slot(top.slot);
   return fired;
+}
+
+bool EventQueue::pop_if_at_most(SimTime limit, Fired& out) {
+  drop_stale_top();
+  drop_stale_fifo();
+  if (!fifo_drained() &&
+      (heap_.empty() || before(now_fifo_[now_head_], heap_.front()))) {
+    if (now_fifo_[now_head_].time > limit) return false;
+    out = pop_fifo_front();
+    return true;
+  }
+  if (heap_.empty() || heap_.front().time > limit) return false;
+  const Entry top = heap_.front();
+  pop_top();
+  current_ = top.time;
+  out = Fired{top.time, make_id(top.slot, top.generation),
+              std::move(slots_[top.slot].callback)};
+  retire_slot(top.slot);
+  return true;
 }
 
 std::size_t EventQueue::discard_all() {
@@ -94,9 +190,32 @@ std::size_t EventQueue::discard_all() {
 }
 
 void EventQueue::pop_top() const {
-  heap_.front() = heap_.back();
+  // Bottom-up deletion: sink the root hole to a leaf along the min-child
+  // chain (one 4-way min per level, no comparison against a relocated
+  // element), then drop the last entry into the hole and sift it up. The
+  // last entry is almost always leaf-grade, so the sift-up usually stops
+  // immediately -- measurably fewer comparisons than the textbook
+  // move-last-to-root-and-sift-down on this workload's shallow heaps.
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    return;
+  }
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * hole + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = heap_[n];
   heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  sift_up(hole);
 }
 
 void EventQueue::sift_up(std::size_t i) const {
@@ -108,6 +227,15 @@ void EventQueue::sift_up(std::size_t i) const {
     i = parent;
   }
   heap_[i] = entry;
+}
+
+void EventQueue::heapify() const {
+  if (heap_.size() < 2) return;
+  // Floyd's bottom-up build over the 4-ary layout: sift down every internal
+  // node, last parent first.
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+    sift_down(i);
+  }
 }
 
 void EventQueue::sift_down(std::size_t i) const {

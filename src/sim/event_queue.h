@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/time.h"
@@ -29,6 +30,15 @@ inline constexpr EventId kNoEvent = 0;
 /// cancel() destroys the callback and retires the slot immediately, leaving
 /// the heap entry to be skipped when it surfaces (the generation tag
 /// detects staleness even after the slot has been reused).
+///
+/// Same-instant fast lane: an event scheduled for exactly the time of the
+/// most recently popped event (a zero-delay cascade -- dispatch pumps,
+/// bulk-granted memory, gang fan-out) bypasses the heap into a plain FIFO.
+/// This is order-exact, not an approximation: every heap entry at that
+/// instant was inserted before the clock reached it and so carries a lower
+/// sequence number than anything in the lane, and pop() compares the two
+/// fronts under the same strict (time, seq) order either way. Roughly a
+/// third of all events in the paper's workloads take this O(1) path.
 class EventQueue {
  public:
   using Callback = UniqueFunction<void()>;
@@ -44,6 +54,24 @@ class EventQueue {
   /// be passed to `cancel`.
   EventId schedule(SimTime at, Callback cb);
 
+  /// Bulk insert: schedules every callback in `cbs` (moving them out) to
+  /// fire at the same instant `at`, in span order.
+  ///
+  /// Contract: the batch is assigned consecutive sequence numbers, so it is
+  /// exactly equivalent to calling schedule(at, cb) on each element in
+  /// order -- same FIFO tie-break, same pop order, same handles-to-slots
+  /// mapping guarantees -- only cheaper. Small batches sift each appended
+  /// entry up individually; a batch that rivals the pending set in size
+  /// rebuilds the heap bottom-up (Floyd) in O(n) instead. Because the heap
+  /// order is the strict total order (time, seq), both restore paths yield
+  /// identical pop sequences.
+  ///
+  /// If `ids` is non-null it must point to `cbs.size()` elements; it
+  /// receives the handle of each scheduled event (cancelable as usual).
+  /// Returns the number of events scheduled.
+  std::size_t schedule_batch(SimTime at, std::span<Callback> cbs,
+                             EventId* ids = nullptr);
+
   /// Cancels a pending event. Returns false if the event already fired,
   /// was already cancelled, or the id was never issued.
   bool cancel(EventId id);
@@ -58,10 +86,17 @@ class EventQueue {
   /// its firing time. Must not be called when empty.
   struct Fired {
     SimTime time;
-    EventId id;
+    EventId id = kNoEvent;
     Callback callback;
   };
   Fired pop();
+
+  /// Fused next_time()+pop(): pops the earliest pending event into `out`
+  /// only if its time is <= `limit`. Returns false (leaving `out` untouched)
+  /// when the queue is empty or the earliest event lies beyond the limit.
+  /// Equivalent to `!empty() && next_time() <= limit` followed by `pop()`,
+  /// but walks the stale-entry lazy-deletion pass once instead of twice.
+  bool pop_if_at_most(SimTime limit, Fired& out);
 
   /// Total events ever scheduled (monotone; includes cancelled ones).
   [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
@@ -103,6 +138,10 @@ class EventQueue {
     return a.seq < b.seq;
   }
 
+  /// Takes a slot from the free list (or grows the pool) and moves `cb`
+  /// into it. Shared by schedule() and schedule_batch().
+  std::uint32_t acquire_slot(Callback cb);
+
   /// Marks the slot dead, bumps its generation (invalidating outstanding
   /// handles and heap entries), and returns it to the free list.
   void retire_slot(std::uint32_t index);
@@ -113,12 +152,63 @@ class EventQueue {
   void pop_top() const;
   void sift_up(std::size_t i) const;
   void sift_down(std::size_t i) const;
+  /// Rebuilds the heap property over the whole array (bottom-up).
+  void heapify() const;
+
+  /// Skips cancelled entries at the front of the same-instant lane; resets
+  /// the lane to offset 0 (keeping capacity) once fully drained.
+  void drop_stale_fifo() const;
+  [[nodiscard]] bool fifo_drained() const {
+    return now_head_ == now_fifo_.size();
+  }
+  /// True when an event at `at` may ride the same-instant lane: the clock
+  /// (time of the last pop) has reached `at`, and the lane holds nothing
+  /// from a different instant.
+  [[nodiscard]] bool fifo_eligible(SimTime at) const {
+    return at == current_ && (fifo_drained() || now_fifo_.back().time == at);
+  }
+  /// Consumes the front lane entry (already known live) as a Fired record.
+  Fired pop_fifo_front();
 
   mutable std::vector<Entry> heap_;
+  /// Same-instant lane: entries at the current instant, consumed from
+  /// now_head_, appended at the back. Drains completely before the clock
+  /// can advance (its entries are, by construction, among the earliest
+  /// pending), so a flat vector with a head cursor suffices.
+  mutable std::vector<Entry> now_fifo_;
+  mutable std::size_t now_head_ = 0;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kFreeListEnd;
   std::uint64_t scheduled_ = 0;
   std::size_t live_ = 0;
+  /// Time of the most recently popped event; the gate for the fast lane.
+  /// Starts at zero: nothing can be scheduled before the epoch, so events
+  /// scheduled at t=0 before the first pop ride the lane correctly.
+  SimTime current_;
+};
+
+/// Accumulates callbacks destined for one instant so a fan-out site (gang
+/// dispatch, multi-grant MMU pump, broadcast admission) can insert them with
+/// a single EventQueue::schedule_batch() call. Reusable: clear() keeps the
+/// capacity, so a scheduler-owned scratch batch stops allocating once warm.
+class EventBatch {
+ public:
+  void add(EventQueue::Callback cb) { callbacks_.push_back(std::move(cb)); }
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  /// Drops the callbacks (destroying any not yet moved out) but keeps the
+  /// vector capacity for reuse.
+  void clear() { callbacks_.clear(); }
+
+  /// The accumulated callbacks, in add() order; schedule_batch moves the
+  /// elements out, after which clear() must be called before reuse.
+  [[nodiscard]] std::span<EventQueue::Callback> callbacks() {
+    return callbacks_;
+  }
+
+ private:
+  std::vector<EventQueue::Callback> callbacks_;
 };
 
 }  // namespace tmc::sim

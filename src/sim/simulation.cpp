@@ -20,6 +20,13 @@ EventId Simulation::schedule_at(SimTime at, EventQueue::Callback cb) {
   return queue_.schedule(at, std::move(cb));
 }
 
+std::size_t Simulation::schedule_batch(SimTime delay, EventBatch& batch) {
+  assert(!delay.is_negative() && "negative delay");
+  const std::size_t n = queue_.schedule_batch(now_ + delay, batch.callbacks());
+  batch.clear();
+  return n;
+}
+
 std::uint64_t Simulation::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && !queue_.empty()) {
@@ -35,8 +42,8 @@ std::uint64_t Simulation::run(std::uint64_t max_events) {
 
 std::uint64_t Simulation::run_until(SimTime until) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= until) {
-    auto fired = queue_.pop();
+  EventQueue::Fired fired;
+  while (queue_.pop_if_at_most(until, fired)) {
     now_ = fired.time;
     fired.callback();
     ++n;
@@ -49,6 +56,15 @@ std::uint64_t Simulation::run_until(SimTime until) {
 bool Simulation::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.callback();
+  ++fired_;
+  return true;
+}
+
+bool Simulation::step_until(SimTime limit) {
+  EventQueue::Fired fired;
+  if (!queue_.pop_if_at_most(limit, fired)) return false;
   now_ = fired.time;
   fired.callback();
   ++fired_;

@@ -31,6 +31,13 @@ class Simulation {
   /// Schedules `cb` at absolute time `at` (>= now()).
   EventId schedule_at(SimTime at, EventQueue::Callback cb);
 
+  /// Commits an accumulated fan-out: every callback in `batch` is scheduled
+  /// at now()+delay through one EventQueue::schedule_batch bulk insert
+  /// (FIFO-equivalent to scheduling them individually in add() order). The
+  /// batch is cleared afterwards, retaining its capacity for reuse.
+  /// Returns the number of events scheduled.
+  std::size_t schedule_batch(SimTime delay, EventBatch& batch);
+
   /// Cancels a pending event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -44,6 +51,12 @@ class Simulation {
 
   /// Fires exactly one event if any is pending. Returns true if one fired.
   bool step();
+
+  /// Fires exactly one event if one is pending at or before `limit`.
+  /// Equivalent to `!idle() && next_event_time() <= limit` followed by
+  /// step(), but performs the queue's lazy-deletion scan once instead of
+  /// twice -- the shape of a watchdog-bounded run loop.
+  bool step_until(SimTime limit);
 
   /// Destroys all pending events without firing them (teardown aid for
   /// models whose callbacks own resources). Returns the number discarded.

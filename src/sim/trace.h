@@ -29,8 +29,11 @@ class Tracer {
  public:
   using Sink = std::function<void(std::string_view line)>;
 
+  /// A null sink cannot consume lines, so it forces the mask to 0: enabled()
+  /// stays false, components skip building trace strings, and emit() stays
+  /// a no-op instead of invoking an empty std::function.
   void enable(unsigned mask, Sink sink) {
-    mask_ = mask;
+    mask_ = sink ? mask : 0;
     sink_ = std::move(sink);
   }
   void disable() {

@@ -94,6 +94,10 @@ std::vector<node::Program> build_matmul_programs(const MatMulParams& params,
     for (int rank = 0; rank < procs; ++rank) {
       node::Program& prog = programs[static_cast<std::size_t>(rank)];
       const std::size_t rows = rows_of(n, procs, rank);
+      // alloc + optional receive + subtree forwards + compute + result
+      // phase (gather at rank 0, one send elsewhere) + exit.
+      prog.reserve(3 + plan[static_cast<std::size_t>(rank)].size() +
+                   (rank == 0 ? static_cast<std::size_t>(procs) - 1 : 2));
       prog.alloc(params.costs.process_overhead_bytes +
                  (rank == 0 ? 3 * matrix_bytes
                             : matrix_bytes + 2 * rows * n * esz));
@@ -116,7 +120,11 @@ std::vector<node::Program> build_matmul_programs(const MatMulParams& params,
   }
 
   // Paper's algorithm: the coordinator ships every worker's parcel itself.
+  // The (P-1)-send broadcast here is pure script: its simultaneous dispatch
+  // pumps are batched at admission (PartitionScheduler::admit) and its
+  // buffer grants by the MMU's bulk-inserting pump.
   node::Program& coord = programs[0];
+  coord.reserve(2 * static_cast<std::size_t>(procs) + 1);
   coord.alloc(params.costs.process_overhead_bytes + 3 * matrix_bytes);
   for (int rank = 1; rank < procs; ++rank) {
     const std::size_t rows = rows_of(n, procs, rank);
@@ -132,6 +140,7 @@ std::vector<node::Program> build_matmul_programs(const MatMulParams& params,
   for (int rank = 1; rank < procs; ++rank) {
     const std::size_t rows = rows_of(n, procs, rank);
     node::Program& worker = programs[static_cast<std::size_t>(rank)];
+    worker.reserve(5);
     // Working set: code + workspace, copy of B, band of A, band of C.
     worker.alloc(params.costs.process_overhead_bytes + matrix_bytes +
                  2 * rows * n * esz);

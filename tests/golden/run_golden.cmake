@@ -1,0 +1,35 @@
+# Golden-figure regression runner, invoked by ctest:
+#
+#   cmake -DBENCH=<binary> -DTHREADS=<n> -DGOLDEN=<expected.txt>
+#         -P run_golden.cmake
+#
+# Runs the bench and fails unless its stdout is byte-identical to the
+# checked-in table. The figure pipeline is deterministic by design -- same
+# seeds, same event order, same formatting -- at ANY --threads value, so the
+# comparison is an exact string match, not a tolerance diff. Regenerate a
+# golden file by running the bench with --threads 1 and committing the
+# output alongside the change that moved the numbers.
+foreach(var BENCH THREADS GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH}" --threads "${THREADS}"
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --threads ${THREADS} exited with ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  get_filename_component(name "${GOLDEN}" NAME)
+  file(WRITE "${GOLDEN}.actual" "${actual}")
+  message(FATAL_ERROR
+    "figure table drifted from ${name} (threads=${THREADS}); "
+    "fresh output written to ${GOLDEN}.actual -- diff it against the "
+    "golden file, and re-commit the golden only if the change is intended")
+endif()

@@ -1,0 +1,58 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tmc::sim {
+namespace {
+
+TEST(Tracer, DisabledByDefault) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kKernel));
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kAll));
+}
+
+TEST(Tracer, EnableRoutesMatchingCategoriesToSink) {
+  Tracer tracer;
+  std::vector<std::string> lines;
+  tracer.enable(static_cast<unsigned>(TraceCategory::kCpu),
+                [&lines](std::string_view line) {
+                  lines.emplace_back(line);
+                });
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kCpu));
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kNetwork));
+  tracer.emit(SimTime::microseconds(3), TraceCategory::kCpu, "cpu0",
+              "dispatch");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("cpu0"), std::string::npos);
+  EXPECT_NE(lines[0].find("dispatch"), std::string::npos);
+}
+
+TEST(Tracer, NullSinkForcesMaskToZero) {
+  // Regression: enable(mask, nullptr) used to leave the mask set, so the
+  // first traced event invoked an empty std::function and threw
+  // std::bad_function_call mid-simulation.
+  Tracer tracer;
+  tracer.enable(static_cast<unsigned>(TraceCategory::kAll), nullptr);
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kKernel));
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kAll));
+  // emit() must be a harmless no-op even when called directly.
+  EXPECT_NO_THROW(tracer.emit(SimTime::zero(), TraceCategory::kKernel, "c",
+                              "m"));
+}
+
+TEST(Tracer, DisableClearsEarlierEnable) {
+  Tracer tracer;
+  std::size_t calls = 0;
+  tracer.enable(static_cast<unsigned>(TraceCategory::kAll),
+                [&calls](std::string_view) { ++calls; });
+  tracer.disable();
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kMemory));
+  tracer.emit(SimTime::zero(), TraceCategory::kMemory, "mmu", "grant");
+  EXPECT_EQ(calls, 0u);
+}
+
+}  // namespace
+}  // namespace tmc::sim

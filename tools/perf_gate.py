@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail when kernel throughput regresses against the record.
+
+Compares a fresh Google Benchmark JSON report against the most recent entry
+in BENCH_kernel.json (the repo's performance trajectory) and exits non-zero
+if any benchmark's items_per_second fell more than --tolerance (default 10%)
+below the recorded value.
+
+Usage:
+    ./build/bench/micro_kernel   --benchmark_format=json > kernel.json
+    ./build/bench/micro_wormhole --benchmark_format=json > wormhole.json
+    python3 tools/perf_gate.py kernel.json wormhole.json
+
+Rules of engagement:
+  - Only benchmarks present in BOTH the report and the latest BENCH entry
+    are gated; new benchmarks are reported as informational and should be
+    added to BENCH_kernel.json in the PR that introduces them.
+  - Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
+    gated on the median when present, otherwise on the plain run.
+  - Speedups are never an error: the gate only bounds regressions. When the
+    numbers move up for good, refresh BENCH_kernel.json with a new entry
+    rather than letting headroom accumulate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_report(path: pathlib.Path) -> dict[str, float]:
+    """Map benchmark name -> measured items_per_second from one report."""
+    with open(path) as f:
+        doc = json.load(f)
+    plain: dict[str, float] = {}
+    median: dict[str, float] = {}
+    for row in doc.get("benchmarks", []):
+        ips = row.get("items_per_second")
+        if ips is None:
+            continue
+        if row.get("run_type") == "aggregate":
+            if row.get("aggregate_name") == "median":
+                median[row["run_name"]] = ips
+        else:
+            plain[row["name"]] = ips
+    # Median (stable under noise) wins over the raw runs it summarizes.
+    return {**plain, **median}
+
+
+def load_baseline(path: pathlib.Path) -> tuple[str, dict[str, float]]:
+    """Latest entry's (label, name -> items_per_second) from BENCH_kernel.json."""
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("entries", [])
+    if not entries:
+        sys.exit(f"perf_gate: no entries in {path}")
+    latest = entries[-1]
+    label = f"{latest.get('date', '?')} ({latest.get('commit', '?')})"
+    baseline = {
+        name: rec["items_per_second"]
+        for name, rec in latest.get("benchmarks", {}).items()
+        if "items_per_second" in rec
+    }
+    return label, baseline
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs="+", type=pathlib.Path,
+                        help="Google Benchmark JSON report files")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent
+                        / "BENCH_kernel.json")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional drop (default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    label, baseline = load_baseline(args.baseline)
+    measured: dict[str, float] = {}
+    for report in args.reports:
+        measured.update(load_report(report))
+    if not measured:
+        sys.exit("perf_gate: reports contained no items_per_second rows")
+
+    print(f"perf_gate: baseline entry {label}")
+    failures = []
+    gated = 0
+    for name in sorted(measured):
+        now = measured[name]
+        then = baseline.get(name)
+        if then is None:
+            print(f"  [new ] {name}: {now / 1e6:.2f}M items/s "
+                  "(not in baseline; add it to BENCH_kernel.json)")
+            continue
+        gated += 1
+        ratio = now / then
+        verdict = "ok  " if ratio >= 1.0 - args.tolerance else "FAIL"
+        print(f"  [{verdict}] {name}: {now / 1e6:.2f}M vs {then / 1e6:.2f}M "
+              f"items/s ({ratio:.2f}x)")
+        if verdict == "FAIL":
+            failures.append(name)
+
+    if gated == 0:
+        sys.exit("perf_gate: no benchmark overlapped the baseline entry -- "
+                 "name drift? refresh BENCH_kernel.json")
+    if failures:
+        print(f"perf_gate: {len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"perf_gate: {gated} benchmark(s) within {args.tolerance:.0%} "
+          "of the record")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
