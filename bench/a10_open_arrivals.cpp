@@ -37,14 +37,18 @@ core::OpenArrivalConfig make_config(sched::PolicyKind kind,
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A10: open Poisson arrivals, matmul mix (75% small / "
                "25% large),\nmean response over 96 measured jobs (16 warm-up) "
                "x 3 seeds; partition size 4.\n";
 
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   core::Table table({"arrivals/s", "offered load", "static (s)", "hybrid (s)",
                      "adaptive (s)"});
+  // The observed run is the first cell's replication 0 (static policy at
+  // the lightest load); sibling replications detach inside the harness.
+  bool first_cell = true;
   for (const double rate : {2.0, 4.0, 6.0, 8.0, 10.0, 12.0}) {
     double load = 0.0;
     std::string cells[3];
@@ -54,8 +58,11 @@ int main(int argc, char** argv) {
     for (int k = 0; k < 3; ++k) {
       // The three seeded replications of one stream run in parallel;
       // a nullopt replication means the stream outran the policy.
-      const auto replications = core::run_open_arrival_replications(
-          make_config(kinds[k], rate, /*seed=*/1), 3, runner);
+      auto config = make_config(kinds[k], rate, /*seed=*/1);
+      obs.attach(config.machine, first_cell);
+      first_cell = false;
+      const auto replications =
+          core::run_open_arrival_replications(config, 3, runner);
       sim::OnlineStats over_seeds;
       bool saturated = false;
       for (const auto& run : replications) {
@@ -81,5 +88,5 @@ int main(int argc, char** argv) {
                "and adaptive\nspace-sharing (which sizes partitions to the "
                "instantaneous backlog) wins --\nthe batch experiment and "
                "the open system crown different policies.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -18,18 +18,21 @@ namespace {
 
 using namespace tmc;
 
-double run_point(net::TopologyKind topology, bool wormhole) {
+double run_point(net::TopologyKind topology, bool wormhole,
+                 bench::ObsSession& obs, bool representative) {
   auto config =
       core::figure_point(workload::App::kMatMul, sched::SoftwareArch::kFixed,
                          sched::PolicyKind::kTimeSharing, 16, topology);
   config.machine.wormhole = wormhole;
+  obs.attach(config.machine, representative);
   return core::run_experiment(config).mean_response_s;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A2: store-and-forward vs wormhole routing\n"
                "(matmul batch, fixed architecture, pure time-sharing on one "
                "16-node partition)\n";
@@ -37,12 +40,15 @@ int main(int argc, char** argv) {
   const std::vector<net::TopologyKind> topologies = {
       net::TopologyKind::kLinear, net::TopologyKind::kRing,
       net::TopologyKind::kMesh};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto mrts = runner.map(
       topologies.size() * 2,
       [&](std::size_t i) {
-        return run_point(topologies[i / 2], /*wormhole=*/i % 2 == 1);
+        // The observed run is the wormhole mesh (the ablation's headline
+        // configuration): the last sweep point.
+        return run_point(topologies[i / 2], /*wormhole=*/i % 2 == 1, obs,
+                         /*representative=*/i == topologies.size() * 2 - 1);
       },
       [&](std::size_t done, std::size_t) {
         for (; dots < done; ++dots) std::cout << "." << std::flush;
@@ -69,5 +75,5 @@ int main(int argc, char** argv) {
             << "\nExpected shape: wormhole is faster everywhere and its "
                "spread is much closer to 1\n(the paper's predicted loss of "
                "topology sensitivity).\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

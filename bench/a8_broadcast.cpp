@@ -36,7 +36,8 @@ core::ExperimentConfig config_for(sched::PolicyKind kind, int partition,
 int main(int argc, char** argv) {
   using namespace tmc;
   using Broadcast = workload::MatMulParams::Broadcast;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A8: point-to-point vs binomial-tree work "
                "distribution\n(matmul batch, adaptive architecture, mesh "
                "partitions)\n";
@@ -56,14 +57,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto mrts = runner.map(
       points.size(),
       [&](std::size_t i) {
         const auto& pt = points[i];
-        return core::run_experiment(config_for(pt.kind, pt.partition, pt.bcast))
-            .mean_response_s;
+        auto config = config_for(pt.kind, pt.partition, pt.bcast);
+        obs.attach(config.machine, /*representative=*/i == 0);
+        return core::run_experiment(config).mean_response_s;
       },
       [&](std::size_t done, std::size_t) {
         for (; dots < done; ++dots) std::cout << "." << std::flush;
@@ -86,5 +88,5 @@ int main(int argc, char** argv) {
                "hardest at large\npartitions (log-depth instead of linear "
                "broadcast), widening static's margin\nover time-sharing -- "
                "the paper's algorithm choice was the scheduler's handicap.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

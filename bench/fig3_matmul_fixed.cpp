@@ -9,16 +9,17 @@
 int main(int argc, char** argv) {
   using namespace tmc;
   const auto options = bench::parse_figure_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Figure 3: matmul, fixed architecture (12x50^2 + 4x100^2, "
                "16 processes/job)\n";
-  const auto rows =
-      bench::run_figure_sweep(workload::App::kMatMul,
-                              sched::SoftwareArch::kFixed, options, std::cout);
+  const auto rows = bench::run_figure_sweep(workload::App::kMatMul,
+                                            sched::SoftwareArch::kFixed,
+                                            options, std::cout, &obs);
   bench::print_figure(std::cout,
                       "Figure 3 -- matmul / fixed software architecture",
                       rows, options.csv);
   std::cout << "\nPaper shape: static < hybrid << pure TS at every partition "
                "size;\ngap grows to the right (fewer, larger partitions); "
                "linear worst for TS.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

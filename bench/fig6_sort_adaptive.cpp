@@ -9,16 +9,17 @@
 int main(int argc, char** argv) {
   using namespace tmc;
   const auto options = bench::parse_figure_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Figure 6: sort, adaptive architecture (12x6000 + 4x14000 "
                "elements, processes = partition size)\n";
   const auto rows = bench::run_figure_sweep(workload::App::kSort,
                                             sched::SoftwareArch::kAdaptive,
-                                            options, std::cout);
+                                            options, std::cout, &obs);
   bench::print_figure(std::cout,
                       "Figure 6 -- sort / adaptive software architecture",
                       rows, options.csv);
   std::cout << "\nPaper shape: response times far above Figure 5 at small "
                "partition sizes\n(adaptive makes chunks large and selection "
                "sort quadratic); static still beats TS.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -11,10 +11,12 @@ namespace tmc::bench {
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0, bool figure_flags, int exit_code) {
+[[noreturn]] void usage(const char* argv0, bool figure_flags, bool obs_flags,
+                        int exit_code) {
   auto& os = exit_code == 0 ? std::cout : std::cerr;
   os << "usage: " << argv0 << " [--threads N]";
   if (figure_flags) os << " [--csv] [--with-16h]";
+  if (obs_flags) os << " [--metrics[=PATH]] [--timeline=PATH]";
   os << " [--help]\n"
      << "  --threads N  farm sweep points over N worker threads\n"
      << "               (0 = hardware thread count; output is identical\n"
@@ -24,12 +26,13 @@ namespace {
        << "  --with-16h   include the 16-node hypercube the real machine\n"
        << "               could not wire\n";
   }
+  if (obs_flags) os << obs::cli_help();
   std::exit(exit_code);
 }
 
-int parse_thread_value(const char* argv0, bool figure_flags,
+int parse_thread_value(const char* argv0, bool figure_flags, bool obs_flags,
                        const char* value) {
-  if (value == nullptr) usage(argv0, figure_flags, 2);
+  if (value == nullptr) usage(argv0, figure_flags, obs_flags, 2);
   char* end = nullptr;
   const long parsed = std::strtol(value, &end, 10);
   if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) {
@@ -40,24 +43,36 @@ int parse_thread_value(const char* argv0, bool figure_flags,
   return static_cast<int>(parsed);
 }
 
-/// Shared strict parser: `figure_flags` enables --csv/--with-16h.
-FigureOptions parse_options(int argc, char** argv, bool figure_flags) {
+/// Shared strict parser: `figure_flags` enables --csv/--with-16h,
+/// `obs_flags` the shared observability flags.
+FigureOptions parse_options(int argc, char** argv, bool figure_flags,
+                            bool obs_flags) {
   FigureOptions options;
   for (int i = 1; i < argc; ++i) {
+    std::string obs_error;
+    if (obs_flags &&
+        obs::parse_cli_flag(argc, argv, i, options.obs, obs_error)) {
+      if (!obs_error.empty()) {
+        std::cerr << argv[0] << ": " << obs_error << "\n";
+        std::exit(2);
+      }
+      continue;
+    }
     if (figure_flags && std::strcmp(argv[i], "--csv") == 0) {
       options.csv = true;
     } else if (figure_flags && std::strcmp(argv[i], "--with-16h") == 0) {
       options.with_16h = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       options.threads = parse_thread_value(
-          argv[0], figure_flags, i + 1 < argc ? argv[i + 1] : nullptr);
+          argv[0], figure_flags, obs_flags,
+          i + 1 < argc ? argv[i + 1] : nullptr);
       ++i;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      usage(argv[0], figure_flags, 0);
+      usage(argv[0], figure_flags, obs_flags, 0);
     } else {
       std::cerr << argv[0] << ": unknown option '" << argv[i] << "'\n";
-      usage(argv[0], figure_flags, 2);
+      usage(argv[0], figure_flags, obs_flags, 2);
     }
   }
   return options;
@@ -70,17 +85,25 @@ constexpr net::TopologyKind kAllTopologies[] = {
 }  // namespace
 
 FigureOptions parse_figure_options(int argc, char** argv) {
-  return parse_options(argc, argv, /*figure_flags=*/true);
+  return parse_options(argc, argv, /*figure_flags=*/true, /*obs_flags=*/true);
 }
 
 int parse_threads_only(int argc, char** argv) {
-  return parse_options(argc, argv, /*figure_flags=*/false).threads;
+  return parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/false)
+      .threads;
+}
+
+AblationOptions parse_ablation_options(int argc, char** argv) {
+  const FigureOptions parsed =
+      parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/true);
+  return AblationOptions{parsed.threads, parsed.obs};
 }
 
 std::vector<FigureRow> run_figure_sweep(workload::App app,
                                         sched::SoftwareArch arch,
                                         const FigureOptions& options,
-                                        std::ostream& progress) {
+                                        std::ostream& progress,
+                                        ObsSession* obs) {
   struct Point {
     int partition;
     net::TopologyKind topology;
@@ -109,8 +132,15 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
         row.label =
             p == 1 ? "1" : std::to_string(p) + net::topology_letter(topology);
 
-        const auto static_result = core::run_experiment(core::figure_point(
-            app, arch, sched::PolicyKind::kStatic, p, topology));
+        auto static_config = core::figure_point(
+            app, arch, sched::PolicyKind::kStatic, p, topology);
+        // Representative run for --metrics/--timeline: the last sweep point
+        // (largest partition, last topology) -- p=1 machines have no links,
+        // so the first point would leave the link instruments empty.
+        if (obs != nullptr) {
+          obs->attach(static_config.machine, i + 1 == points.size());
+        }
+        const auto static_result = core::run_experiment(static_config);
         row.static_mrt = static_result.mean_response_s;
         row.static_best = static_result.primary.mean_response_s();
         row.static_worst = static_result.worst->mean_response_s();

@@ -7,10 +7,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/hub.h"
 
 namespace tmc::bench {
 
@@ -25,16 +27,52 @@ struct FigureOptions {
   int threads = 1;
   /// Partition sizes to sweep.
   std::vector<int> partition_sizes{1, 2, 4, 8, 16};
+  /// Shared observability flags (--metrics / --timeline / --sample-interval).
+  obs::Options obs;
 };
 
-/// Parses --csv / --with-16h / --threads N (used by every figure bench
-/// binary). Unknown flags or bad values print a usage message and exit
-/// with code 2; --help exits 0.
+/// Parses --csv / --with-16h / --threads N plus the shared observability
+/// flags (used by every figure bench binary). Unknown flags or bad values
+/// print a usage message and exit with code 2; --help exits 0.
 [[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv);
 
 /// Parser for the ablation benches, which take only --threads N (same
 /// validation and exit conventions as parse_figure_options).
 [[nodiscard]] int parse_threads_only(int argc, char** argv);
+
+/// Options for the observability-enabled ablation benches (a2, a8, a10):
+/// --threads N plus the shared observability flags.
+struct AblationOptions {
+  int threads = 1;
+  obs::Options obs;
+};
+[[nodiscard]] AblationOptions parse_ablation_options(int argc, char** argv);
+
+/// Owns the optional hub for one bench invocation. A sweep runs many
+/// simulations (often in parallel); exactly one -- the representative point
+/// the caller designates -- is observed, because the hub's instruments are
+/// single-threaded.
+class ObsSession {
+ public:
+  explicit ObsSession(const obs::Options& options) {
+    if (options.any()) hub_.emplace(options);
+  }
+
+  /// Attaches the hub to `machine` when this is the representative run and
+  /// observability was requested; a no-op otherwise.
+  void attach(core::MachineConfig& machine, bool representative) {
+    if (hub_ && representative) machine.obs = &*hub_;
+  }
+
+  /// Writes the requested outputs. Returns the process exit code to use
+  /// (1 if an output file could not be written, else 0).
+  [[nodiscard]] int flush(std::ostream& diag) {
+    return hub_ && !hub_->write_outputs(diag) ? 1 : 0;
+  }
+
+ private:
+  std::optional<obs::Hub> hub_;
+};
 
 struct FigureRow {
   std::string label;        // e.g. "8L"
@@ -45,10 +83,11 @@ struct FigureRow {
 };
 
 /// Runs the full sweep for one application/architecture combination,
-/// farming the independent figure points across options.threads.
+/// farming the independent figure points across options.threads. When `obs`
+/// is given, the first sweep point's static primary-order run is observed.
 [[nodiscard]] std::vector<FigureRow> run_figure_sweep(
     workload::App app, sched::SoftwareArch arch, const FigureOptions& options,
-    std::ostream& progress);
+    std::ostream& progress, ObsSession* obs = nullptr);
 
 /// Prints the sweep in the paper's row layout.
 void print_figure(std::ostream& os, const std::string& title,

@@ -12,6 +12,7 @@
 #include "core/experiment.h"
 #include "mem/mmu.h"
 #include "net/routing.h"
+#include "obs/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
 
@@ -91,6 +92,42 @@ void BM_SimulationEventChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
 }
 BENCHMARK(BM_SimulationEventChain)->Arg(10000);
+
+void BM_SimulationEventChainNullObs(benchmark::State& state) {
+  // The event chain above with the observability hooks a fully instrumented
+  // component pays when NO hub is attached: null-handle counter bumps, each
+  // a single predictable branch. Three per event bounds the real density --
+  // the wiring feeds gauges/distributions through end-of-run probes and the
+  // sampler, so hot event paths only ever carry bump-style counter hooks
+  // (net.parks, mem.alloc_waits), at most one each. perf_gate.py pairs this
+  // against BM_SimulationEventChain (--pair, 3% tolerance) so "zero overhead
+  // when disabled" stays an enforced property, not a slogan.
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  // volatile loads keep the handles opaque: the compiler must emit the
+  // null checks instead of folding the whole hook away, which is exactly
+  // the code a disabled instrumented component executes.
+  static obs::Counter* volatile null_counter = nullptr;
+  obs::Counter* parks = null_counter;
+  obs::Counter* waits = null_counter;
+  obs::Counter* switches = null_counter;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t remaining = depth;
+    std::function<void()> chain = [&] {
+      obs::bump(parks);
+      obs::bump(waits);
+      obs::bump(switches);
+      if (--remaining > 0) {
+        sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+      }
+    };
+    sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_SimulationEventChainNullObs)->Arg(10000);
 
 void BM_UniqueFunctionInlineRoundTrip(benchmark::State& state) {
   // A 32-byte capture fits the small-buffer storage: construct, move (the

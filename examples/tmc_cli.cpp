@@ -6,6 +6,12 @@
 //           [--memory MB] [--packet BYTES] [--wormhole] [--rotate-placement]
 //           [--no-gang] [--set-size N] [--order interleaved|sjf|ljf]
 //           [--csv] [--jobs] [--threads N]
+//           [--metrics[=PATH]] [--timeline=PATH] [--sample-interval MS]
+//
+// --metrics dumps the structured metrics registry at end of run (stderr by
+// default; PATH ending in .csv selects CSV, anything else JSON).
+// --timeline writes a Chrome trace_event JSON (load in Perfetto / Chrome
+// about:tracing) with one track per node, link and partition.
 //
 // --threads N farms the static policy's independent best/worst-order runs
 // across N worker threads (0 = hardware thread count); results are
@@ -18,11 +24,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/experiment.h"
 #include "core/report.h"
 #include "core/sweep_runner.h"
+#include "obs/hub.h"
 
 namespace {
 
@@ -30,7 +38,9 @@ using namespace tmc;
 
 [[noreturn]] void usage(const char* msg) {
   std::cerr << "tmc_cli: " << msg
-            << "\nrun with the options listed at the top of examples/tmc_cli.cpp\n";
+            << "\nrun with the options listed at the top of examples/tmc_cli.cpp\n"
+            << "observability flags:\n"
+            << obs::cli_help();
   std::exit(2);
 }
 
@@ -56,8 +66,14 @@ int main(int argc, char** argv) {
   int threads = 1;
 
   core::ExperimentConfig config;
+  obs::Options obs_options;
 
   for (int i = 1; i < argc; ++i) {
+    std::string obs_error;
+    if (obs::parse_cli_flag(argc, argv, i, obs_options, obs_error)) {
+      if (!obs_error.empty()) usage(obs_error.c_str());
+      continue;
+    }
     const std::string opt = argv[i];
     if (opt == "--app") {
       const std::string v = next_value(argc, argv, i);
@@ -140,6 +156,12 @@ int main(int argc, char** argv) {
     config.machine.policy.partition_size = partition;
   }
 
+  std::optional<obs::Hub> hub;
+  if (obs_options.any()) {
+    hub.emplace(obs_options);
+    config.machine.obs = &*hub;
+  }
+
   if (explicit_order) {
     const auto run = core::run_batch(config, order);
     std::cout << config.name << " order=" << workload::to_string(order)
@@ -156,7 +178,7 @@ int main(int argc, char** argv) {
       }
       table.print(std::cout);
     }
-    return 0;
+    return hub && !hub->write_outputs(std::cerr) ? 1 : 0;
   }
 
   core::SweepRunner runner(threads);
@@ -181,5 +203,5 @@ int main(int argc, char** argv) {
     }
     jobs.print(std::cout);
   }
-  return 0;
+  return hub && !hub->write_outputs(std::cerr) ? 1 : 0;
 }

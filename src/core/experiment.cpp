@@ -50,17 +50,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config,
   ExperimentResult result;
   result.config = config;
   if (config.machine.policy.space_shared()) {
+    // The hub's instruments are single-threaded and sized for one machine:
+    // only the primary (smallest-first) order is the observed run; the
+    // worst-order companion runs unobserved.
+    ExperimentConfig worst_config = config;
+    worst_config.machine.obs = nullptr;
     if (runner != nullptr && runner->thread_count() > 1) {
       constexpr workload::BatchOrder kOrders[] = {
           workload::BatchOrder::kSmallestFirst,
           workload::BatchOrder::kLargestFirst};
-      auto runs = runner->map(
-          2, [&](std::size_t i) { return run_batch(config, kOrders[i]); });
+      auto runs = runner->map(2, [&](std::size_t i) {
+        return run_batch(i == 0 ? config : worst_config, kOrders[i]);
+      });
       result.primary = std::move(runs[0]);
       result.worst = std::move(runs[1]);
     } else {
       result.primary = run_batch(config, workload::BatchOrder::kSmallestFirst);
-      result.worst = run_batch(config, workload::BatchOrder::kLargestFirst);
+      result.worst =
+          run_batch(worst_config, workload::BatchOrder::kLargestFirst);
     }
     result.mean_response_s = 0.5 * (result.primary.mean_response_s() +
                                     result.worst->mean_response_s());

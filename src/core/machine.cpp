@@ -1,6 +1,9 @@
 #include "core/machine.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/hub.h"
 
 namespace tmc::core {
 
@@ -61,22 +64,228 @@ Multicomputer::Multicomputer(MachineConfig config)
   if (cfg_.policy.kind == sched::PolicyKind::kAdaptiveStatic) {
     scheduler_ = std::make_unique<sched::AdaptiveScheduler>(
         sim_, cpu_ptrs, *comm_, cfg_.policy, cfg_.partition_sched);
-    return;
+  } else {
+    std::vector<sched::PartitionScheduler*> ps_ptrs;
+    for (auto& part : sched::equal_partitions(cfg_.processors,
+                                              cfg_.policy.partition_size)) {
+      partition_scheds_.push_back(std::make_unique<sched::PartitionScheduler>(
+          sim_, std::move(part), cpu_ptrs, *comm_, cfg_.policy,
+          cfg_.partition_sched));
+      ps_ptrs.push_back(partition_scheds_.back().get());
+    }
+    scheduler_ =
+        std::make_unique<sched::SuperScheduler>(sim_, ps_ptrs, cfg_.policy);
   }
-  std::vector<sched::PartitionScheduler*> ps_ptrs;
-  for (auto& part :
-       sched::equal_partitions(cfg_.processors, cfg_.policy.partition_size)) {
-    partition_scheds_.push_back(std::make_unique<sched::PartitionScheduler>(
-        sim_, std::move(part), cpu_ptrs, *comm_, cfg_.policy,
-        cfg_.partition_sched));
-    ps_ptrs.push_back(partition_scheds_.back().get());
+
+  if (cfg_.obs != nullptr) wire_observability();
+}
+
+void Multicomputer::wire_observability() {
+  obs::Hub& hub = *cfg_.obs;
+  obs::Registry& reg = hub.registry();
+  hub.set_label(cfg_.label() + " " + cfg_.policy.label() +
+                (cfg_.wormhole ? " wormhole" : " store-forward"));
+
+  // --- event-kernel self-profile ----------------------------------------
+  reg.probe("kernel.events_fired",
+            [this] { return static_cast<double>(sim_.fired_events()); });
+  reg.probe("kernel.events_scheduled",
+            [this] { return static_cast<double>(sim_.scheduled_events()); });
+  reg.probe("kernel.pending_peak", [this] {
+    return static_cast<double>(sim_.peak_pending_events());
+  });
+  reg.probe("kernel.end_time_s", [this] { return sim_.now().to_seconds(); });
+
+  // --- scheduling hierarchy ---------------------------------------------
+  reg.probe("sched.submitted",
+            [this] { return static_cast<double>(scheduler_->submitted()); });
+  reg.probe("sched.completed",
+            [this] { return static_cast<double>(scheduler_->completed()); });
+  reg.probe("sched.backlog",
+            [this] { return static_cast<double>(scheduler_->queued_jobs()); });
+  for (std::size_t p = 0; p < partition_scheds_.size(); ++p) {
+    sched::PartitionScheduler* ps = partition_scheds_[p].get();
+    const std::string prefix = "partition" + std::to_string(p);
+    reg.probe(prefix + ".active_jobs",
+              [ps] { return static_cast<double>(ps->active_jobs()); });
+    reg.probe(prefix + ".peak_mpl", [ps] {
+      return static_cast<double>(ps->peak_multiprogramming());
+    });
+    reg.probe(prefix + ".jobs_completed",
+              [ps] { return static_cast<double>(ps->jobs_completed()); });
+    reg.probe(prefix + ".gang_switches",
+              [ps] { return static_cast<double>(ps->gang_switches()); });
   }
-  scheduler_ =
-      std::make_unique<sched::SuperScheduler>(sim_, ps_ptrs, cfg_.policy);
+
+  // --- communication system ---------------------------------------------
+  reg.probe("comm.sends",
+            [this] { return static_cast<double>(comm_->sends()); });
+  reg.probe("comm.self_sends",
+            [this] { return static_cast<double>(comm_->self_sends()); });
+  reg.probe("comm.deliveries",
+            [this] { return static_cast<double>(comm_->deliveries()); });
+  reg.probe("comm.mailbox_pending", [this] {
+    return static_cast<double>(comm_->pending_mailbox_messages());
+  });
+  reg.probe("comm.mailbox_bytes", [this] {
+    return static_cast<double>(comm_->pending_mailbox_bytes());
+  });
+
+  // --- network ----------------------------------------------------------
+  reg.probe("net.messages",
+            [this] { return static_cast<double>(network_->messages_sent()); });
+  reg.probe("net.delivered", [this] {
+    return static_cast<double>(network_->messages_delivered());
+  });
+  reg.probe("net.bytes",
+            [this] { return static_cast<double>(network_->bytes_sent()); });
+  reg.probe("net.hops",
+            [this] { return static_cast<double>(network_->total_hops()); });
+  network_->set_metrics(reg.counter("net.parks"));
+  if (const auto* wh =
+          dynamic_cast<const net::WormholeNetwork*>(network_.get())) {
+    reg.probe("net.worm_peak", [wh] {
+      return static_cast<double>(wh->peak_worms_in_flight());
+    });
+    reg.probe("net.worm_pool_capacity", [wh] {
+      return static_cast<double>(wh->worm_pool_capacity());
+    });
+    reg.probe("net.worm_pool_growths", [wh] {
+      return static_cast<double>(wh->worm_pool_growths());
+    });
+  }
+
+  // --- per-node CPU and memory ------------------------------------------
+  for (int i = 0; i < cfg_.processors; ++i) {
+    node::Transputer* cpu = cpus_[static_cast<std::size_t>(i)].get();
+    mem::Mmu* mmu = mmus_[static_cast<std::size_t>(i)].get();
+    const std::string prefix = "node" + std::to_string(i);
+    reg.probe(prefix + ".cpu.utilization",
+              [cpu] { return cpu->utilization(); });
+    reg.probe(prefix + ".cpu.busy_s",
+              [cpu] { return cpu->busy_time().to_seconds(); });
+    reg.probe(prefix + ".cpu.context_switches",
+              [cpu] { return static_cast<double>(cpu->context_switches()); });
+    reg.probe(prefix + ".cpu.quantum_expiries",
+              [cpu] { return static_cast<double>(cpu->quantum_expiries()); });
+    reg.probe(prefix + ".cpu.high_preemptions",
+              [cpu] { return static_cast<double>(cpu->high_preemptions()); });
+    reg.probe(prefix + ".mem.free_bytes",
+              [mmu] { return static_cast<double>(mmu->bytes_free()); });
+    reg.probe(prefix + ".mem.peak_bytes",
+              [mmu] { return static_cast<double>(mmu->high_watermark()); });
+    reg.probe(prefix + ".mem.allocs",
+              [mmu] { return static_cast<double>(mmu->alloc_count()); });
+    reg.probe(prefix + ".mem.block_time_s",
+              [mmu] { return mmu->total_block_time().to_seconds(); });
+    mmu->set_metrics(
+        reg.counter(prefix + ".mem.alloc_waits"),
+        reg.distribution(prefix + ".mem.grant_wait_s", 0.0, 1.0, 50));
+  }
+
+  // --- per-link traffic --------------------------------------------------
+  for (int l = 0; l < network_->link_count(); ++l) {
+    const net::Link* lk = &network_->link(l);
+    const std::string prefix = "link" + std::to_string(l);
+    reg.probe(prefix + ".transfers",
+              [lk] { return static_cast<double>(lk->transfers()); });
+    reg.probe(prefix + ".bytes",
+              [lk] { return static_cast<double>(lk->bytes_carried()); });
+    reg.probe(prefix + ".queueing_s",
+              [lk] { return lk->queueing_time().to_seconds(); });
+    reg.probe(prefix + ".utilization",
+              [lk, this] { return lk->utilization(sim_.now()); });
+  }
+
+  // --- timeline tracks and sampled channels ------------------------------
+  obs::Timeline* tl = hub.timeline();
+  if (tl == nullptr) return;
+  obs::Sampler& sampler = hub.sampler();
+  sampler.configure(tl, hub.options().sample_interval);
+
+  const obs::NameId n_ready = tl->intern("ready");
+  const obs::NameId n_free = tl->intern("free_bytes");
+  const obs::NameId n_util = tl->intern("utilization");
+  const obs::NameId n_jobs = tl->intern("active_jobs");
+  const obs::NameId n_pending = tl->intern("pending_events");
+  const obs::NameId n_mailbox = tl->intern("mailbox_pending");
+
+  for (int i = 0; i < cfg_.processors; ++i) {
+    node::Transputer* cpu = cpus_[static_cast<std::size_t>(i)].get();
+    mem::Mmu* mmu = mmus_[static_cast<std::size_t>(i)].get();
+    const obs::TrackId track =
+        tl->add_track(obs::TrackKind::kNode, "node" + std::to_string(i));
+    cpu->set_timeline(tl, track);
+    sampler.add_channel(
+        [cpu] { return static_cast<double>(cpu->ready_count()); }, track,
+        n_ready);
+    sampler.add_channel(
+        [mmu] { return static_cast<double>(mmu->bytes_free()); }, track,
+        n_free);
+  }
+
+  obs::TrackId link_base = 0;
+  for (int l = 0; l < network_->link_count(); ++l) {
+    const net::Topology::LinkEnds ends = topo_.link_ends(l);
+    const obs::TrackId track = tl->add_track(
+        obs::TrackKind::kLink, "link" + std::to_string(l) + " " +
+                                   std::to_string(ends.from) + "->" +
+                                   std::to_string(ends.to));
+    if (l == 0) link_base = track;
+    const net::Link* lk = &network_->link(l);
+    sampler.add_channel([lk, this] { return lk->utilization(sim_.now()); },
+                        track, n_util);
+  }
+  const obs::TrackId net_track =
+      tl->add_track(obs::TrackKind::kGlobal, "network");
+  network_->set_timeline(tl, link_base, net_track);
+
+  for (std::size_t p = 0; p < partition_scheds_.size(); ++p) {
+    sched::PartitionScheduler* ps = partition_scheds_[p].get();
+    const obs::TrackId track = tl->add_track(
+        obs::TrackKind::kPartition, "partition" + std::to_string(p));
+    ps->set_timeline(tl, track);
+    sampler.add_channel(
+        [ps] { return static_cast<double>(ps->active_jobs()); }, track,
+        n_jobs);
+  }
+
+  const obs::TrackId machine_track =
+      tl->add_track(obs::TrackKind::kGlobal, "machine");
+  sampler.add_channel(
+      [this] { return static_cast<double>(sim_.pending_events()); },
+      machine_track, n_pending);
+  sampler.add_channel(
+      [this] {
+        return static_cast<double>(comm_->pending_mailbox_messages());
+      },
+      machine_track, n_mailbox);
+
+  trace_track_ = tl->add_track(obs::TrackKind::kGlobal, "trace");
 }
 
 void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {
   tracer_.enable(mask, std::move(sink));
+  // With a timeline attached, the same trace lines also land as annotation
+  // instants on the "trace" track, so Perfetto shows them in context.
+  if (cfg_.obs != nullptr && cfg_.obs->timeline() != nullptr) {
+    obs::Timeline* tl = cfg_.obs->timeline();
+    tracer_.enable_structured(
+        mask, [tl, track = trace_track_](sim::SimTime now,
+                                         sim::TraceCategory cat,
+                                         std::string_view component,
+                                         std::string_view message) {
+          std::string text;
+          text.reserve(component.size() + message.size() + 16);
+          text += '[';
+          text += sim::trace_category_name(cat);
+          text += "] ";
+          text += component;
+          text += ": ";
+          text += message;
+          tl->annotate(track, now, std::move(text));
+        });
+  }
   network_->set_tracer(&tracer_);
   for (int i = 0; i < cfg_.processors; ++i) {
     cpus_[static_cast<std::size_t>(i)]->set_tracer(&tracer_);
@@ -86,6 +295,10 @@ void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {
 }
 
 Multicomputer::~Multicomputer() {
+  // Freeze any probes still pointing at components before those components
+  // go away (covers runs abandoned without reaching run_to_completion's own
+  // finish_run call; freezing twice is harmless).
+  if (cfg_.obs != nullptr) cfg_.obs->finish_run(sim_.now());
   // If the machine is torn down with work in flight (e.g. after a modelled
   // deadlock), pending events and blocked allocation requests still own
   // Blocks referencing the MMUs. Drain both sets -- each discard round can
@@ -105,9 +318,26 @@ std::uint64_t Multicomputer::run_to_completion() {
   // utilisations are then measured over the actual makespan, not the
   // watchdog horizon.
   std::uint64_t fired = 0;
-  while (sim_.step_until(cfg_.max_sim_time)) {
-    ++fired;
+  obs::Sampler* sampler =
+      cfg_.obs != nullptr && cfg_.obs->sampler().active()
+          ? &cfg_.obs->sampler()
+          : nullptr;
+  if (sampler != nullptr) {
+    // Same loop with sample instants interleaved: the sampler records every
+    // channel at each interval tick strictly before the next event fires,
+    // and never schedules events itself, so the event sequence -- and with
+    // it every golden table -- is identical to the unsampled loop below.
+    while (!sim_.idle() && sim_.next_event_time() <= cfg_.max_sim_time) {
+      sampler->advance_to(sim_.next_event_time());
+      if (!sim_.step()) break;
+      ++fired;
+    }
+  } else {
+    while (sim_.step_until(cfg_.max_sim_time)) {
+      ++fired;
+    }
   }
+  if (cfg_.obs != nullptr) cfg_.obs->finish_run(sim_.now());
   if (!scheduler_->all_done()) {
     const char* why = sim_.idle() ? "modelled deadlock" : "watchdog expired";
     throw std::runtime_error(

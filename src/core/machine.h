@@ -26,6 +26,10 @@
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
+namespace tmc::obs {
+class Hub;
+}
+
 namespace tmc::core {
 
 struct MachineConfig {
@@ -51,6 +55,13 @@ struct MachineConfig {
   node::CommSystem::Params comm{};
   sched::PartitionScheduler::Params partition_sched{};
   sched::PolicyConfig policy{};
+
+  /// Optional observability hub (owned by the caller -- tmc_cli or a bench
+  /// harness). When set, the constructor registers metric probes and
+  /// timeline tracks for every component and run_to_completion() drives the
+  /// hub's interval sampler. Null (the default) is fully inert: components
+  /// keep null handles and every recording site is one untaken branch.
+  obs::Hub* obs = nullptr;
 
   /// Figure label of this configuration, e.g. "8L".
   [[nodiscard]] std::string label() const;
@@ -118,6 +129,8 @@ class Multicomputer {
   [[nodiscard]] MachineStats stats();
 
  private:
+  void wire_observability();
+
   MachineConfig cfg_;
   sim::Simulation sim_;
   sim::Tracer tracer_;
@@ -128,6 +141,9 @@ class Multicomputer {
   std::unique_ptr<node::CommSystem> comm_;
   std::vector<std::unique_ptr<sched::PartitionScheduler>> partition_scheds_;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Timeline track receiving legacy trace lines as annotations (valid only
+  /// while cfg_.obs has a timeline; see enable_tracing).
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace tmc::core

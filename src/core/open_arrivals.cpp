@@ -95,6 +95,10 @@ std::vector<std::optional<OpenArrivalResult>> run_open_arrival_replications(
       [&config](std::size_t i) -> std::optional<OpenArrivalResult> {
         OpenArrivalConfig point = config;
         point.seed = config.seed + i;
+        // Replication 0 is the representative observed run; the hub's
+        // instruments are single-threaded, so sibling replications
+        // (potentially running concurrently) detach from it.
+        if (i != 0) point.machine.obs = nullptr;
         try {
           return run_open_arrivals(point);
         } catch (const std::runtime_error&) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace tmc::mem {
 
 void Block::release() {
@@ -141,6 +143,7 @@ void Mmu::request(std::size_t bytes, Grant on_grant) {
     }
   }
   ++blocked_count_;
+  obs::bump(alloc_waits_);
   if (tracer_ != nullptr) {
     TMC_TRACE(*tracer_, sim_.now(), sim::TraceCategory::kMemory, label_,
               "blocked request " << bytes << "B (free " << bytes_free()
@@ -176,6 +179,7 @@ void Mmu::pump() {
       Pending head = std::move(queue_.front());
       queue_.pop_front();
       total_block_time_ += sim_.now() - head.enqueued;
+      obs::observe(grant_latency_, (sim_.now() - head.enqueued).to_seconds());
       deliver(*offset, head.bytes, std::move(head.on_grant));
     }
   } else {
@@ -189,6 +193,8 @@ void Mmu::pump() {
       Pending granted = std::move(*it);
       it = queue_.erase(it);
       total_block_time_ += sim_.now() - granted.enqueued;
+      obs::observe(grant_latency_,
+                   (sim_.now() - granted.enqueued).to_seconds());
       deliver(*offset, granted.bytes, std::move(granted.on_grant));
     }
   }

@@ -24,6 +24,11 @@
 #include "sim/trace.h"
 #include "sim/unique_function.h"
 
+namespace tmc::obs {
+struct Counter;
+class Distribution;
+}  // namespace tmc::obs
+
 namespace tmc::mem {
 
 class Mmu;
@@ -122,6 +127,15 @@ class Mmu {
     label_ = std::move(label);
   }
 
+  /// Optional metric handles (null = off): `alloc_waits` counts requests
+  /// that blocked; `grant_latency` observes each blocked request's queueing
+  /// delay in seconds. Owner (the obs registry) must outlive us.
+  void set_metrics(obs::Counter* alloc_waits,
+                   obs::Distribution* grant_latency) {
+    alloc_waits_ = alloc_waits;
+    grant_latency_ = grant_latency;
+  }
+
   // --- observability ---------------------------------------------------
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t bytes_used() const { return used_; }
@@ -186,6 +200,8 @@ class Mmu {
   MmuDiscipline discipline_;
   const sim::Tracer* tracer_ = nullptr;
   std::string label_;
+  obs::Counter* alloc_waits_ = nullptr;
+  obs::Distribution* grant_latency_ = nullptr;
   std::vector<FreeRange> free_;  // sorted by offset, coalesced
   std::deque<Pending> queue_;
   std::vector<GrantSlot> grants_;

@@ -100,6 +100,7 @@ void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
                 "park m" << msg.id << " at node " << at << " (job "
                          << msg.job << " descheduled)");
     }
+    record_park(sim_.now(), msg);
     parked_.push_back(Parked{msg, at, std::move(held), fragment_bytes,
                              std::move(source_hold)});
     return;
@@ -118,9 +119,10 @@ void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
        held = std::move(held),
        source_hold = std::move(source_hold)](mem::Block next_buf) mutable {
         Link& link = links_[static_cast<std::size_t>(link_id)];
-        const sim::SimTime done =
-            link.reserve(sim_.now(), transfer_time(params_, fragment_bytes),
-                         fragment_bytes + params_.header_bytes);
+        const sim::SimTime xfer = transfer_time(params_, fragment_bytes);
+        const sim::SimTime done = link.reserve(
+            sim_.now(), xfer, fragment_bytes + params_.header_bytes);
+        record_transfer(link_id, done - xfer, xfer, msg);
         sim_.schedule_at(
             done, [this, msg, next, fragment_bytes, held = std::move(held),
                    source_hold = std::move(source_hold),
@@ -267,6 +269,7 @@ void WormholeNetwork::launch(Message msg, mem::Block payload) {
     return;
   }
   if (!may_progress(msg)) {
+    record_park(sim_.now(), msg);
     parked_.push_back(Pending{msg, std::move(payload)});
     return;
   }
@@ -314,6 +317,7 @@ void WormholeNetwork::transmit(std::uint32_t index, std::uint32_t generation,
     // Reserve from the common start so the path is held as one circuit.
     links_[static_cast<std::size_t>(id)].reserve(
         start, duration, msg.bytes + params_.header_bytes);
+    record_transfer(id, start, duration, msg);
   }
   hops_ += static_cast<std::uint64_t>(hops);
 

@@ -28,6 +28,8 @@
 #include "net/message.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
@@ -81,6 +83,24 @@ class Network {
   /// Optional trace sink (category kNetwork); owner must outlive us.
   void set_tracer(const sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Optional timeline recorder (null = off): every link occupancy becomes
+  /// a span on track `link_track_base + link_id`; message parks (gang gate
+  /// closed) become instants on `net_track`.
+  void set_timeline(obs::Timeline* timeline, obs::TrackId link_track_base,
+                    obs::TrackId net_track) {
+    timeline_ = timeline;
+    link_base_ = link_track_base;
+    net_track_ = net_track;
+    if (timeline_ != nullptr) {
+      name_xfer_ = timeline_->intern("xfer");
+      name_park_ = timeline_->intern("park");
+    }
+  }
+
+  /// Optional metric handle (null = off) counting park events -- messages
+  /// frozen mid-route because their job's gang turn ended.
+  void set_metrics(obs::Counter* park_events) { park_events_ = park_events; }
+
   /// Re-attempts every parked message (called when a job's turn begins).
   virtual void kick() {}
 
@@ -93,6 +113,10 @@ class Network {
   /// passing through the same buffered-mailbox path as remote sends).
   virtual void send(Message msg, mem::Block payload) = 0;
 
+  /// Per-link accessors (both engines own one Link per directed edge).
+  [[nodiscard]] virtual const Link& link(LinkId id) const = 0;
+  [[nodiscard]] virtual int link_count() const = 0;
+
   // --- statistics ------------------------------------------------------
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
@@ -101,10 +125,32 @@ class Network {
   [[nodiscard]] std::uint64_t in_flight() const { return messages_ - delivered_; }
 
  protected:
+  /// Span for one link occupancy [start, start+dur); no-op with no timeline.
+  void record_transfer(LinkId link, sim::SimTime start, sim::SimTime dur,
+                       const Message& msg) {
+    if (timeline_ == nullptr) return;
+    timeline_->span(link_base_ + static_cast<obs::TrackId>(link), name_xfer_,
+                    start, dur, static_cast<double>(msg.id));
+  }
+  /// Park instant + counter bump; no-op when neither consumer is attached.
+  void record_park(sim::SimTime at, const Message& msg) {
+    obs::bump(park_events_);
+    if (timeline_ != nullptr) {
+      timeline_->instant(net_track_, name_park_, at,
+                         static_cast<double>(msg.id));
+    }
+  }
+
   DeliveryHandler deliver_;
   HopHook hop_hook_;
   ProgressGate gate_;
   const sim::Tracer* tracer_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  obs::TrackId link_base_ = 0;
+  obs::TrackId net_track_ = 0;
+  obs::NameId name_xfer_ = 0;
+  obs::NameId name_park_ = 0;
+  obs::Counter* park_events_ = nullptr;
   std::uint64_t messages_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t payload_bytes_ = 0;
@@ -122,10 +168,12 @@ class StoreForwardNetwork final : public Network {
   void kick() override;
 
   [[nodiscard]] const RoutingTable& routing() const { return routing_; }
-  [[nodiscard]] const Link& link(LinkId id) const {
+  [[nodiscard]] const Link& link(LinkId id) const override {
     return links_.at(static_cast<std::size_t>(id));
   }
-  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] int link_count() const override {
+    return static_cast<int>(links_.size());
+  }
   /// Highest utilisation over all links at time `now`.
   [[nodiscard]] double max_link_utilization(sim::SimTime now) const;
   [[nodiscard]] std::size_t parked_messages() const { return parked_.size(); }
@@ -187,10 +235,12 @@ class WormholeNetwork final : public Network {
   void kick() override;
 
   [[nodiscard]] const RoutingTable& routing() const { return routing_; }
-  [[nodiscard]] const Link& link(LinkId id) const {
+  [[nodiscard]] const Link& link(LinkId id) const override {
     return links_.at(static_cast<std::size_t>(id));
   }
-  [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] int link_count() const override {
+    return static_cast<int>(links_.size());
+  }
 
   // --- pool observability (tests, perf gates) ---------------------------
   /// Worm slots currently occupied (messages between launch and tail-flit

@@ -70,6 +70,28 @@ class CommSystem {
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] const Params& params() const { return params_; }
 
+  /// Messages currently waiting in registered processes' mailboxes
+  /// (machine-wide mailbox queue depth; sampled by the obs layer).
+  [[nodiscard]] std::size_t pending_mailbox_messages() const {
+    std::size_t total = 0;
+    for (const auto& job : registry_) {
+      for (const Process* p : job) {
+        if (p != nullptr) total += p->mailbox().size();
+      }
+    }
+    return total;
+  }
+  /// Node memory pinned by those undelivered messages, in bytes.
+  [[nodiscard]] std::size_t pending_mailbox_bytes() const {
+    std::size_t total = 0;
+    for (const auto& job : registry_) {
+      for (const Process* p : job) {
+        if (p != nullptr) total += p->mailbox().buffered_bytes();
+      }
+    }
+    return total;
+  }
+
  private:
   /// A delivered message parked while the destination CPU charges the
   /// mailbox-deposit cost. Pool-indexed (like the wormhole's worm slots) so

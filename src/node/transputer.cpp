@@ -23,6 +23,31 @@ Transputer::Transputer(sim::Simulation& sim, net::NodeId node, mem::Mmu& mmu,
                        Params params)
     : sim_(sim), node_(node), mmu_(mmu), params_(params) {}
 
+void Transputer::set_timeline(obs::Timeline* timeline, obs::TrackId track) {
+  timeline_ = timeline;
+  track_ = track;
+  if (timeline_ == nullptr) return;
+  name_compute_ = timeline_->intern("compute");
+  name_context_ = timeline_->intern("ctx-switch");
+  name_high_ = timeline_->intern("high-pri");
+  name_daemon_ = timeline_->intern("daemon");
+  name_quantum_ = timeline_->intern("quantum-expiry");
+}
+
+void Transputer::record_charge(ChargeKind kind, sim::SimTime start,
+                               sim::SimTime dur, double value) {
+  if (timeline_ == nullptr || dur.is_zero()) return;
+  obs::NameId name = name_compute_;
+  switch (kind) {
+    case ChargeKind::kOp: name = name_compute_; break;
+    case ChargeKind::kContext: name = name_context_; break;
+    case ChargeKind::kHigh: name = name_high_; break;
+    case ChargeKind::kService: name = name_daemon_; break;
+    case ChargeKind::kNone: return;
+  }
+  timeline_->span(track_, name, start, dur, value);
+}
+
 void Transputer::make_ready(Process& p, sim::EventBatch* batch) {
   assert(p.node() == node_ && "process bound to a different node");
   assert(p.state_ != ProcessState::kReady &&
@@ -90,6 +115,8 @@ void Transputer::interrupt_service() {
   (void)cancelled;
   charge_event_ = sim::kNoEvent;
   charge_kind_ = ChargeKind::kNone;
+  record_charge(ChargeKind::kService, charge_started_,
+                sim_.now() - charge_started_, 0.0);
   consume_service(sim_.now() - charge_started_);
 }
 
@@ -297,6 +324,12 @@ void Transputer::on_charge_done() {
   const ChargeKind kind = charge_kind_;
   charge_kind_ = ChargeKind::kNone;
   const sim::SimTime amount = charge_amount_;
+  if (timeline_ != nullptr) {
+    record_charge(kind, charge_started_, amount,
+                  kind == ChargeKind::kOp || kind == ChargeKind::kContext
+                      ? static_cast<double>(current_->id())
+                      : 0.0);
+  }
 
   switch (kind) {
     case ChargeKind::kHigh: {
@@ -330,6 +363,10 @@ void Transputer::on_charge_done() {
       }
       if (quantum_left_.is_zero()) {
         ++quantum_expiries_;
+        if (timeline_ != nullptr) {
+          timeline_->instant(track_, name_quantum_, sim_.now(),
+                             static_cast<double>(p.id()));
+        }
         if (!low_queue_.empty() || !high_queue_.empty() ||
             !service_queue_.empty()) {
           // The T805 puts the expired process at the back of the ready queue.
@@ -361,6 +398,8 @@ Process& Transputer::interrupt_low_charge() {
 
   Process& p = *current_;
   ++p.preemptions_;
+  record_charge(kind, charge_started_, sim_.now() - charge_started_,
+                static_cast<double>(p.id()));
   if (kind == ChargeKind::kOp) {
     const sim::SimTime elapsed = sim_.now() - charge_started_;
     p.cpu_time_ += elapsed;

@@ -26,6 +26,7 @@
 #include "mem/mmu.h"
 #include "node/process.h"
 #include "node/program.h"
+#include "obs/timeline.h"
 #include "sim/ring_queue.h"
 #include "sim/simulation.h"
 #include "sim/stats.h"
@@ -67,6 +68,11 @@ class Transputer {
 
   /// Optional trace sink (category kCpu / kProcess); owner must outlive us.
   void set_tracer(const sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Optional timeline recorder (null = off): every completed or interrupted
+  /// CPU charge becomes a span on `track` (compute spans carry the process
+  /// id as their value), and quantum expirations become instants.
+  void set_timeline(obs::Timeline* timeline, obs::TrackId track);
 
   [[nodiscard]] net::NodeId node() const { return node_; }
   [[nodiscard]] mem::Mmu& mmu() { return mmu_; }
@@ -113,6 +119,9 @@ class Transputer {
   [[nodiscard]] bool busy() const { return charge_event_ != sim::kNoEvent; }
   [[nodiscard]] double utilization() const {
     return busy_tracker_.utilization(sim_.now());
+  }
+  [[nodiscard]] sim::SimTime busy_time() const {
+    return busy_tracker_.busy_time(sim_.now());
   }
   [[nodiscard]] std::uint64_t context_switches() const { return context_switches_; }
   [[nodiscard]] std::uint64_t quantum_expiries() const { return quantum_expiries_; }
@@ -169,6 +178,9 @@ class Transputer {
   /// Moves p out of the running state into the back of the ready queue.
   void requeue(Process& p);
   void set_busy(bool b) { busy_tracker_.set_busy(sim_.now(), b); }
+  /// Records the charge that occupied [start, start+dur) as a span.
+  void record_charge(ChargeKind kind, sim::SimTime start, sim::SimTime dur,
+                     double value);
 
   sim::Simulation& sim_;
   net::NodeId node_;
@@ -176,6 +188,15 @@ class Transputer {
   Params params_;
   SendDispatcher send_dispatcher_;
   const sim::Tracer* tracer_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  obs::TrackId track_ = 0;
+  // Pre-interned span/instant names (set_timeline), so recording never
+  // hashes a string.
+  obs::NameId name_compute_ = 0;
+  obs::NameId name_context_ = 0;
+  obs::NameId name_high_ = 0;
+  obs::NameId name_daemon_ = 0;
+  obs::NameId name_quantum_ = 0;
 
   // Ring-buffer FIFOs: these queues churn on every dispatch, and a deque
   // would pay a block allocation every few dozen pushes forever.

@@ -1,0 +1,33 @@
+// tmcsim -- exporters for the observability layer.
+//
+// Three output formats, all dependency-free:
+//  * Chrome trace_event JSON from a Timeline -- loadable in Perfetto or
+//    chrome://tracing; one trace "process" per track kind (nodes, links,
+//    partitions) and one named thread per track.
+//  * Metrics JSON from a Registry -- `{"schema":"tmc-metrics-v1", ...}`,
+//    validated in CI by tools/check_obs_json.py.
+//  * Metrics CSV (one instrument per row) for spreadsheet/pandas use.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "sim/time.h"
+
+namespace tmc::obs {
+
+/// Writes `{"traceEvents":[...]}` Chrome trace JSON. Timestamps are emitted
+/// in microseconds (the format's unit) with sub-microsecond fractions kept.
+void write_chrome_trace(const Timeline& timeline, std::ostream& os);
+
+/// Writes the registry as a metrics JSON document. `label` identifies the
+/// run (experiment name / policy); `end` is the simulated makespan.
+void write_metrics_json(const Registry& registry, std::ostream& os,
+                        std::string_view label, sim::SimTime end);
+
+/// Writes the registry as CSV: name,kind,count,value,mean,stddev,min,max.
+void write_metrics_csv(const Registry& registry, std::ostream& os);
+
+}  // namespace tmc::obs

@@ -1,0 +1,133 @@
+#include "obs/hub.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+
+namespace tmc::obs {
+namespace {
+
+/// Splits "--flag=value" at the first '='; returns true when `arg` names
+/// `flag` (with or without a value).
+bool match_flag(std::string_view arg, std::string_view flag, bool& has_value,
+                std::string_view& value) {
+  if (arg.substr(0, flag.size()) != flag) return false;
+  if (arg.size() == flag.size()) {
+    has_value = false;
+    return true;
+  }
+  if (arg[flag.size()] != '=') return false;
+  has_value = true;
+  value = arg.substr(flag.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool parse_cli_flag(int argc, char** argv, int& i, Options& options,
+                    std::string& error) {
+  const std::string_view arg = argv[i];
+  bool has_value = false;
+  std::string_view value;
+
+  if (match_flag(arg, "--metrics", has_value, value)) {
+    options.metrics = true;
+    if (has_value) options.metrics_path = value;
+    return true;
+  }
+  if (match_flag(arg, "--timeline", has_value, value)) {
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error = "--timeline requires a path";
+        return true;
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      error = "--timeline requires a non-empty path";
+      return true;
+    }
+    options.timeline_path = value;
+    return true;
+  }
+  if (match_flag(arg, "--sample-interval", has_value, value)) {
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error = "--sample-interval requires a value in milliseconds";
+        return true;
+      }
+      value = argv[++i];
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string text(value);
+    const double ms = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || ms <= 0.0 ||
+        ms > 1e9) {
+      error = "--sample-interval wants a positive millisecond count, got '" +
+              text + "'";
+      return true;
+    }
+    options.sample_interval =
+        sim::SimTime::microseconds(static_cast<std::int64_t>(ms * 1000.0));
+    return true;
+  }
+  return false;
+}
+
+std::string cli_help() {
+  return "  --metrics[=PATH]      dump the metrics registry at end of run\n"
+         "                        (stderr by default; *.csv selects CSV)\n"
+         "  --timeline=PATH       record a Chrome trace_event timeline\n"
+         "                        (open in Perfetto / chrome://tracing)\n"
+         "  --sample-interval MS  counter-sampling period for --timeline\n"
+         "                        (default 100, fractional ok)\n";
+}
+
+bool Hub::write_outputs(std::ostream& diag) {
+  bool ok = true;
+
+  if (options_.metrics) {
+    const bool csv = options_.metrics_path.size() > 4 &&
+                     options_.metrics_path.substr(
+                         options_.metrics_path.size() - 4) == ".csv";
+    if (options_.metrics_path.empty()) {
+      write_metrics_json(registry_, diag, label_, end_time_);
+    } else {
+      std::ofstream out(options_.metrics_path);
+      if (!out) {
+        diag << "obs: cannot open metrics path " << options_.metrics_path
+             << "\n";
+        ok = false;
+      } else {
+        if (csv) {
+          write_metrics_csv(registry_, out);
+        } else {
+          write_metrics_json(registry_, out, label_, end_time_);
+        }
+        diag << "obs: wrote " << registry_.size() << " metrics to "
+             << options_.metrics_path << (csv ? " (csv)\n" : " (json)\n");
+      }
+    }
+  }
+
+  if (!options_.timeline_path.empty()) {
+    std::ofstream out(options_.timeline_path);
+    if (!out) {
+      diag << "obs: cannot open timeline path " << options_.timeline_path
+           << "\n";
+      ok = false;
+    } else {
+      write_chrome_trace(timeline_, out);
+      diag << "obs: wrote " << timeline_.records().size()
+           << " timeline records (" << timeline_.tracks().size()
+           << " tracks) to " << options_.timeline_path << "\n";
+    }
+  }
+
+  return ok;
+}
+
+}  // namespace tmc::obs

@@ -1,0 +1,88 @@
+// tmcsim -- observability hub: one attachable bundle per observed run.
+//
+// A Hub owns the metrics Registry, the Timeline recorder, and the interval
+// Sampler for a single simulation. Experiment drivers attach it through
+// core::MachineConfig::obs (a non-owning pointer); when a sweep runs many
+// simulations in parallel, the hub is attached to exactly one designated
+// "representative" run (the primary scheduling order / replication 0) so the
+// single-threaded instruments are never shared across workers.
+//
+// The CLI surface (`--metrics[=path]`, `--timeline=path`,
+// `--sample-interval MS`) is parsed here so tmc_cli and every bench agree on
+// flag semantics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/timeline.h"
+#include "sim/time.h"
+
+namespace tmc::obs {
+
+struct Options {
+  bool metrics = false;         // dump the registry at end of run
+  std::string metrics_path;     // empty => stderr; *.csv => CSV, else JSON
+  std::string timeline_path;    // empty => timeline recording off
+  sim::SimTime sample_interval = sim::SimTime::milliseconds(100);
+
+  [[nodiscard]] bool any() const {
+    return metrics || !timeline_path.empty();
+  }
+};
+
+/// Consumes one observability flag starting at argv[i], advancing `i` past
+/// any value it takes. Returns true if the flag was recognised; on a
+/// malformed value, fills `error` and still returns true (callers bail out).
+bool parse_cli_flag(int argc, char** argv, int& i, Options& options,
+                    std::string& error);
+
+/// Usage text for the shared flags, one per line, indented two spaces.
+[[nodiscard]] std::string cli_help();
+
+class Hub {
+ public:
+  explicit Hub(Options options) : options_(std::move(options)) {}
+  Hub(const Hub&) = delete;
+  Hub& operator=(const Hub&) = delete;
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] Sampler& sampler() { return sampler_; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The timeline recorder, or nullptr when no --timeline path was given --
+  /// components wired with a null Timeline* skip recording entirely.
+  [[nodiscard]] Timeline* timeline() {
+    return options_.timeline_path.empty() ? nullptr : &timeline_;
+  }
+
+  /// Identifies the run in the metrics dump (experiment/policy label).
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// Called by the machine when its run completes: final sample, then
+  /// freeze probes so exports outlive the machine.
+  void finish_run(sim::SimTime end) {
+    sampler_.finish(end);
+    registry_.freeze_probes();
+    end_time_ = end;
+  }
+
+  /// Writes the requested outputs (metrics dump and/or timeline JSON).
+  /// Diagnostics (file errors, "wrote N records" notes) go to `diag`.
+  /// Returns false if any output file could not be written.
+  bool write_outputs(std::ostream& diag);
+
+ private:
+  Options options_;
+  Registry registry_;
+  Timeline timeline_;
+  Sampler sampler_;
+  std::string label_ = "tmcsim";
+  sim::SimTime end_time_;
+};
+
+}  // namespace tmc::obs

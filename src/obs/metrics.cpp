@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tmc::obs {
+
+std::pair<Registry::Entry*, bool> Registry::entry_for(const std::string& name,
+                                                      Kind kind) {
+  auto [it, inserted] = by_name_.try_emplace(name, entries_.size());
+  if (!inserted) {
+    Entry& existing = entries_[it->second];
+    if (existing.kind != kind) {
+      throw std::logic_error("obs::Registry: instrument '" + name +
+                             "' re-registered with a different kind");
+    }
+    return {&existing, false};
+  }
+  entries_.push_back(Entry{name, kind, 0});
+  return {&entries_.back(), true};
+}
+
+Counter* Registry::counter(const std::string& name) {
+  auto [entry, created] = entry_for(name, Kind::kCounter);
+  if (created) {
+    entry->index = counters_.size();
+    counters_.emplace_back();
+  }
+  return &counters_[entry->index];
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  auto [entry, created] = entry_for(name, Kind::kGauge);
+  if (created) {
+    entry->index = gauges_.size();
+    gauges_.emplace_back();
+  }
+  return &gauges_[entry->index];
+}
+
+Distribution* Registry::distribution(const std::string& name) {
+  auto [entry, created] = entry_for(name, Kind::kDistribution);
+  if (created) {
+    entry->index = distributions_.size();
+    distributions_.emplace_back();
+  }
+  return &distributions_[entry->index];
+}
+
+Distribution* Registry::distribution(const std::string& name, double lo,
+                                     double hi, std::size_t bins) {
+  auto [entry, created] = entry_for(name, Kind::kDistribution);
+  if (created) {
+    entry->index = distributions_.size();
+    distributions_.emplace_back(lo, hi, bins);
+  }
+  return &distributions_[entry->index];
+}
+
+void Registry::probe(const std::string& name, Probe fn) {
+  auto [entry, created] = entry_for(name, Kind::kProbe);
+  if (created) {
+    entry->index = probes_.size();
+    probes_.emplace_back();
+  }
+  ProbeSlot& slot = probes_[entry->index];
+  slot.fn = std::move(fn);
+  slot.frozen = false;
+}
+
+void Registry::freeze_probes() {
+  for (ProbeSlot& slot : probes_) {
+    if (slot.frozen) continue;
+    if (slot.fn) slot.value = slot.fn();
+    slot.frozen = true;
+    slot.fn = nullptr;
+  }
+}
+
+std::vector<Registry::View> Registry::snapshot() const {
+  std::vector<View> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    View view;
+    view.name = entry.name;
+    view.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        view.count = counters_[entry.index].value;
+        view.value = static_cast<double>(view.count);
+        break;
+      case Kind::kGauge:
+        view.value = gauges_[entry.index].value;
+        break;
+      case Kind::kDistribution:
+        view.distribution = &distributions_[entry.index];
+        break;
+      case Kind::kProbe: {
+        const ProbeSlot& slot = probes_[entry.index];
+        view.value = slot.frozen ? slot.value : (slot.fn ? slot.fn() : 0.0);
+        break;
+      }
+    }
+    out.push_back(view);
+  }
+  return out;
+}
+
+}  // namespace tmc::obs

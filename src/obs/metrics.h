@@ -1,0 +1,150 @@
+// tmcsim -- structured metrics registry (the tmc::obs subsystem).
+//
+// The registry holds named instruments and hands out stable handles:
+// components grab a Counter* / Gauge* / Distribution* once (at construction
+// or wiring time) and touch plain memory afterwards -- no hashing, no map
+// lookup, no allocation on the hot path. When observability is off no hub is
+// attached, every handle is null, and the guarded helpers below compile to a
+// single predictable branch -- the golden-figure tables must be byte-identical
+// with and without metrics (the "observation must not perturb simulation"
+// contract; see DESIGN.md "Observability").
+//
+// Two instrument flavours cover the stack:
+//
+//  * Handles (counter / gauge / distribution): for events the simulator did
+//    not previously count -- incremented inline by the owning component.
+//  * Probes: named closures over state a component already tracks (busy
+//    time, free bytes, queue depths). Probes cost nothing during the run;
+//    they are evaluated by the interval sampler and frozen into plain gauge
+//    values when the run ends, so exports never dereference dead components.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace tmc::obs {
+
+/// Monotonic event count. Plain memory: one add per event.
+struct Counter {
+  std::uint64_t value = 0;
+
+  void inc(std::uint64_t n = 1) { value += n; }
+};
+
+/// Last-written level (free bytes, occupancy).
+struct Gauge {
+  double value = 0.0;
+
+  void set(double v) { value = v; }
+};
+
+/// Streaming distribution: OnlineStats always, plus an optional fixed-bin
+/// histogram when quantiles matter (grant latency, response times).
+class Distribution {
+ public:
+  Distribution() = default;
+  Distribution(double lo, double hi, std::size_t bins)
+      : histogram_(std::in_place, lo, hi, bins) {}
+
+  void add(double x) {
+    stats_.add(x);
+    if (histogram_) histogram_->add(x);
+  }
+
+  [[nodiscard]] const sim::OnlineStats& stats() const { return stats_; }
+  [[nodiscard]] const std::optional<sim::Histogram>& histogram() const {
+    return histogram_;
+  }
+
+ private:
+  sim::OnlineStats stats_;
+  std::optional<sim::Histogram> histogram_;
+};
+
+// Null-safe helpers: the idiomatic hot-path form for instrumented components
+// holding possibly-null handles.
+inline void bump(Counter* c, std::uint64_t n = 1) {
+  if (c != nullptr) c->value += n;
+}
+inline void set(Gauge* g, double v) {
+  if (g != nullptr) g->value = v;
+}
+inline void observe(Distribution* d, double x) {
+  if (d != nullptr) d->add(x);
+}
+
+/// Named instrument registry. Registration (name -> handle) hashes once;
+/// handles stay valid for the registry's lifetime (deque-backed storage).
+/// Single-simulation scope: one Registry belongs to one machine run and is
+/// not thread-safe -- parallel sweeps attach a registry to one designated
+/// run (see core::run_experiment).
+class Registry {
+ public:
+  using Probe = std::function<double()>;
+
+  enum class Kind { kCounter, kGauge, kDistribution, kProbe };
+
+  /// Get-or-create by name. Re-registering an existing name returns the
+  /// original handle; throws std::logic_error if the kinds disagree.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Distribution* distribution(const std::string& name);
+  Distribution* distribution(const std::string& name, double lo, double hi,
+                             std::size_t bins);
+  /// Registers a polled gauge over externally-owned state. The closure must
+  /// stay callable until freeze_probes().
+  void probe(const std::string& name, Probe fn);
+
+  /// Evaluates every live probe into a stored value and drops the closures.
+  /// Idempotent. Call when the observed run ends, before the components the
+  /// probes read from are destroyed.
+  void freeze_probes();
+
+  /// One registered instrument, in registration order.
+  struct View {
+    std::string_view name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;          // counter value
+    double value = 0.0;               // gauge / probe value
+    const Distribution* distribution = nullptr;
+  };
+  /// Snapshot of every instrument in registration order. Unfrozen probes are
+  /// evaluated in place.
+  [[nodiscard]] std::vector<View> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::size_t index;  // into the kind's storage deque
+  };
+  struct ProbeSlot {
+    Probe fn;
+    double value = 0.0;
+    bool frozen = false;
+  };
+
+  /// Returns the entry for `name` plus whether it was just created; throws
+  /// on a kind mismatch with an earlier registration.
+  std::pair<Entry*, bool> entry_for(const std::string& name, Kind kind);
+
+  std::vector<Entry> entries_;  // registration order (export order)
+  std::unordered_map<std::string, std::size_t> by_name_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Distribution> distributions_;
+  std::deque<ProbeSlot> probes_;
+};
+
+}  // namespace tmc::obs

@@ -1,0 +1,80 @@
+// tmcsim -- interval sampler for counter tracks.
+//
+// Emits periodic kSample records (queue depths, free bytes, utilization) onto
+// the timeline without ever touching the event queue: the machine's run loop
+// calls advance_to(next_event_time) before firing each event, so sample
+// instants are interleaved with -- but never inserted among -- simulation
+// events. Event count, ordering, and the final clock are provably unchanged,
+// which is what keeps golden tables byte-identical under `--timeline`.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "sim/time.h"
+
+namespace tmc::obs {
+
+class Sampler {
+ public:
+  using Reader = std::function<double()>;
+
+  /// Arms the sampler. A null timeline or non-positive interval leaves it
+  /// inactive (advance_to becomes a single branch).
+  void configure(Timeline* timeline, sim::SimTime interval) {
+    timeline_ = timeline;
+    interval_ = interval;
+    next_ = sim::SimTime::zero();
+  }
+
+  /// Adds a sampled channel: `read` is polled at each sample instant and the
+  /// value recorded on `track` under `name`. The closure must stay valid
+  /// until finish().
+  void add_channel(Reader read, TrackId track, NameId name) {
+    channels_.push_back(Channel{std::move(read), track, name});
+  }
+
+  [[nodiscard]] bool active() const {
+    return timeline_ != nullptr && interval_ > sim::SimTime::zero() &&
+           !channels_.empty();
+  }
+
+  /// Records every channel at each interval multiple in [next_, horizon).
+  /// Strictly-below keeps the sample that coincides with an event instant on
+  /// the pre-event side of the next advance_to call.
+  void advance_to(sim::SimTime horizon) {
+    if (!active()) return;
+    while (next_ < horizon) {
+      record_all(next_);
+      next_ += interval_;
+    }
+  }
+
+  /// Takes one final sample at `at` (end of run) and drops the channel
+  /// closures so later calls never dereference destroyed components.
+  void finish(sim::SimTime at) {
+    if (active()) record_all(at);
+    channels_.clear();
+  }
+
+ private:
+  struct Channel {
+    Reader read;
+    TrackId track;
+    NameId name;
+  };
+
+  void record_all(sim::SimTime at) {
+    for (const Channel& c : channels_) {
+      timeline_->sample(c.track, c.name, at, c.read());
+    }
+  }
+
+  Timeline* timeline_ = nullptr;
+  sim::SimTime interval_;
+  sim::SimTime next_;
+  std::vector<Channel> channels_;
+};
+
+}  // namespace tmc::obs

@@ -1,0 +1,21 @@
+#include "obs/timeline.h"
+
+#include <utility>
+
+namespace tmc::obs {
+
+TrackId Timeline::add_track(TrackKind kind, std::string name) {
+  tracks_.push_back(Track{std::move(name), kind});
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+NameId Timeline::intern(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+}  // namespace tmc::obs

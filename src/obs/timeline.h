@@ -1,0 +1,99 @@
+// tmcsim -- binary timeline recorder.
+//
+// Upgrades the line-based sim::Tracer into fixed-size binary records that
+// exporters can turn into Chrome trace_event JSON (Perfetto-loadable).
+// Components record against pre-registered tracks (one per node, link, and
+// partition) using interned name ids, so a record is a 32-byte append with
+// no formatting or allocation beyond vector growth.
+//
+// Ownership mirrors the metrics registry: the machine wires components with
+// a Timeline* only when a timeline export was requested; a null pointer (the
+// default) means every recording site is one predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tmc::obs {
+
+enum class TrackKind : std::uint8_t { kNode, kLink, kPartition, kGlobal };
+
+using TrackId = std::uint32_t;
+using NameId = std::uint32_t;
+
+enum class RecordKind : std::uint8_t {
+  kSpan,     // [start, start+dur): CPU charge, link transfer
+  kInstant,  // point event: gang switch, quantum expiry
+  kSample,   // counter-track value at `start` (sampler output)
+};
+
+struct TimelineRecord {
+  std::int64_t start_ns = 0;
+  std::int64_t dur_ns = 0;
+  TrackId track = 0;
+  NameId name = 0;
+  RecordKind kind = RecordKind::kInstant;
+  double value = 0.0;  // sample value; span/instant auxiliary arg (e.g. pid)
+};
+
+class Timeline {
+ public:
+  struct Track {
+    std::string name;
+    TrackKind kind = TrackKind::kGlobal;
+  };
+
+  TrackId add_track(TrackKind kind, std::string name);
+  /// Interns `name`; repeated calls with the same string return the same id.
+  NameId intern(std::string_view name);
+
+  void span(TrackId track, NameId name, sim::SimTime start,
+            sim::SimTime duration, double value = 0.0) {
+    records_.push_back(
+        {start.ns(), duration.ns(), track, name, RecordKind::kSpan, value});
+  }
+  void instant(TrackId track, NameId name, sim::SimTime at,
+               double value = 0.0) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kInstant, value});
+  }
+  void sample(TrackId track, NameId name, sim::SimTime at, double value) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kSample, value});
+  }
+
+  /// Freeform text instant: legacy trace lines routed through the recorder.
+  /// Stored out of band because the text is per-event prose -- interning it
+  /// would grow the name table without bound.
+  struct Annotation {
+    std::int64_t at_ns = 0;
+    TrackId track = 0;
+    std::string text;
+  };
+  void annotate(TrackId track, sim::SimTime at, std::string text) {
+    annotations_.push_back(Annotation{at.ns(), track, std::move(text)});
+  }
+
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+  [[nodiscard]] std::string_view name(NameId id) const { return names_[id]; }
+  [[nodiscard]] const std::vector<TimelineRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<Annotation>& annotations() const {
+    return annotations_;
+  }
+
+ private:
+  std::vector<Track> tracks_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> name_ids_;
+  std::vector<TimelineRecord> records_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace tmc::obs

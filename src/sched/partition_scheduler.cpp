@@ -41,6 +41,10 @@ void PartitionScheduler::admit(Job& job) {
   job.mark_dispatch(sim_.now());
   ++active_;
   peak_mpl_ = std::max(peak_mpl_, active_);
+  if (timeline_ != nullptr) {
+    timeline_->instant(track_, name_admit_, sim_.now(),
+                       static_cast<double>(job.id()));
+  }
 
   auto programs = job.spec().builder(job, partition_.size());
   if (programs.empty()) {
@@ -119,6 +123,10 @@ void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
   gang_current_ = &job;
   if (charge_switch) {
     ++gang_switches_;
+    if (timeline_ != nullptr) {
+      timeline_->instant(track_, name_gang_, sim_.now(),
+                         static_cast<double>(job.id()));
+    }
     if (!params_.gang_switch_overhead.is_zero()) {
       for (const net::NodeId node : partition_.nodes) {
         cpus_[static_cast<std::size_t>(node)]->post_high(
@@ -188,6 +196,10 @@ void PartitionScheduler::teardown(Job& job) {
   job.processes().clear();
   --active_;
   ++completed_;
+  if (timeline_ != nullptr) {
+    timeline_->instant(track_, name_complete_, sim_.now(),
+                       static_cast<double>(job.id()));
+  }
   if (on_complete_) on_complete_(*this, job);
 }
 

@@ -16,6 +16,7 @@
 
 #include "node/comm.h"
 #include "node/transputer.h"
+#include "obs/timeline.h"
 #include "sched/job.h"
 #include "sched/partition.h"
 #include "sched/policy.h"
@@ -58,6 +59,18 @@ class PartitionScheduler {
     on_complete_ = std::move(handler);
   }
 
+  /// Optional timeline recorder (null = off): job admissions, completions
+  /// and gang switches become instants on `track` (value = job id).
+  void set_timeline(obs::Timeline* timeline, obs::TrackId track) {
+    timeline_ = timeline;
+    track_ = track;
+    if (timeline_ != nullptr) {
+      name_admit_ = timeline_->intern("admit");
+      name_complete_ = timeline_->intern("job-complete");
+      name_gang_ = timeline_->intern("gang-switch");
+    }
+  }
+
   /// Accepts a job for immediate execution in this partition. Under the
   /// time-sharing policies several jobs may be active at once.
   void admit(Job& job);
@@ -91,6 +104,11 @@ class PartitionScheduler {
   PolicyConfig policy_;
   Params params_;
   CompletionHandler on_complete_;
+  obs::Timeline* timeline_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::NameId name_admit_ = 0;
+  obs::NameId name_complete_ = 0;
+  obs::NameId name_gang_ = 0;
 
   /// Outstanding process count per resident job. A partition hosts at most
   /// set_size jobs, so a flat array beats hashing (and never allocates once

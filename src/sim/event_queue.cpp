@@ -32,6 +32,7 @@ EventId EventQueue::schedule(SimTime at, Callback cb) {
   const std::uint32_t index = acquire_slot(std::move(cb));
   Slot& slot = slots_[index];
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   if (fifo_eligible(at)) {
     now_fifo_.push_back(Entry{at, ++scheduled_, index, slot.generation});
   } else {
@@ -62,6 +63,7 @@ std::size_t EventQueue::schedule_batch(SimTime at, std::span<Callback> cbs,
     if (ids != nullptr) ids[i] = make_id(index, slot.generation);
   }
   live_ += k;
+  if (live_ > peak_live_) peak_live_ = live_;
   if (fast) return k;
   // The first heap_.size()-k elements still satisfy the heap property, so a
   // small batch sifts each appended entry up (O(k log n)); a batch that

@@ -101,6 +101,9 @@ class EventQueue {
   /// Total events ever scheduled (monotone; includes cancelled ones).
   [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
 
+  /// High-water mark of the pending set (kernel self-profile: heap depth).
+  [[nodiscard]] std::size_t peak_size() const { return peak_live_; }
+
   /// Destroys all pending events without firing them. Destroying a callback
   /// can release resources that schedule new events; the loop keeps going
   /// until the set is truly empty. Returns the number discarded.
@@ -181,6 +184,7 @@ class EventQueue {
   std::uint32_t free_head_ = kFreeListEnd;
   std::uint64_t scheduled_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
   /// Time of the most recently popped event; the gate for the fast lane.
   /// Starts at zero: nothing can be scheduled before the epoch, so events
   /// scheduled at t=0 before the first pop ride the lane correctly.

@@ -67,6 +67,14 @@ class Simulation {
   [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t fired_events() const { return fired_; }
+  /// Total events ever scheduled (monotone; includes cancelled ones).
+  [[nodiscard]] std::uint64_t scheduled_events() const {
+    return queue_.scheduled_count();
+  }
+  /// High-water mark of the pending-event set (kernel self-profile).
+  [[nodiscard]] std::size_t peak_pending_events() const {
+    return queue_.peak_size();
+  }
 
  private:
   EventQueue queue_;

@@ -51,6 +51,8 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count_size() const { return bins_.size(); }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   /// x such that approximately `q` (in [0,1]) of the mass lies below it,
   /// interpolated within the containing bin.
   [[nodiscard]] double quantile(double q) const;

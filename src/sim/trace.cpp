@@ -1,10 +1,8 @@
 #include "sim/trace.h"
 
-#include <iomanip>
-
 namespace tmc::sim {
-namespace {
-std::string_view category_name(TraceCategory cat) {
+
+std::string_view trace_category_name(TraceCategory cat) {
   switch (cat) {
     case TraceCategory::kKernel: return "kernel";
     case TraceCategory::kCpu: return "cpu";
@@ -16,15 +14,27 @@ std::string_view category_name(TraceCategory cat) {
   }
   return "?";
 }
-}  // namespace
 
 void Tracer::emit(SimTime now, TraceCategory cat, std::string_view component,
                   std::string_view message) const {
-  if (!enabled(cat) || !sink_) return;
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(6) << now.to_seconds() << " ["
-     << category_name(cat) << "] " << component << ": " << message;
-  sink_(os.str());
+  if (struct_sink_ && (struct_mask_ & static_cast<unsigned>(cat)) != 0) {
+    struct_sink_(now, cat, component, message);
+  }
+  if (!sink_ || (mask_ & static_cast<unsigned>(cat)) == 0) return;
+  // Reused per-thread line buffer: the prefix format ("<sec> [cat] comp: ")
+  // matches the historic ostringstream output byte for byte.
+  thread_local std::string line;
+  line.clear();
+  char head[32];
+  const int n = std::snprintf(head, sizeof head, "%.6f", now.to_seconds());
+  if (n > 0) line.append(head, static_cast<std::size_t>(n));
+  line.append(" [");
+  line.append(trace_category_name(cat));
+  line.append("] ");
+  line.append(component);
+  line.append(": ");
+  line.append(message);
+  sink_(line);
 }
 
 }  // namespace tmc::sim

@@ -2,13 +2,22 @@
 //
 // Tracing is off by default and has negligible cost when disabled (a branch
 // on an enum). Components emit category-tagged lines; the experiment harness
-// can route them to stderr or a file for debugging runs.
+// can route them to stderr or a file for debugging runs, and/or to a
+// structured sink (the obs timeline) that receives the raw pieces instead of
+// a formatted line.
+//
+// The hot path allocates nothing: TMC_TRACE formats into a thread-local
+// scratch buffer via TraceLine (integers through std::to_chars, doubles
+// through snprintf) instead of a per-line std::ostringstream.
 #pragma once
 
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
 #include <functional>
-#include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "sim/time.h"
 
@@ -24,10 +33,80 @@ enum class TraceCategory : unsigned {
   kAll = ~0u,
 };
 
-/// Per-simulation trace sink. Disabled (mask 0) unless configured.
+/// Short lowercase name ("cpu", "net", ...) for a single category bit.
+[[nodiscard]] std::string_view trace_category_name(TraceCategory cat);
+
+/// Append-only formatter over a borrowed std::string. Supports the stream
+/// idiom (`line << "p" << id << " took " << ms << "ms"`) without ostream
+/// machinery: integrals go through std::to_chars, doubles through snprintf
+/// with ostream-default precision, so existing trace output is unchanged.
+class TraceLine {
+ public:
+  explicit TraceLine(std::string& buf) : buf_(&buf) {}
+
+  /// A TraceLine over a cleared thread-local scratch buffer -- the TMC_TRACE
+  /// fast path. The buffer is reused by the next scratch() call on the same
+  /// thread, so consume view() before then.
+  static TraceLine scratch() {
+    thread_local std::string buf;
+    buf.clear();
+    return TraceLine(buf);
+  }
+
+  [[nodiscard]] std::string_view view() const { return *buf_; }
+
+  TraceLine& operator<<(std::string_view s) {
+    buf_->append(s);
+    return *this;
+  }
+  TraceLine& operator<<(const char* s) {
+    buf_->append(s);
+    return *this;
+  }
+  TraceLine& operator<<(const std::string& s) {
+    buf_->append(s);
+    return *this;
+  }
+  TraceLine& operator<<(char c) {
+    buf_->push_back(c);
+    return *this;
+  }
+  TraceLine& operator<<(bool v) {
+    buf_->append(v ? "true" : "false");
+    return *this;
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool> &&
+                                        !std::is_same_v<T, char>>>
+  TraceLine& operator<<(T v) {
+    char tmp[24];
+    const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof tmp, v);
+    buf_->append(tmp, static_cast<std::size_t>(ptr - tmp));
+    return *this;
+  }
+  TraceLine& operator<<(double v) {
+    char tmp[32];
+    const int n = std::snprintf(tmp, sizeof tmp, "%g", v);
+    if (n > 0) buf_->append(tmp, static_cast<std::size_t>(n));
+    return *this;
+  }
+
+ private:
+  std::string* buf_;
+};
+
+/// Per-simulation trace sink. Disabled (mask 0) unless configured. Two
+/// independent outputs share the emit path: a line sink (formatted text) and
+/// a structured sink (raw fields -- used by obs to turn legacy trace lines
+/// into timeline records). enabled() is the union, so call sites build the
+/// message whenever either consumer wants the category.
 class Tracer {
  public:
   using Sink = std::function<void(std::string_view line)>;
+  using StructuredSink = std::function<void(
+      SimTime now, TraceCategory cat, std::string_view component,
+      std::string_view message)>;
 
   /// A null sink cannot consume lines, so it forces the mask to 0: enabled()
   /// stays false, components skip building trace strings, and emit() stays
@@ -41,8 +120,18 @@ class Tracer {
     sink_ = nullptr;
   }
 
+  /// Same contract for the structured consumer (independent mask).
+  void enable_structured(unsigned mask, StructuredSink sink) {
+    struct_mask_ = sink ? mask : 0;
+    struct_sink_ = std::move(sink);
+  }
+  void disable_structured() {
+    struct_mask_ = 0;
+    struct_sink_ = nullptr;
+  }
+
   [[nodiscard]] bool enabled(TraceCategory cat) const {
-    return (mask_ & static_cast<unsigned>(cat)) != 0;
+    return ((mask_ | struct_mask_) & static_cast<unsigned>(cat)) != 0;
   }
 
   void emit(SimTime now, TraceCategory cat, std::string_view component,
@@ -50,18 +139,21 @@ class Tracer {
 
  private:
   unsigned mask_ = 0;
+  unsigned struct_mask_ = 0;
   Sink sink_;
+  StructuredSink struct_sink_;
 };
 
 /// Convenience macro: evaluates the message expression only when the
-/// category is live.
-#define TMC_TRACE(tracer, now, cat, component, expr)            \
-  do {                                                          \
-    if ((tracer).enabled(cat)) {                                \
-      std::ostringstream tmc_trace_os;                          \
-      tmc_trace_os << expr;                                     \
-      (tracer).emit((now), (cat), (component), tmc_trace_os.str()); \
-    }                                                           \
+/// category is live, formatting into a thread-local scratch buffer.
+#define TMC_TRACE(tracer, now, cat, component, expr)                  \
+  do {                                                                \
+    if ((tracer).enabled(cat)) {                                      \
+      ::tmc::sim::TraceLine tmc_trace_line =                          \
+          ::tmc::sim::TraceLine::scratch();                           \
+      tmc_trace_line << expr;                                         \
+      (tracer).emit((now), (cat), (component), tmc_trace_line.view()); \
+    }                                                                 \
   } while (0)
 
 }  // namespace tmc::sim

@@ -9,19 +9,29 @@
 # comparison is an exact string match, not a tolerance diff. Regenerate a
 # golden file by running the bench with --threads 1 and committing the
 # output alongside the change that moved the numbers.
+#
+# Optional -DEXTRA_ARGS="--metrics=... --timeline=..." appends flags to the
+# invocation; the observability variants use this to prove that attaching
+# the metrics registry and interval sampler leaves the table untouched.
 foreach(var BENCH THREADS GOLDEN)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "run_golden.cmake: -D${var}=... is required")
   endif()
 endforeach()
 
+set(extra_list "")
+if(DEFINED EXTRA_ARGS)
+  separate_arguments(extra_list UNIX_COMMAND "${EXTRA_ARGS}")
+endif()
+
 execute_process(
-  COMMAND "${BENCH}" --threads "${THREADS}"
+  COMMAND "${BENCH}" --threads "${THREADS}" ${extra_list}
   OUTPUT_VARIABLE actual
   RESULT_VARIABLE rc
 )
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "${BENCH} --threads ${THREADS} exited with ${rc}")
+  message(FATAL_ERROR
+    "${BENCH} --threads ${THREADS} ${EXTRA_ARGS} exited with ${rc}")
 endif()
 
 file(READ "${GOLDEN}" expected)

@@ -1,0 +1,119 @@
+#include "obs/hub.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tmc::obs {
+namespace {
+
+/// Runs parse_cli_flag over a whole argv the way the binaries do; returns
+/// the indices it did NOT consume.
+std::vector<std::string> parse_all(std::vector<const char*> args,
+                                   Options& options, std::string& error) {
+  args.insert(args.begin(), "prog");
+  std::vector<std::string> rest;
+  const int argc = static_cast<int>(args.size());
+  for (int i = 1; i < argc; ++i) {
+    if (parse_cli_flag(argc, const_cast<char**>(args.data()), i, options,
+                       error)) {
+      if (!error.empty()) return rest;
+      continue;
+    }
+    rest.emplace_back(args[static_cast<std::size_t>(i)]);
+  }
+  return rest;
+}
+
+TEST(HubCli, MetricsFlagWithAndWithoutPath) {
+  Options options;
+  std::string error;
+  auto rest = parse_all({"--metrics", "--other"}, options, error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(options.metrics);
+  EXPECT_TRUE(options.metrics_path.empty());
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "--other");
+
+  Options with_path;
+  parse_all({"--metrics=out.csv"}, with_path, error);
+  EXPECT_TRUE(with_path.metrics);
+  EXPECT_EQ(with_path.metrics_path, "out.csv");
+}
+
+TEST(HubCli, TimelineTakesPathInBothForms) {
+  Options options;
+  std::string error;
+  parse_all({"--timeline=trace.json"}, options, error);
+  EXPECT_EQ(options.timeline_path, "trace.json");
+
+  Options spaced;
+  parse_all({"--timeline", "t.json"}, spaced, error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(spaced.timeline_path, "t.json");
+
+  Options missing;
+  parse_all({"--timeline"}, missing, error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HubCli, SampleIntervalValidatesMilliseconds) {
+  Options options;
+  std::string error;
+  parse_all({"--sample-interval", "2.5"}, options, error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(options.sample_interval, sim::SimTime::microseconds(2500));
+
+  Options bad;
+  parse_all({"--sample-interval=-1"}, bad, error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  parse_all({"--sample-interval=zoom"}, bad, error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HubCli, UnrelatedFlagsAreNotConsumed) {
+  Options options;
+  std::string error;
+  const auto rest =
+      parse_all({"--threads", "4", "--metricsx"}, options, error);
+  EXPECT_FALSE(options.metrics);
+  EXPECT_EQ(rest.size(), 3u);
+}
+
+TEST(Hub, AnyReflectsRequestedOutputs) {
+  EXPECT_FALSE(Options{}.any());
+  Options metrics;
+  metrics.metrics = true;
+  EXPECT_TRUE(metrics.any());
+  Options timeline;
+  timeline.timeline_path = "t.json";
+  EXPECT_TRUE(timeline.any());
+}
+
+TEST(Hub, TimelineOnlyExistsWhenRequested) {
+  Options options;
+  options.metrics = true;
+  Hub metrics_only(options);
+  EXPECT_EQ(metrics_only.timeline(), nullptr);
+
+  options.timeline_path = "t.json";
+  Hub with_timeline(options);
+  EXPECT_NE(with_timeline.timeline(), nullptr);
+}
+
+TEST(Hub, FinishRunFreezesProbes) {
+  Options options;
+  options.metrics = true;
+  Hub hub(options);
+  double level = 1.0;
+  hub.registry().probe("level", [&level] { return level; });
+  level = 8.0;
+  hub.finish_run(sim::SimTime::seconds(1));
+  level = -1.0;
+  EXPECT_DOUBLE_EQ(hub.registry().snapshot()[0].value, 8.0);
+}
+
+}  // namespace
+}  // namespace tmc::obs

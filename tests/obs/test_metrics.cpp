@@ -1,0 +1,108 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tmc::obs {
+namespace {
+
+TEST(Registry, GetOrCreateReturnsStableHandles) {
+  Registry reg;
+  Counter* a = reg.counter("events");
+  Counter* b = reg.counter("events");
+  EXPECT_EQ(a, b);
+  a->inc(3);
+  EXPECT_EQ(b->value, 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, HandlesSurviveLaterRegistrations) {
+  // Deque-backed storage: registering hundreds more instruments must not
+  // invalidate earlier handles (a vector would reallocate).
+  Registry reg;
+  Counter* first = reg.counter("first");
+  for (int i = 0; i < 500; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  first->inc();
+  EXPECT_EQ(reg.counter("first")->value, 1u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.distribution("x"), std::logic_error);
+  EXPECT_THROW(reg.probe("x", [] { return 0.0; }), std::logic_error);
+}
+
+TEST(Registry, DistributionRecordsStatsAndHistogram) {
+  Registry reg;
+  Distribution* d = reg.distribution("lat", 0.0, 10.0, 10);
+  d->add(1.5);
+  d->add(2.5);
+  d->add(42.0);  // clamps into the top bin, counted as overflow
+  EXPECT_EQ(d->stats().count(), 3u);
+  ASSERT_TRUE(d->histogram().has_value());
+  EXPECT_EQ(d->histogram()->overflow(), 1u);
+}
+
+TEST(Registry, NullHandleHelpersAreNoOps) {
+  bump(nullptr);
+  set(nullptr, 1.0);
+  observe(nullptr, 1.0);
+  Counter c;
+  bump(&c, 2);
+  EXPECT_EQ(c.value, 2u);
+  Gauge g;
+  set(&g, 4.5);
+  EXPECT_DOUBLE_EQ(g.value, 4.5);
+  Distribution d;
+  observe(&d, 7.0);
+  EXPECT_EQ(d.stats().count(), 1u);
+}
+
+TEST(Registry, FreezeProbesCapturesValueAndDropsClosure) {
+  Registry reg;
+  double source = 1.0;
+  reg.probe("level", [&source] { return source; });
+  source = 5.0;
+  reg.freeze_probes();
+  source = 99.0;  // must not be visible after the freeze
+  const auto views = reg.snapshot();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].kind, Registry::Kind::kProbe);
+  EXPECT_DOUBLE_EQ(views[0].value, 5.0);
+  // Idempotent: a second freeze keeps the frozen value.
+  reg.freeze_probes();
+  EXPECT_DOUBLE_EQ(reg.snapshot()[0].value, 5.0);
+}
+
+TEST(Registry, SnapshotEvaluatesUnfrozenProbesInPlace) {
+  Registry reg;
+  double source = 2.0;
+  reg.probe("level", [&source] { return source; });
+  EXPECT_DOUBLE_EQ(reg.snapshot()[0].value, 2.0);
+  source = 3.0;
+  EXPECT_DOUBLE_EQ(reg.snapshot()[0].value, 3.0);
+}
+
+TEST(Registry, SnapshotPreservesRegistrationOrder) {
+  Registry reg;
+  reg.counter("b")->inc(1);
+  reg.gauge("a")->set(2.0);
+  reg.distribution("c")->add(3.0);
+  const auto views = reg.snapshot();
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0].name, "b");
+  EXPECT_EQ(views[0].count, 1u);
+  EXPECT_EQ(views[1].name, "a");
+  EXPECT_DOUBLE_EQ(views[1].value, 2.0);
+  EXPECT_EQ(views[2].name, "c");
+  ASSERT_NE(views[2].distribution, nullptr);
+  EXPECT_EQ(views[2].distribution->stats().count(), 1u);
+}
+
+}  // namespace
+}  // namespace tmc::obs

@@ -1,0 +1,81 @@
+#include "obs/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/timeline.h"
+
+namespace tmc::obs {
+namespace {
+
+using sim::SimTime;
+
+TEST(Sampler, InactiveUntilConfiguredWithChannels) {
+  Sampler s;
+  EXPECT_FALSE(s.active());
+  Timeline tl;
+  s.configure(&tl, SimTime::milliseconds(10));
+  EXPECT_FALSE(s.active());  // no channels yet
+  s.add_channel([] { return 1.0; }, 0, 0);
+  EXPECT_TRUE(s.active());
+  s.configure(nullptr, SimTime::milliseconds(10));
+  EXPECT_FALSE(s.active());
+}
+
+TEST(Sampler, AdvanceEmitsTicksStrictlyBelowHorizon) {
+  Timeline tl;
+  const TrackId t = tl.add_track(TrackKind::kGlobal, "machine");
+  const NameId n = tl.intern("depth");
+  Sampler s;
+  s.configure(&tl, SimTime::milliseconds(10));
+  s.add_channel([] { return 4.0; }, t, n);
+
+  // Horizon exactly on a tick: that tick belongs to the NEXT advance, so
+  // samples at an event instant land on the pre-event side.
+  s.advance_to(SimTime::milliseconds(30));
+  ASSERT_EQ(tl.records().size(), 3u);  // t = 0, 10, 20
+  EXPECT_EQ(tl.records()[0].start_ns, 0);
+  EXPECT_EQ(tl.records()[2].start_ns, 20'000'000);
+
+  s.advance_to(SimTime::milliseconds(31));
+  ASSERT_EQ(tl.records().size(), 4u);  // t = 30
+  EXPECT_EQ(tl.records()[3].start_ns, 30'000'000);
+  EXPECT_DOUBLE_EQ(tl.records()[3].value, 4.0);
+}
+
+TEST(Sampler, MultipleChannelsSampleAtEachTick) {
+  Timeline tl;
+  const TrackId t = tl.add_track(TrackKind::kGlobal, "machine");
+  Sampler s;
+  s.configure(&tl, SimTime::milliseconds(5));
+  s.add_channel([] { return 1.0; }, t, tl.intern("a"));
+  s.add_channel([] { return 2.0; }, t, tl.intern("b"));
+  s.advance_to(SimTime::milliseconds(6));  // ticks at 0 and 5
+  EXPECT_EQ(tl.records().size(), 4u);
+}
+
+TEST(Sampler, FinishTakesFinalSampleAndDropsChannels) {
+  Timeline tl;
+  const TrackId t = tl.add_track(TrackKind::kGlobal, "machine");
+  const NameId n = tl.intern("depth");
+  int live = 0;
+  {
+    Sampler s;
+    s.configure(&tl, SimTime::milliseconds(10));
+    s.add_channel(
+        [&live] {
+          ++live;
+          return 1.0;
+        },
+        t, n);
+    s.finish(SimTime::milliseconds(42));
+    EXPECT_FALSE(s.active());
+    // advance_to after finish must not re-poll the (dropped) closure.
+    s.advance_to(SimTime::seconds(1));
+  }
+  EXPECT_EQ(live, 1);
+  ASSERT_EQ(tl.records().size(), 1u);
+  EXPECT_EQ(tl.records()[0].start_ns, 42'000'000);
+}
+
+}  // namespace
+}  // namespace tmc::obs

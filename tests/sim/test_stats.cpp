@@ -62,6 +62,22 @@ TEST(OnlineStats, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(b.mean(), mean);
 }
 
+TEST(OnlineStats, MergeIsOrderIndependent) {
+  OnlineStats a1, b1, a2, b2;
+  for (int i = 0; i < 40; ++i) {
+    const double x = std::cos(i) * 3.0 + i;
+    (i < 25 ? a1 : b1).add(x);
+    (i < 25 ? a2 : b2).add(x);
+  }
+  a1.merge(b1);  // a ⊕ b
+  b2.merge(a2);  // b ⊕ a
+  EXPECT_EQ(a1.count(), b2.count());
+  EXPECT_NEAR(a1.mean(), b2.mean(), 1e-9);
+  EXPECT_NEAR(a1.variance(), b2.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a1.min(), b2.min());
+  EXPECT_DOUBLE_EQ(a1.max(), b2.max());
+}
+
 TEST(OnlineStats, CvIsStddevOverMean) {
   OnlineStats s;
   s.add(1.0);
@@ -108,6 +124,27 @@ TEST(Histogram, OutOfRangeClampsAndCounts) {
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.bin_count(0), 1u);
   EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, ClampedSamplesStillCountTowardTotal) {
+  // Out-of-range values are clamped into the edge bins but separately
+  // accounted, so `underflow + overflow <= count` and no sample vanishes.
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  h.add(-3.0);
+  h.add(-4.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // the two clamped underflows
+  EXPECT_EQ(h.bin_count(4), 1u);  // the clamped overflow
+}
+
+TEST(Histogram, ExposesConfiguredRange) {
+  Histogram h(0.5, 2.5, 4);
+  EXPECT_DOUBLE_EQ(h.lo(), 0.5);
+  EXPECT_DOUBLE_EQ(h.hi(), 2.5);
 }
 
 TEST(Histogram, QuantileInterpolates) {

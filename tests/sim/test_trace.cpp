@@ -54,5 +54,76 @@ TEST(Tracer, DisableClearsEarlierEnable) {
   EXPECT_EQ(calls, 0u);
 }
 
+TEST(Tracer, LineFormatMatchesLegacyOstreamOutput) {
+  // The TraceLine rewrite must not change a byte of the emitted lines:
+  // scripts (and the golden diffing habit) parse "%.6f [cat] comp: msg".
+  Tracer tracer;
+  std::vector<std::string> lines;
+  tracer.enable(static_cast<unsigned>(TraceCategory::kAll),
+                [&lines](std::string_view line) { lines.emplace_back(line); });
+  tracer.emit(SimTime::microseconds(1500), TraceCategory::kNetwork, "net",
+              "m7 parked");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "0.001500 [net] net: m7 parked");
+}
+
+TEST(TraceLine, StreamsLikeOstream) {
+  std::string buf;
+  TraceLine line(buf);
+  line << "p" << 42 << " took " << 1.5 << "ms flag=" << true << ' '
+       << std::string("tail");
+  EXPECT_EQ(line.view(), "p42 took 1.5ms flag=true tail");
+}
+
+TEST(Tracer, StructuredSinkReceivesParsedFields) {
+  Tracer tracer;
+  SimTime when;
+  TraceCategory cat{};
+  std::string component, message;
+  tracer.enable_structured(
+      static_cast<unsigned>(TraceCategory::kCpu),
+      [&](SimTime now, TraceCategory c, std::string_view comp,
+          std::string_view msg) {
+        when = now;
+        cat = c;
+        component = comp;
+        message = msg;
+      });
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kCpu));
+  tracer.emit(SimTime::microseconds(9), TraceCategory::kCpu, "cpu3",
+              "dispatch p1");
+  EXPECT_EQ(when, SimTime::microseconds(9));
+  EXPECT_EQ(cat, TraceCategory::kCpu);
+  EXPECT_EQ(component, "cpu3");
+  EXPECT_EQ(message, "dispatch p1");
+}
+
+TEST(Tracer, LineAndStructuredMasksAreIndependent) {
+  Tracer tracer;
+  std::size_t line_calls = 0, struct_calls = 0;
+  tracer.enable(static_cast<unsigned>(TraceCategory::kCpu),
+                [&line_calls](std::string_view) { ++line_calls; });
+  tracer.enable_structured(
+      static_cast<unsigned>(TraceCategory::kNetwork),
+      [&struct_calls](SimTime, TraceCategory, std::string_view,
+                      std::string_view) { ++struct_calls; });
+  // enabled() is the union: TMC_TRACE sites format once for either consumer.
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kCpu));
+  EXPECT_TRUE(tracer.enabled(TraceCategory::kNetwork));
+  tracer.emit(SimTime::zero(), TraceCategory::kCpu, "cpu0", "x");
+  tracer.emit(SimTime::zero(), TraceCategory::kNetwork, "net", "y");
+  EXPECT_EQ(line_calls, 1u);
+  EXPECT_EQ(struct_calls, 1u);
+}
+
+TEST(Tracer, NullStructuredSinkForcesStructuredMaskToZero) {
+  Tracer tracer;
+  tracer.enable_structured(static_cast<unsigned>(TraceCategory::kAll),
+                           nullptr);
+  EXPECT_FALSE(tracer.enabled(TraceCategory::kCpu));
+  EXPECT_NO_THROW(
+      tracer.emit(SimTime::zero(), TraceCategory::kCpu, "cpu0", "x"));
+}
+
 }  // namespace
 }  // namespace tmc::sim

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate tmc observability output files beyond "it parses".
+
+`python -m json.tool` only proves well-formedness; this script checks the
+contracts consumers actually rely on:
+
+  metrics JSON  (--metrics=out.json)
+      schema tag "tmc-metrics-v1", every instrument named and typed, scalar
+      kinds carry a finite value, distributions carry summary stats and a
+      histogram whose bin counts sum to the clamped sample count.
+
+  timeline JSON (--timeline=out.json)
+      Chrome trace_event object form loadable by Perfetto: process/thread
+      metadata first, every event one of M/X/i/C with the fields that phase
+      requires, spans with non-negative durations, and -- the point of the
+      exercise -- per-node tracks plus at least one utilization counter.
+
+Usage:
+    python3 tools/check_obs_json.py --metrics metrics.json \\
+                                    --timeline timeline.json
+Exit 0 if every given file passes; first violation is fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+SCALAR_KINDS = {"counter", "gauge", "probe"}
+
+
+def fail(path: str, message: str) -> None:
+    sys.exit(f"check_obs_json: {path}: {message}")
+
+
+def require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        fail(path, message)
+
+
+def is_finite_number(x: object) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+def check_metrics(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    require(doc.get("schema") == "tmc-metrics-v1", path,
+            f"schema tag is {doc.get('schema')!r}, want 'tmc-metrics-v1'")
+    require(isinstance(doc.get("label"), str) and doc["label"], path,
+            "missing run label")
+    require(is_finite_number(doc.get("end_time_s")), path,
+            "end_time_s missing or not finite")
+    metrics = doc.get("metrics")
+    require(isinstance(metrics, list) and metrics, path,
+            "metrics array missing or empty")
+    seen: set[str] = set()
+    for m in metrics:
+        name = m.get("name")
+        require(isinstance(name, str) and name, path,
+                f"instrument without a name: {m}")
+        require(name not in seen, path, f"duplicate instrument {name!r}")
+        seen.add(name)
+        kind = m.get("kind")
+        if kind in SCALAR_KINDS:
+            require(is_finite_number(m.get("value")), path,
+                    f"{name}: {kind} value missing or not finite")
+        elif kind == "distribution":
+            for field in ("count", "mean", "min", "max", "stddev"):
+                require(is_finite_number(m.get(field)), path,
+                        f"{name}: distribution field {field} missing")
+            histogram = m.get("histogram")
+            require(isinstance(histogram, dict), path,
+                    f"{name}: distribution without histogram object")
+            bins = histogram.get("bins")
+            require(isinstance(bins, list) and bins, path,
+                    f"{name}: histogram without bins")
+            # Out-of-range samples are clamped INTO the edge bins, so the
+            # bins always account for every sample.
+            require(sum(bins) == m["count"], path,
+                    f"{name}: histogram bins sum to {sum(bins)}, "
+                    f"count says {m['count']} (clamping leak?)")
+            for field in ("lo", "hi", "underflow", "overflow"):
+                require(is_finite_number(histogram.get(field)), path,
+                        f"{name}: histogram field {field} missing")
+        else:
+            fail(path, f"{name}: unknown instrument kind {kind!r}")
+    print(f"check_obs_json: {path}: {len(metrics)} instruments ok")
+
+
+def check_timeline(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events, path,
+            "traceEvents missing or empty")
+    processes: set[str] = set()
+    counters: set[str] = set()
+    node_threads = 0
+    link_threads = 0
+    spans = 0
+    for e in events:
+        ph = e.get("ph")
+        require(is_finite_number(e.get("pid")), path, f"event without pid: {e}")
+        if ph == "M":
+            name = e.get("args", {}).get("name")
+            require(isinstance(name, str) and name, path,
+                    f"metadata event without args.name: {e}")
+            if e.get("name") == "process_name":
+                processes.add(name)
+            elif e.get("name") == "thread_name":
+                if name.startswith("node"):
+                    node_threads += 1
+                elif name.startswith("link"):
+                    link_threads += 1
+        elif ph == "X":
+            require(is_finite_number(e.get("ts")), path, f"span without ts: {e}")
+            require(is_finite_number(e.get("dur")) and e["dur"] >= 0, path,
+                    f"span with bad dur: {e}")
+            spans += 1
+        elif ph == "C":
+            require(is_finite_number(e.get("ts")), path,
+                    f"counter without ts: {e}")
+            counters.add(e.get("name", ""))
+        elif ph == "i":
+            require(e.get("s") in ("t", "p", "g"), path,
+                    f"instant with bad scope: {e}")
+        else:
+            fail(path, f"unknown event phase {ph!r}: {e}")
+    require("nodes" in processes, path,
+            f"no 'nodes' process track (saw {sorted(processes)})")
+    require(node_threads > 0, path, "no per-node thread metadata")
+    require(spans > 0, path, "no complete ('X') spans -- CPU tracks empty")
+    # Single-node machines legitimately have no links; everyone else must
+    # export a per-link utilization series.
+    if link_threads > 0:
+        require(any("utilization" in c for c in counters), path,
+                f"{link_threads} link tracks but no utilization counter "
+                f"series (saw {sorted(counters)[:8]}...)")
+    print(f"check_obs_json: {path}: {len(events)} events, {node_threads} node "
+          f"tracks, {link_threads} link tracks, {spans} spans, "
+          f"{len(counters)} counter series ok")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="tmc-metrics-v1 JSON file (repeatable)")
+    parser.add_argument("--timeline", action="append", default=[],
+                        help="Chrome trace_event JSON file (repeatable)")
+    args = parser.parse_args()
+    if not args.metrics and not args.timeline:
+        parser.error("nothing to check: pass --metrics and/or --timeline")
+    for path in args.metrics:
+        check_metrics(path)
+    for path in args.timeline:
+        check_timeline(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

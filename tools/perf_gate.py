@@ -20,6 +20,18 @@ Rules of engagement:
   - Speedups are never an error: the gate only bounds regressions. When the
     numbers move up for good, refresh BENCH_kernel.json with a new entry
     rather than letting headroom accumulate.
+
+Pair gates compare two benchmarks WITHIN the same reports instead of against
+the historical record -- immune to runner noise because both sides ran on
+the same machine moments apart. Used to pin the cost of the disabled
+observability hooks:
+
+    python3 tools/perf_gate.py kernel.json \\
+      --pair "BM_SimulationEventChainNullObs/10000=BM_SimulationEventChain/10000" \\
+      --pair-tolerance 0.03
+
+fails if the instrumented-but-disabled side falls more than --pair-tolerance
+below its baseline side.
 """
 
 from __future__ import annotations
@@ -75,6 +87,13 @@ def main() -> int:
                         / "BENCH_kernel.json")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional drop (default 0.10 = 10%%)")
+    parser.add_argument("--pair", action="append", default=[],
+                        metavar="INSTR=BASE",
+                        help="gate benchmark INSTR against benchmark BASE "
+                             "from the same reports (repeatable)")
+    parser.add_argument("--pair-tolerance", type=float, default=0.03,
+                        help="allowed fractional drop for --pair gates "
+                             "(default 0.03 = 3%%)")
     args = parser.parse_args()
 
     label, baseline = load_baseline(args.baseline)
@@ -101,6 +120,22 @@ def main() -> int:
               f"items/s ({ratio:.2f}x)")
         if verdict == "FAIL":
             failures.append(name)
+
+    for pair in args.pair:
+        instr_name, sep, base_name = pair.partition("=")
+        if not sep:
+            sys.exit(f"perf_gate: --pair wants INSTR=BASE, got '{pair}'")
+        try:
+            instr, base = measured[instr_name], measured[base_name]
+        except KeyError as missing:
+            sys.exit(f"perf_gate: --pair benchmark {missing} not in reports "
+                     f"(have: {', '.join(sorted(measured))})")
+        ratio = instr / base
+        verdict = "ok  " if ratio >= 1.0 - args.pair_tolerance else "FAIL"
+        print(f"  [{verdict}] {instr_name}: {ratio:.3f}x of {base_name} "
+              f"(floor {1.0 - args.pair_tolerance:.2f}x)")
+        if verdict == "FAIL":
+            failures.append(pair)
 
     if gated == 0:
         sys.exit("perf_gate: no benchmark overlapped the baseline entry -- "
