@@ -20,11 +20,13 @@ namespace {
 using namespace tmc;
 
 double run_point(sched::PolicyKind kind, net::TopologyKind topo,
-                 std::size_t packet_bytes) {
+                 std::size_t packet_bytes, bench::ObsSession& obs,
+                 bool representative) {
   auto config = core::figure_point(workload::App::kMatMul,
                                    sched::SoftwareArch::kAdaptive, kind, 16,
                                    topo);
   config.machine.network.packet_bytes = packet_bytes;
+  obs.attach(config.machine, representative);
   return core::run_experiment(config).mean_response_s;
 }
 
@@ -32,7 +34,8 @@ double run_point(sched::PolicyKind kind, net::TopologyKind topo,
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A11: store-and-forward packet-size sweep\n"
                "(matmul batch, adaptive architecture, one 16-node "
                "partition; 0 = whole messages)\n";
@@ -49,13 +52,16 @@ int main(int argc, char** argv) {
       {sched::PolicyKind::kStatic, net::TopologyKind::kMesh},
       {sched::PolicyKind::kTimeSharing, net::TopologyKind::kMesh}};
 
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto mrts = runner.map(
       packets.size() * 4,
       [&](std::size_t i) {
         const auto& cell = kCells[i % 4];
-        return run_point(cell.kind, cell.topo, packets[i / 4]);
+        // The observed run is the TS 16L cell at the smallest real packet
+        // size (the configuration the ablation is about).
+        return run_point(cell.kind, cell.topo, packets[i / 4], obs,
+                         /*representative=*/i == 4 + 1);
       },
       [&](std::size_t done, std::size_t) {
         for (; dots < done; ++dots) std::cout << "." << std::flush;
@@ -77,5 +83,5 @@ int main(int argc, char** argv) {
                "are long (16L) by\npipelining transfers and shrinking "
                "per-hop buffers -- a software-only step\ntoward the wormhole "
                "numbers of bench A2.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

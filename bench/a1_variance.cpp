@@ -23,11 +23,13 @@ namespace {
 using namespace tmc;
 
 double run_policy(sched::PolicyKind kind, int partition, double cv,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, bench::ObsSession& obs,
+                  bool representative) {
   core::MachineConfig cfg;
   cfg.topology = net::TopologyKind::kMesh;
   cfg.policy.kind = kind;
   cfg.policy.partition_size = partition;
+  obs.attach(cfg, representative);
 
   workload::SyntheticParams params;
   params.mean_demand = sim::SimTime::seconds(4);
@@ -53,7 +55,8 @@ double run_policy(sched::PolicyKind kind, int partition, double cv,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A1: mean response vs service-demand variance\n"
                "(synthetic fork/join batch of 16 jobs, mean demand 4 s, "
                "mesh,\n5 seeded replications per point; static FCFS vs "
@@ -83,13 +86,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto mrts = runner.map(
       points.size(),
       [&](std::size_t i) {
         const auto& pt = points[i];
-        return run_policy(pt.kind, pt.partition, pt.cv, pt.seed);
+        // The observed run is the last grid point (highest-variance
+        // time-sharing, the configuration the study is about).
+        return run_policy(pt.kind, pt.partition, pt.cv, pt.seed, obs,
+                          /*representative=*/i == points.size() - 1);
       },
       [&](std::size_t done, std::size_t) {
         for (; dots < done; ++dots) std::cout << "." << std::flush;
@@ -119,5 +125,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape ([2,3]): TS/static ratio falls as cv grows; "
                "time-sharing wins\n(ratio < 1) once variance is high -- the "
                "paper's low-variance batches sit on the left.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

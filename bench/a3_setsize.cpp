@@ -15,13 +15,14 @@
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A3: hybrid set-size sweep\n"
                "(matmul batch, adaptive architecture, partition size 4, "
                "mesh)\n";
 
   const std::vector<int> set_sizes = {1, 2, 4, 8, 16};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto runs = runner.map(
       set_sizes.size(),
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
                                sched::PolicyKind::kHybrid, 4,
                                net::TopologyKind::kMesh);
         config.machine.policy.set_size = set_sizes[i];
+        // The observed run is the largest set size (the paper's hybrid).
+        obs.attach(config.machine, /*representative=*/i == set_sizes.size() - 1);
         return core::run_batch(config, workload::BatchOrder::kInterleaved);
       },
       [&](std::size_t done, std::size_t) {
@@ -57,5 +60,5 @@ int main(int argc, char** argv) {
                "wait for memory/link contention. For this\nlow-variance "
                "batch, small set sizes win -- consistent with static "
                "beating TS.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -14,12 +14,13 @@
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A4: basic quantum sweep (pure time-sharing, matmul "
                "batch,\nfixed architecture, 16-node mesh)\n";
 
   const std::vector<int> quanta_ms = {5, 10, 20, 50, 100, 200, 500};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto runs = runner.map(
       quanta_ms.size(),
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
                                net::TopologyKind::kMesh);
         config.machine.policy.basic_quantum =
             sim::SimTime::milliseconds(quanta_ms[i]);
+        // The observed run is the smallest quantum (most context switching).
+        obs.attach(config.machine, /*representative=*/i == 0);
         return core::run_batch(config, workload::BatchOrder::kInterleaved);
       },
       [&](std::size_t done, std::size_t) {
@@ -53,5 +56,5 @@ int main(int argc, char** argv) {
                "response curve\nhas an interior optimum: tiny quanta multiply "
                "switching and gang-turn overheads,\nlarge quanta stretch the "
                "rotation latency every synchronisation must ride.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -16,12 +16,13 @@
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A5: node memory sweep (pure time-sharing, matmul "
                "batch,\nfixed architecture, 16-node mesh)\n";
 
   const std::vector<std::size_t> mem_kb = {512, 1024, 2048, 4096, 8192, 16384};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto runs = runner.map(
       mem_kb.size(),
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
                                net::TopologyKind::kMesh);
         config.machine.memory_per_node = mem_kb[i] * 1024;
         config.machine.max_sim_time = sim::SimTime::seconds(120);
+        // The observed run is the paper's 4 MB configuration.
+        obs.attach(config.machine, /*representative=*/mem_kb[i] == 4096);
         try {
           return core::run_batch(config, workload::BatchOrder::kInterleaved);
         } catch (const std::runtime_error&) {
@@ -65,5 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: below the working set, blocked allocations "
                "and response time\nclimb steeply; beyond it, extra memory "
                "buys nothing (blocked time ~ 0).\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -14,7 +14,8 @@
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A6: static-policy ordering spread (matmul batch, "
                "adaptive architecture, mesh)\n";
 
@@ -22,16 +23,19 @@ int main(int argc, char** argv) {
   constexpr workload::BatchOrder kOrders[] = {
       workload::BatchOrder::kSmallestFirst, workload::BatchOrder::kInterleaved,
       workload::BatchOrder::kLargestFirst};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   const auto runs = runner.map(
       partitions.size() * 3,
       [&](std::size_t i) {
-        const auto config =
+        auto config =
             core::figure_point(workload::App::kMatMul,
                                sched::SoftwareArch::kAdaptive,
                                sched::PolicyKind::kStatic, partitions[i / 3],
                                net::TopologyKind::kMesh);
+        // The observed run is the last point (worst-case ordering at p=16).
+        obs.attach(config.machine,
+                   /*representative=*/i == partitions.size() * 3 - 1);
         return core::run_batch(config, kOrders[i % 3]);
       },
       [&](std::size_t done, std::size_t) {
@@ -59,5 +63,5 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: the spread is widest with few partitions "
                "(deep FCFS queues);\nwith 16 single-CPU partitions ordering "
                "barely matters.\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -31,13 +31,14 @@ core::ExperimentConfig adaptive_config(workload::App app,
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const int threads = bench::parse_threads_only(argc, argv);
+  const auto options = bench::parse_ablation_options(argc, argv);
+  bench::ObsSession obs(options.obs);
   std::cout << "Ablation A9: adaptive space-sharing (buddy-allocated, "
                "equipartition target)\nvs fixed static partitions and the "
                "hybrid policy; mesh, 16-job batch.\n";
 
   const std::vector<int> partitions = {1, 2, 4, 8, 16};
-  core::SweepRunner runner(threads);
+  core::SweepRunner runner(options.threads);
   for (const auto app : {workload::App::kMatMul, workload::App::kSort}) {
     const auto arch = sched::SoftwareArch::kAdaptive;
     core::banner(std::cout, std::string(workload::to_string(app)) +
@@ -60,8 +61,12 @@ int main(int argc, char** argv) {
                                           4, net::TopologyKind::kMesh))
                 .mean_response_s;
           }
-          return core::run_experiment(adaptive_config(app, arch))
-              .mean_response_s;
+          // The observed run is the matmul adaptive-static point (the
+          // policy this ablation introduces).
+          auto config = adaptive_config(app, arch);
+          obs.attach(config.machine,
+                     /*representative=*/app == workload::App::kMatMul);
+          return core::run_experiment(config).mean_response_s;
         },
         [&](std::size_t done, std::size_t) {
           for (; dots < done; ++dots) std::cout << "." << std::flush;
@@ -89,5 +94,5 @@ int main(int argc, char** argv) {
          "CPU is quadratic in the whole array -- allocation policy and "
          "algorithmic\nscalability interact, which is why the adaptive "
          "family needs workload speedup\nknowledge ([10] Rosti et al.).\n";
-  return 0;
+  return obs.flush(std::cerr);
 }

@@ -43,12 +43,11 @@ Multicomputer::Multicomputer(MachineConfig config)
   std::vector<mem::Mmu*> mmu_ptrs;
   std::vector<node::Transputer*> cpu_ptrs;
   for (int i = 0; i < cfg_.processors; ++i) {
-    mmus_.push_back(std::make_unique<mem::Mmu>(
-        sim_, cfg_.memory_per_node, cfg_.mmu_service, cfg_.mmu_discipline));
-    cpus_.push_back(
-        std::make_unique<node::Transputer>(sim_, i, *mmus_.back(), cfg_.cpu));
-    mmu_ptrs.push_back(mmus_.back().get());
-    cpu_ptrs.push_back(cpus_.back().get());
+    mem::Mmu& mmu = mmus_.emplace_back(sim_, cfg_.memory_per_node,
+                                       cfg_.mmu_service, cfg_.mmu_discipline);
+    node::Transputer& cpu = cpus_.emplace_back(sim_, i, mmu, cfg_.cpu);
+    mmu_ptrs.push_back(&mmu);
+    cpu_ptrs.push_back(&cpu);
   }
 
   if (cfg_.wormhole) {
@@ -157,8 +156,8 @@ void Multicomputer::wire_observability() {
 
   // --- per-node CPU and memory ------------------------------------------
   for (int i = 0; i < cfg_.processors; ++i) {
-    node::Transputer* cpu = cpus_[static_cast<std::size_t>(i)].get();
-    mem::Mmu* mmu = mmus_[static_cast<std::size_t>(i)].get();
+    node::Transputer* cpu = &cpus_[static_cast<std::size_t>(i)];
+    mem::Mmu* mmu = &mmus_[static_cast<std::size_t>(i)];
     const std::string prefix = "node" + std::to_string(i);
     reg.probe(prefix + ".cpu.utilization",
               [cpu] { return cpu->utilization(); });
@@ -211,8 +210,8 @@ void Multicomputer::wire_observability() {
   const obs::NameId n_mailbox = tl->intern("mailbox_pending");
 
   for (int i = 0; i < cfg_.processors; ++i) {
-    node::Transputer* cpu = cpus_[static_cast<std::size_t>(i)].get();
-    mem::Mmu* mmu = mmus_[static_cast<std::size_t>(i)].get();
+    node::Transputer* cpu = &cpus_[static_cast<std::size_t>(i)];
+    mem::Mmu* mmu = &mmus_[static_cast<std::size_t>(i)];
     const obs::TrackId track =
         tl->add_track(obs::TrackKind::kNode, "node" + std::to_string(i));
     cpu->set_timeline(tl, track);
@@ -288,9 +287,9 @@ void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {
   }
   network_->set_tracer(&tracer_);
   for (int i = 0; i < cfg_.processors; ++i) {
-    cpus_[static_cast<std::size_t>(i)]->set_tracer(&tracer_);
-    mmus_[static_cast<std::size_t>(i)]->set_tracer(&tracer_,
-                                                   "mmu" + std::to_string(i));
+    cpus_[static_cast<std::size_t>(i)].set_tracer(&tracer_);
+    mmus_[static_cast<std::size_t>(i)].set_tracer(&tracer_,
+                                                  "mmu" + std::to_string(i));
   }
 }
 
@@ -308,7 +307,7 @@ Multicomputer::~Multicomputer() {
   while (again) {
     again = sim_.discard_pending() > 0;
     for (auto& mmu : mmus_) {
-      again = mmu->discard_pending() > 0 || again;
+      again = mmu.discard_pending() > 0 || again;
     }
   }
 }
@@ -351,20 +350,21 @@ std::uint64_t Multicomputer::run_to_completion() {
 MachineStats Multicomputer::stats() {
   MachineStats s;
   s.events = sim_.fired_events();
+  s.peak_pending_events = sim_.peak_pending_events();
   s.messages = comm_->sends();
   s.self_sends = comm_->self_sends();
   s.total_hops = network_->total_hops();
   for (const auto& cpu : cpus_) {
-    s.avg_cpu_utilization += cpu->utilization();
-    s.context_switches += cpu->context_switches();
-    s.high_preemptions += cpu->high_preemptions();
-    s.quantum_expiries += cpu->quantum_expiries();
+    s.avg_cpu_utilization += cpu.utilization();
+    s.context_switches += cpu.context_switches();
+    s.high_preemptions += cpu.high_preemptions();
+    s.quantum_expiries += cpu.quantum_expiries();
   }
   s.avg_cpu_utilization /= static_cast<double>(cpus_.size());
   for (const auto& mmu : mmus_) {
-    s.peak_node_memory = std::max(s.peak_node_memory, mmu->high_watermark());
-    s.mem_blocked_requests += mmu->blocked_count();
-    s.mem_block_time += mmu->total_block_time();
+    s.peak_node_memory = std::max(s.peak_node_memory, mmu.high_watermark());
+    s.mem_blocked_requests += mmu.blocked_count();
+    s.mem_block_time += mmu.total_block_time();
   }
   if (const auto* sf =
           dynamic_cast<const net::StoreForwardNetwork*>(network_.get())) {

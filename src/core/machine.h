@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/node_array.h"
 #include "mem/mmu.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -70,6 +71,9 @@ struct MachineConfig {
 /// Aggregate machine counters collected after a run.
 struct MachineStats {
   std::uint64_t events = 0;
+  /// High-water mark of the kernel's pending-event set (scaling studies:
+  /// grows with machine size, and heap operations cost O(log) of it).
+  std::size_t peak_pending_events = 0;
   std::uint64_t messages = 0;
   std::uint64_t self_sends = 0;
   std::uint64_t total_hops = 0;
@@ -102,10 +106,10 @@ class Multicomputer {
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] node::Transputer& cpu(net::NodeId node) {
-    return *cpus_[static_cast<std::size_t>(node)];
+    return cpus_[static_cast<std::size_t>(node)];
   }
   [[nodiscard]] mem::Mmu& mmu(net::NodeId node) {
-    return *mmus_[static_cast<std::size_t>(node)];
+    return mmus_[static_cast<std::size_t>(node)];
   }
   [[nodiscard]] int partition_count() const {
     return static_cast<int>(partition_scheds_.size());
@@ -135,8 +139,10 @@ class Multicomputer {
   sim::Simulation sim_;
   sim::Tracer tracer_;
   net::Topology topo_;
-  std::vector<std::unique_ptr<mem::Mmu>> mmus_;
-  std::vector<std::unique_ptr<node::Transputer>> cpus_;
+  /// Per-node components, placement-constructed back to back (Mmu and
+  /// Transputer are non-movable; see core/node_array.h).
+  NodeArray<mem::Mmu> mmus_;
+  NodeArray<node::Transputer> cpus_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<node::CommSystem> comm_;
   std::vector<std::unique_ptr<sched::PartitionScheduler>> partition_scheds_;

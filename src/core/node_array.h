@@ -1,0 +1,96 @@
+// tmcsim -- contiguous arena for per-node components.
+//
+// Mmu and Transputer are non-movable (they hand out references and hold
+// back-references to each other), so the machine historically kept them in
+// vector<unique_ptr<T>>: N separate heap objects, N pointer hops on every
+// per-node loop. NodeArray placement-constructs them back to back in one
+// allocation sized once up front -- the 1024-node machine's per-node state
+// becomes a single cache-friendly block, and indexing loses the double
+// indirection. Capacity is fixed at reserve() time precisely because the
+// elements are non-movable: growing would require relocation, so exceeding
+// the reservation is a programming error (asserted).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace tmc::core {
+
+template <typename T>
+class NodeArray {
+ public:
+  NodeArray() = default;
+  explicit NodeArray(std::size_t capacity) { reserve(capacity); }
+  ~NodeArray() { reset(); }
+
+  NodeArray(const NodeArray&) = delete;
+  NodeArray& operator=(const NodeArray&) = delete;
+  NodeArray(NodeArray&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  NodeArray& operator=(NodeArray&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  /// Allocates raw storage for exactly `capacity` elements. Only valid on
+  /// an empty array (elements cannot be relocated).
+  void reserve(std::size_t capacity) {
+    assert(data_ == nullptr && "NodeArray storage is sized once");
+    if (capacity == 0) return;
+    data_ = std::allocator<T>{}.allocate(capacity);
+    capacity_ = capacity;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    assert(size_ < capacity_ && "NodeArray reservation exceeded");
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Destroys all elements and releases the storage.
+  void reset() {
+    for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    if (data_ != nullptr) std::allocator<T>{}.deallocate(data_, capacity_);
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace tmc::core

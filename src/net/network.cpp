@@ -105,9 +105,9 @@ void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
                              std::move(source_hold)});
     return;
   }
-  const NodeId next = routing_.next_hop(at, msg.dst_node);
-  const auto link_id = topo_.link_between(at, next);
-  assert(link_id.has_value());
+  // One adjacency scan yields both the next node and the directed link.
+  const Topology::Neighbor hop = routing_.next_hop_link(at, msg.dst_node);
+  const NodeId next = hop.node;
 
   // Store-and-forward: the whole unit must be buffered at the next node
   // before it can leave this one. Under memory pressure this request blocks
@@ -115,7 +115,7 @@ void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
   // processors delaying mailbox allocation.
   mmus_[static_cast<std::size_t>(next)]->request(
       fragment_bytes + params_.header_bytes,
-      [this, msg, next, fragment_bytes, link_id = *link_id,
+      [this, msg, next, fragment_bytes, link_id = hop.link,
        held = std::move(held),
        source_hold = std::move(source_hold)](mem::Block next_buf) mutable {
         Link& link = links_[static_cast<std::size_t>(link_id)];
@@ -294,10 +294,10 @@ void WormholeNetwork::transmit(std::uint32_t index, std::uint32_t generation,
   w.dst = std::move(dst);
   const Message& msg = w.msg;
 
-  // The route is static: its link ids come precomputed from the routing
-  // table, so the only per-message path work is folding in availability.
-  const std::span<const LinkId> path =
-      routing_.link_path(msg.src_node, msg.dst_node);
+  // The route is static for a given wiring: its link ids are recomputed
+  // closed-form into a reused scratch vector (no O(N^2) path table).
+  routing_.link_path(msg.src_node, msg.dst_node, path_scratch_);
+  const std::span<const LinkId> path = path_scratch_;
   const std::size_t hops = path.size();
   sim::SimTime start = sim_.now();
   for (const LinkId id : path) {

@@ -26,7 +26,7 @@
 #include "mem/mmu.h"
 #include "net/link.h"
 #include "net/message.h"
-#include "net/routing.h"
+#include "net/router.h"
 #include "net/topology.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -167,7 +167,7 @@ class StoreForwardNetwork final : public Network {
   void send(Message msg, mem::Block payload) override;
   void kick() override;
 
-  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const Router& routing() const { return routing_; }
   [[nodiscard]] const Link& link(LinkId id) const override {
     return links_.at(static_cast<std::size_t>(id));
   }
@@ -207,7 +207,7 @@ class StoreForwardNetwork final : public Network {
 
   sim::Simulation& sim_;
   const Topology& topo_;
-  RoutingTable routing_;
+  Router routing_;
   std::vector<mem::Mmu*> mmus_;
   NetworkParams params_;
   std::vector<Link> links_;
@@ -220,8 +220,9 @@ class StoreForwardNetwork final : public Network {
 /// In-flight state lives in a generation-tagged slot pool: each message
 /// occupies one Worm slot holding its Message, source payload, destination
 /// buffer and the hop count of the path whose channels it occupies (the link
-/// ids themselves are static per (src, dst) and come from the routing
-/// table's precomputed link paths). The pool is pre-reserved per topology, a
+/// ids themselves are static per (src, dst) and are recomputed closed-form
+/// into a reused scratch vector at transmit time). The pool is pre-reserved
+/// per topology, a
 /// worm's slot is released in O(1) when its tail flit leaves the path, and
 /// every callback on the advance path captures only {this, slot, generation}
 /// -- inline in UniqueFunction's small buffer -- so launching, transmitting
@@ -234,7 +235,7 @@ class WormholeNetwork final : public Network {
   void send(Message msg, mem::Block payload) override;
   void kick() override;
 
-  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] const Router& routing() const { return routing_; }
   [[nodiscard]] const Link& link(LinkId id) const override {
     return links_.at(static_cast<std::size_t>(id));
   }
@@ -286,10 +287,12 @@ class WormholeNetwork final : public Network {
 
   sim::Simulation& sim_;
   const Topology& topo_;
-  RoutingTable routing_;
+  Router routing_;
   std::vector<mem::Mmu*> mmus_;
   NetworkParams params_;
   std::vector<Link> links_;
+  /// Reused by transmit() for the closed-form link path (no allocation warm).
+  std::vector<LinkId> path_scratch_;
   std::vector<Worm> worms_;
   std::uint32_t worm_free_ = kFreeListEnd;
   std::size_t live_worms_ = 0;

@@ -1,11 +1,18 @@
-// tmcsim -- static shortest-path routing.
+// tmcsim -- static shortest-path routing (BFS reference table).
 //
 // The paper's communication package routes point-to-point messages through
 // intermediate processors (store-and-forward). Routes are fixed for a given
-// wiring, so we precompute an all-pairs next-hop table with breadth-first
-// search; ties are broken toward the lowest-numbered neighbour, which makes
-// every route deterministic (and, on meshes/hypercubes built by our node
-// numbering, coincides with dimension-ordered routing).
+// wiring, so this table precomputes all-pairs next-hop with breadth-first
+// search: a FIFO queue over ascending-sorted adjacency makes every route
+// deterministic for a given wiring. (Note the tie-break is BFS discovery
+// order, not simply the lowest-numbered closer neighbour -- ring and torus
+// wrap ties differ; see net/router.h for the exact characterisation.)
+//
+// Storage is O(N^2) entries plus O(N^2 * diameter) link paths, fine at the
+// paper's 16 nodes but prohibitive at 1024+. The simulation now routes
+// through net::Router, which reproduces this table's choices closed-form;
+// the table remains as the differential-test reference and as a fallback
+// for irregular wirings.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,14 @@ class RoutingTable {
   }
 
   [[nodiscard]] int node_count() const { return n_; }
+
+  /// Heap bytes held by the materialised tables (scaling reports).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return next_hop_.capacity() * sizeof(next_hop_[0]) +
+           dist_.capacity() * sizeof(dist_[0]) +
+           path_off_.capacity() * sizeof(path_off_[0]) +
+           path_links_.capacity() * sizeof(path_links_[0]);
+  }
 
  private:
   [[nodiscard]] std::size_t index(NodeId src, NodeId dst) const {

@@ -11,21 +11,32 @@ namespace {
 bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
 
 void check_size(int n) {
-  if (!is_power_of_two(n)) {
-    throw std::invalid_argument("topology size must be a power of two, got " +
+  if (n <= 0) {
+    throw std::invalid_argument("topology size must be >= 1, got " +
                                 std::to_string(n));
   }
 }
 
-/// Most-square factoring of a power of two: n = rows * cols, rows <= cols.
-std::pair<int, int> mesh_shape(int n) {
-  int rows = 1;
-  while ((rows * 2) * (rows * 2) <= n) rows *= 2;
-  if (rows * rows < n) return {rows, n / rows};
-  return {rows, rows};
+void check_hypercube_size(int n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("hypercube size must be a power of two, got " +
+                                std::to_string(n));
+  }
 }
 
 }  // namespace
+
+std::pair<int, int> Topology::mesh_shape(int n) {
+  // Largest divisor r <= sqrt(n); n = r * (n/r) with r <= n/r. Matches the
+  // historical power-of-two behaviour (8: 2x4, 32: 4x8) and extends to any
+  // size (12: 3x4, 100: 10x10, prime p: 1xp).
+  int r = 1;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  for (; r > 1; --r) {
+    if (n % r == 0) break;
+  }
+  return {r, n / r};
+}
 
 char topology_letter(TopologyKind kind) {
   switch (kind) {
@@ -53,18 +64,29 @@ std::string topology_name(TopologyKind kind) {
 
 void Topology::add_wire(NodeId u, NodeId v) {
   assert(u != v);
-  const auto make_link = [this](NodeId from, NodeId to) {
-    const LinkId id = static_cast<LinkId>(links_.size());
-    links_.push_back(LinkEnds{from, to});
-    adj_[static_cast<std::size_t>(from)].push_back(Neighbor{to, id});
-  };
-  make_link(u, v);
-  make_link(v, u);
+  links_.push_back(LinkEnds{u, v});
+  links_.push_back(LinkEnds{v, u});
 }
 
-void Topology::sort_adjacency() {
-  for (auto& list : adj_) {
-    std::sort(list.begin(), list.end(),
+void Topology::finalize() {
+  // CSR build straight from the directed link list: count degrees, prefix
+  // sum, scatter, then sort each node's slice by neighbour id so routing
+  // tie-breaks stay deterministic.
+  adj_off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& ends : links_) {
+    ++adj_off_[static_cast<std::size_t>(ends.from) + 1];
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n_); ++u) {
+    adj_off_[u + 1] += adj_off_[u];
+  }
+  adj_.resize(links_.size());
+  std::vector<std::uint32_t> cursor(adj_off_.begin(), adj_off_.end() - 1);
+  for (LinkId id = 0; id < link_count(); ++id) {
+    const auto& ends = links_[static_cast<std::size_t>(id)];
+    adj_[cursor[static_cast<std::size_t>(ends.from)]++] = Neighbor{ends.to, id};
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n_); ++u) {
+    std::sort(adj_.begin() + adj_off_[u], adj_.begin() + adj_off_[u + 1],
               [](const Neighbor& a, const Neighbor& b) { return a.node < b.node; });
   }
 }
@@ -73,7 +95,8 @@ Topology Topology::linear(int n) {
   check_size(n);
   Topology t(TopologyKind::kLinear, n);
   for (NodeId i = 0; i + 1 < n; ++i) t.add_wire(i, i + 1);
-  t.sort_adjacency();
+  t.cols_ = n;
+  t.finalize();
   return t;
 }
 
@@ -81,8 +104,9 @@ Topology Topology::ring(int n) {
   check_size(n);
   Topology t(TopologyKind::kRing, n);
   for (NodeId i = 0; i + 1 < n; ++i) t.add_wire(i, i + 1);
-  if (n > 2) t.add_wire(n - 1, 0);  // n==2 would duplicate the single wire
-  t.sort_adjacency();
+  if (n > 2) t.add_wire(n - 1, 0);  // n<=2 would duplicate the single wire
+  t.cols_ = n;
+  t.finalize();
   return t;
 }
 
@@ -90,6 +114,8 @@ Topology Topology::mesh(int n) {
   check_size(n);
   Topology t(TopologyKind::kMesh, n);
   const auto [rows, cols] = mesh_shape(n);
+  t.rows_ = rows;
+  t.cols_ = cols;
   const auto id = [cols = cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
@@ -97,12 +123,12 @@ Topology Topology::mesh(int n) {
       if (r + 1 < rows) t.add_wire(id(r, c), id(r + 1, c));
     }
   }
-  t.sort_adjacency();
+  t.finalize();
   return t;
 }
 
 Topology Topology::hypercube(int n) {
-  check_size(n);
+  check_hypercube_size(n);
   Topology t(TopologyKind::kHypercube, n);
   for (NodeId i = 0; i < n; ++i) {
     for (int bit = 1; bit < n; bit <<= 1) {
@@ -110,7 +136,8 @@ Topology Topology::hypercube(int n) {
       if (j > i) t.add_wire(i, j);
     }
   }
-  t.sort_adjacency();
+  t.cols_ = n;
+  t.finalize();
   return t;
 }
 
@@ -118,6 +145,10 @@ Topology Topology::tiled(TopologyKind kind, int partition_size, int copies) {
   if (copies <= 0) throw std::invalid_argument("copies must be > 0");
   const Topology base = make(kind, partition_size);
   Topology t(kind, partition_size * copies);
+  t.tile_size_ = partition_size;
+  t.copies_ = copies;
+  t.rows_ = base.rows_;
+  t.cols_ = base.cols_;
   for (int copy = 0; copy < copies; ++copy) {
     const NodeId offset = copy * partition_size;
     // Each physical wire of the base appears once as (from < to).
@@ -126,7 +157,7 @@ Topology Topology::tiled(TopologyKind kind, int partition_size, int copies) {
       if (ends.from < ends.to) t.add_wire(ends.from + offset, ends.to + offset);
     }
   }
-  t.sort_adjacency();
+  t.finalize();
   return t;
 }
 
@@ -134,6 +165,8 @@ Topology Topology::torus(int n) {
   check_size(n);
   Topology t(TopologyKind::kTorus, n);
   const auto [rows, cols] = mesh_shape(n);
+  t.rows_ = rows;
+  t.cols_ = cols;
   const auto id = [cols = cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
@@ -145,7 +178,7 @@ Topology Topology::torus(int n) {
   if (rows > 2) {
     for (int c = 0; c < cols; ++c) t.add_wire(id(rows - 1, c), id(0, c));
   }
-  t.sort_adjacency();
+  t.finalize();
   return t;
 }
 
@@ -158,7 +191,8 @@ Topology Topology::tree(int n) {
     if (left < n) t.add_wire(i, left);
     if (right < n) t.add_wire(i, right);
   }
-  t.sort_adjacency();
+  t.cols_ = n;
+  t.finalize();
   return t;
 }
 
@@ -176,14 +210,6 @@ Topology Topology::make(TopologyKind kind, int n) {
 
 std::string Topology::label() const {
   return std::to_string(n_) + topology_letter(kind_);
-}
-
-const std::vector<Topology::Neighbor>& Topology::neighbors(NodeId u) const {
-  return adj_.at(static_cast<std::size_t>(u));
-}
-
-int Topology::degree(NodeId u) const {
-  return static_cast<int>(neighbors(u).size());
 }
 
 int Topology::max_degree() const {

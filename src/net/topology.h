@@ -4,11 +4,17 @@
 // into four topologies -- linear array, ring, mesh, and hypercube -- at sizes
 // 1, 2, 4, 8, 16 (powers of two). Each Transputer has four bidirectional
 // links, which bounds the node degree at 4.
+//
+// Adjacency is stored in CSR form (one offset array plus one flat payload
+// array) so a 1024-node machine's hot routing state is two contiguous
+// allocations instead of N pointer-chased vectors.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tmc::net {
@@ -39,13 +45,16 @@ enum class TopologyKind {
 /// direction is an independently contended resource.
 class Topology {
  public:
-  /// Builders for the paper's four topologies. `n` must be a power of two
-  /// in [1, 16] (larger sizes are supported for extension studies as long
-  /// as the degree-4 Transputer constraint holds).
+  /// Builders for the paper's four topologies plus extensions. Any `n` >= 1
+  /// is accepted except for the hypercube, which needs a power of two; the
+  /// paper's testbed stops at 16 nodes, but scaling studies go to 1024+
+  /// (the degree-4 Transputer constraint still holds for linear, ring,
+  /// mesh, and torus at any size -- check transputer_feasible() for the
+  /// hypercube, whose degree is log2 n).
   static Topology linear(int n);
   static Topology ring(int n);
-  /// 2D mesh; for non-square powers of two uses the most-square factoring
-  /// (2: 1x2, 8: 2x4, 32: 4x8, ...).
+  /// 2D mesh; uses the most-square factoring of n with rows <= cols
+  /// (8: 2x4, 12: 3x4, 32: 4x8, prime n degenerates to 1xn).
   static Topology mesh(int n);
   static Topology hypercube(int n);
   /// 2D torus: the mesh plus wrap-around links (skipped along dimensions
@@ -61,19 +70,37 @@ class Topology {
   /// partition as its own network, and jobs never span partitions.
   static Topology tiled(TopologyKind kind, int partition_size, int copies);
 
+  /// Most-square factoring n = rows * cols with rows <= cols, used by the
+  /// mesh and torus builders (and by the algorithmic router).
+  [[nodiscard]] static std::pair<int, int> mesh_shape(int n);
+
   [[nodiscard]] int node_count() const { return n_; }
   [[nodiscard]] int link_count() const { return static_cast<int>(links_.size()); }
   [[nodiscard]] TopologyKind kind() const { return kind_; }
   /// Figure label, e.g. "8R" for an 8-node ring.
   [[nodiscard]] std::string label() const;
 
+  /// Nodes per disjoint tile (== node_count() unless built by tiled()).
+  [[nodiscard]] int tile_size() const { return tile_size_; }
+  [[nodiscard]] int tile_copies() const { return copies_; }
+  /// Mesh/torus tile dimensions (rows <= cols); {1, tile_size} otherwise.
+  [[nodiscard]] int tile_rows() const { return rows_; }
+  [[nodiscard]] int tile_cols() const { return cols_; }
+
   struct Neighbor {
     NodeId node;
     LinkId link;  // directed link from the queried node to `node`
   };
   /// Neighbours of `u` in ascending node order (deterministic routing ties).
-  [[nodiscard]] const std::vector<Neighbor>& neighbors(NodeId u) const;
-  [[nodiscard]] int degree(NodeId u) const;
+  [[nodiscard]] std::span<const Neighbor> neighbors(NodeId u) const {
+    const auto lo = adj_off_[static_cast<std::size_t>(u)];
+    const auto hi = adj_off_[static_cast<std::size_t>(u) + 1];
+    return {adj_.data() + lo, adj_.data() + hi};
+  }
+  [[nodiscard]] int degree(NodeId u) const {
+    return static_cast<int>(adj_off_[static_cast<std::size_t>(u) + 1] -
+                            adj_off_[static_cast<std::size_t>(u)]);
+  }
   [[nodiscard]] int max_degree() const;
 
   /// Directed link u->v, or nullopt if not adjacent.
@@ -91,15 +118,29 @@ class Topology {
   /// True if every node respects the 4-link Transputer constraint.
   [[nodiscard]] bool transputer_feasible() const { return max_degree() <= 4; }
 
+  /// Heap bytes held by the adjacency + link arrays (scaling reports).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return adj_off_.capacity() * sizeof(adj_off_[0]) +
+           adj_.capacity() * sizeof(adj_[0]) +
+           links_.capacity() * sizeof(links_[0]);
+  }
+
  private:
-  Topology(TopologyKind kind, int n) : kind_(kind), n_(n), adj_(static_cast<std::size_t>(n)) {}
+  Topology(TopologyKind kind, int n) : kind_(kind), n_(n), tile_size_(n) {}
   /// Adds the two directed links of one physical wire.
   void add_wire(NodeId u, NodeId v);
-  void sort_adjacency();
+  /// Builds the CSR adjacency from links_; every builder's last step.
+  void finalize();
 
   TopologyKind kind_;
   int n_;
-  std::vector<std::vector<Neighbor>> adj_;
+  int tile_size_;
+  int copies_ = 1;
+  int rows_ = 1;
+  int cols_ = 1;
+  /// CSR: neighbours of u live in adj_[adj_off_[u] .. adj_off_[u+1]).
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<Neighbor> adj_;
   std::vector<LinkEnds> links_;
 };
 

@@ -36,33 +36,47 @@ CommSystem::CommSystem(sim::Simulation& sim, net::Network& network,
   }
 }
 
+void CommSystem::grow_window(JobWindow& window, std::uint32_t need) {
+  const std::uint32_t cap =
+      std::max({need, window.cap * 2, std::uint32_t{4}});
+  const auto off = static_cast<std::uint32_t>(slots_.size());
+  slots_.resize(slots_.size() + cap, nullptr);
+  for (std::uint32_t i = 0; i < window.cap; ++i) {
+    slots_[off + i] = slots_[window.off + i];
+    slots_[window.off + i] = nullptr;  // dead block must not alias processes
+  }
+  window.off = off;
+  window.cap = cap;
+}
+
 void CommSystem::register_process(Process& p) {
   assert(p.node() != net::kInvalidNode && "bind process to a node first");
   const auto job = static_cast<std::size_t>(net::endpoint_job(p.id()));
-  const auto rank = static_cast<std::size_t>(net::endpoint_rank(p.id()));
-  if (registry_.size() <= job) registry_.resize(job + 1);
-  auto& ranks = registry_[job];
-  if (ranks.size() <= rank) ranks.resize(rank + 1, nullptr);
-  if (ranks[rank] != nullptr) {
+  const auto rank = static_cast<std::uint32_t>(net::endpoint_rank(p.id()));
+  if (jobs_.size() <= job) jobs_.resize(job + 1);
+  JobWindow& window = jobs_[job];
+  if (rank >= window.cap) grow_window(window, rank + 1);
+  Process*& slot = slots_[window.off + rank];
+  if (slot != nullptr) {
     throw std::logic_error("endpoint " + std::to_string(p.id()) +
                            " already registered");
   }
-  ranks[rank] = &p;
+  slot = &p;
 }
 
 void CommSystem::unregister_process(net::EndpointId id) {
   const auto job = static_cast<std::size_t>(net::endpoint_job(id));
-  const auto rank = static_cast<std::size_t>(net::endpoint_rank(id));
-  if (job < registry_.size() && rank < registry_[job].size()) {
-    registry_[job][rank] = nullptr;
+  const auto rank = static_cast<std::uint32_t>(net::endpoint_rank(id));
+  if (job < jobs_.size() && rank < jobs_[job].cap) {
+    slots_[jobs_[job].off + rank] = nullptr;
   }
 }
 
 Process* CommSystem::find(net::EndpointId id) const {
   const auto job = static_cast<std::size_t>(net::endpoint_job(id));
-  const auto rank = static_cast<std::size_t>(net::endpoint_rank(id));
-  if (job >= registry_.size() || rank >= registry_[job].size()) return nullptr;
-  return registry_[job][rank];
+  const auto rank = static_cast<std::uint32_t>(net::endpoint_rank(id));
+  if (job >= jobs_.size() || rank >= jobs_[job].cap) return nullptr;
+  return slots_[jobs_[job].off + rank];
 }
 
 void CommSystem::set_job_active(JobId job, bool active) {

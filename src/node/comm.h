@@ -74,20 +74,16 @@ class CommSystem {
   /// (machine-wide mailbox queue depth; sampled by the obs layer).
   [[nodiscard]] std::size_t pending_mailbox_messages() const {
     std::size_t total = 0;
-    for (const auto& job : registry_) {
-      for (const Process* p : job) {
-        if (p != nullptr) total += p->mailbox().size();
-      }
+    for (const Process* p : slots_) {
+      if (p != nullptr) total += p->mailbox().size();
     }
     return total;
   }
   /// Node memory pinned by those undelivered messages, in bytes.
   [[nodiscard]] std::size_t pending_mailbox_bytes() const {
     std::size_t total = 0;
-    for (const auto& job : registry_) {
-      for (const Process* p : job) {
-        if (p != nullptr) total += p->mailbox().buffered_bytes();
-      }
+    for (const Process* p : slots_) {
+      if (p != nullptr) total += p->mailbox().buffered_bytes();
     }
     return total;
   }
@@ -119,10 +115,18 @@ class CommSystem {
   Params params_;
   /// Endpoint registry indexed [job][rank] via the canonical EndpointId
   /// encoding. JobIds are assigned densely by the workload generators and
-  /// ranks are dense per job, so a two-level flat table resolves every send
-  /// and delivery without hashing, and registration costs one small vector
-  /// per job instead of a map node per process.
-  std::vector<std::vector<Process*>> registry_;
+  /// ranks are dense per job, so a per-job {offset, capacity} window into
+  /// one flat slot arena resolves every send and delivery without hashing
+  /// -- and without a heap vector per job. Windows grow geometrically by
+  /// relocating to the arena tail (abandoned blocks are nulled; at 1024
+  /// nodes the arena is one contiguous allocation instead of ~70 vectors).
+  struct JobWindow {
+    std::uint32_t off = 0;
+    std::uint32_t cap = 0;
+  };
+  void grow_window(JobWindow& window, std::uint32_t need);
+  std::vector<JobWindow> jobs_;
+  std::vector<Process*> slots_;
   /// Jobs whose communication is frozen. At most the machine's total
   /// multiprogramming level entries, toggled on every gang turn: a flat
   /// vector with linear membership checks never allocates once warm, where

@@ -1,0 +1,93 @@
+#include "core/node_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tmc::core {
+namespace {
+
+/// Non-movable element with construction/destruction accounting -- the
+/// shape NodeArray exists for (Mmu/Transputer hand out references).
+struct Pinned {
+  Pinned(int id, int* live) : id(id), live(live) { ++*live; }
+  ~Pinned() { --*live; }
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+
+  int id;
+  int* live;
+};
+
+TEST(NodeArray, EmplacesInReservedContiguousStorage) {
+  int live = 0;
+  {
+    NodeArray<Pinned> arr(4);
+    EXPECT_TRUE(arr.empty());
+    EXPECT_EQ(arr.capacity(), 4u);
+    Pinned& first = arr.emplace_back(10, &live);
+    arr.emplace_back(11, &live);
+    arr.emplace_back(12, &live);
+    EXPECT_EQ(arr.size(), 3u);
+    EXPECT_EQ(live, 3);
+    // Elements are adjacent in one block and references stay stable.
+    EXPECT_EQ(&arr[1], &arr[0] + 1);
+    EXPECT_EQ(&arr[2], &arr[0] + 2);
+    EXPECT_EQ(&first, &arr[0]);
+    EXPECT_EQ(arr[2].id, 12);
+    int sum = 0;
+    for (const Pinned& p : arr) sum += p.id;
+    EXPECT_EQ(sum, 33);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(NodeArray, ResetDestroysAndAllowsResize) {
+  int live = 0;
+  NodeArray<Pinned> arr(2);
+  arr.emplace_back(1, &live);
+  arr.emplace_back(2, &live);
+  arr.reset();
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(arr.capacity(), 0u);
+  // After reset the array is empty again, so it may be re-reserved.
+  arr.reserve(3);
+  arr.emplace_back(3, &live);
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(arr[0].id, 3);
+}
+
+TEST(NodeArray, MoveTransfersOwnership) {
+  int live = 0;
+  NodeArray<Pinned> src(2);
+  src.emplace_back(7, &live);
+  NodeArray<Pinned> dst(std::move(src));
+  EXPECT_EQ(src.size(), 0u);
+  EXPECT_EQ(dst.size(), 1u);
+  EXPECT_EQ(dst[0].id, 7);
+  NodeArray<Pinned> other(1);
+  other.emplace_back(8, &live);
+  other = std::move(dst);
+  EXPECT_EQ(live, 1);  // move-assign destroyed the old element
+  EXPECT_EQ(other[0].id, 7);
+}
+
+TEST(NodeArray, ZeroCapacityIsWellFormed) {
+  NodeArray<std::string> arr(0);
+  EXPECT_TRUE(arr.empty());
+  EXPECT_EQ(arr.begin(), arr.end());
+}
+
+TEST(NodeArray, HoldsThousandElementsContiguously) {
+  // The scaling use case: 1024 per-node components in one block.
+  NodeArray<std::uint64_t> arr(1024);
+  for (std::uint64_t i = 0; i < 1024; ++i) arr.emplace_back(i * i);
+  EXPECT_EQ(arr.size(), 1024u);
+  EXPECT_EQ(&arr[1023], &arr[0] + 1023);
+  EXPECT_EQ(arr[1000], 1000000u);
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -56,11 +56,84 @@ TEST(Topology, DegreeBoundsRespectTransputerLinks) {
   EXPECT_FALSE(Topology::hypercube(32).transputer_feasible());
 }
 
-TEST(Topology, RejectsNonPowerOfTwo) {
-  EXPECT_THROW(Topology::linear(3), std::invalid_argument);
+TEST(Topology, RejectsInvalidSizes) {
+  // Any n >= 1 is legal except for the hypercube, which needs a power of
+  // two. (Sizes used to be restricted to powers of two in [1, 16]; the
+  // scaling work lifted that.)
+  EXPECT_THROW(Topology::linear(0), std::invalid_argument);
   EXPECT_THROW(Topology::ring(0), std::invalid_argument);
-  EXPECT_THROW(Topology::mesh(12), std::invalid_argument);
+  EXPECT_THROW(Topology::mesh(-1), std::invalid_argument);
   EXPECT_THROW(Topology::hypercube(-4), std::invalid_argument);
+  EXPECT_THROW(Topology::hypercube(12), std::invalid_argument);
+  EXPECT_NO_THROW(Topology::linear(3));
+  EXPECT_NO_THROW(Topology::ring(7));
+  EXPECT_NO_THROW(Topology::mesh(12));
+  EXPECT_NO_THROW(Topology::torus(48));
+  EXPECT_NO_THROW(Topology::tree(1000));
+  EXPECT_NO_THROW(Topology::hypercube(1024));
+}
+
+TEST(Topology, MeshShapeIsMostSquareFactoring) {
+  // Historical power-of-two shapes are preserved exactly.
+  EXPECT_EQ(Topology::mesh_shape(1), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(Topology::mesh_shape(4), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(Topology::mesh_shape(8), (std::pair<int, int>{2, 4}));
+  EXPECT_EQ(Topology::mesh_shape(16), (std::pair<int, int>{4, 4}));
+  EXPECT_EQ(Topology::mesh_shape(32), (std::pair<int, int>{4, 8}));
+  // General sizes pick the most-square divisor pair, rows <= cols.
+  EXPECT_EQ(Topology::mesh_shape(12), (std::pair<int, int>{3, 4}));
+  EXPECT_EQ(Topology::mesh_shape(48), (std::pair<int, int>{6, 8}));
+  EXPECT_EQ(Topology::mesh_shape(1024), (std::pair<int, int>{32, 32}));
+  // Primes degrade to a 1 x n chain rather than throwing.
+  EXPECT_EQ(Topology::mesh_shape(13), (std::pair<int, int>{1, 13}));
+}
+
+TEST(Topology, LargeNonSquareMeshIsWellFormed) {
+  // 96 = 8 x 12: the factoring guard must produce a connected grid whose
+  // recorded shape matches the link structure.
+  const auto topo = Topology::mesh(96);
+  EXPECT_EQ(topo.tile_rows(), 8);
+  EXPECT_EQ(topo.tile_cols(), 12);
+  // rows*(cols-1) + cols*(rows-1) wires, two directed links each.
+  EXPECT_EQ(topo.link_count(), 2 * (8 * 11 + 12 * 7));
+  EXPECT_EQ(topo.diameter(), 7 + 11);
+  for (NodeId u = 0; u < topo.node_count(); ++u) {
+    EXPECT_GE(topo.degree(u), 2);
+    EXPECT_LE(topo.degree(u), 4);
+  }
+}
+
+TEST(Topology, LargeTorusKeepsTransputerDegree) {
+  const auto torus = Topology::torus(96);  // 8 x 12, both wraps
+  EXPECT_EQ(torus.max_degree(), 4);
+  EXPECT_TRUE(torus.transputer_feasible());
+  EXPECT_EQ(torus.diameter(), 4 + 6);
+  // Wrap links at the far edges of both dimensions.
+  EXPECT_TRUE(torus.link_between(11, 0).has_value());
+  EXPECT_TRUE(torus.link_between(84, 0).has_value());
+}
+
+TEST(Topology, TileMetadataForFlatAndTiledMachines) {
+  const auto flat = Topology::mesh(16);
+  EXPECT_EQ(flat.tile_size(), 16);
+  EXPECT_EQ(flat.tile_copies(), 1);
+  const auto tiled = Topology::tiled(TopologyKind::kMesh, 4, 4);
+  EXPECT_EQ(tiled.tile_size(), 4);
+  EXPECT_EQ(tiled.tile_copies(), 4);
+  EXPECT_EQ(tiled.tile_rows(), 2);
+  EXPECT_EQ(tiled.tile_cols(), 2);
+}
+
+TEST(Topology, StorageIsLinearInNodes) {
+  // CSR adjacency: bytes per node must stay roughly flat as the machine
+  // grows (degree is bounded by the four Transputer links).
+  const auto small = Topology::mesh(64);
+  const auto large = Topology::mesh(1024);
+  const double small_per_node =
+      static_cast<double>(small.storage_bytes()) / 64;
+  const double large_per_node =
+      static_cast<double>(large.storage_bytes()) / 1024;
+  EXPECT_LT(large_per_node, 2.0 * small_per_node);
 }
 
 TEST(Topology, NeighborsAreSortedAndSymmetric) {

@@ -141,6 +141,58 @@ TEST_F(CommTest, RequestReplyRoundTrip) {
   EXPECT_EQ(mmus[1]->bytes_used(), 0u);
 }
 
+TEST_F(CommTest, RegistryWindowGrowsAcrossRanks) {
+  // The registry stores processes in per-job {offset, cap} windows into one
+  // flat arena; registering ever-higher ranks forces repeated relocation to
+  // the arena tail. Every earlier endpoint must survive each move.
+  constexpr net::EndpointId kJob = 3;
+  std::vector<std::unique_ptr<Process>> procs;
+  for (std::uint64_t rank = 0; rank < 40; ++rank) {
+    const net::EndpointId id = (kJob << net::kEndpointRankBits) | rank;
+    auto p = std::make_unique<Process>(id, kJob, Program{}.exit());
+    p->bind_to_node(static_cast<net::NodeId>(rank % 2));
+    comm->register_process(*p);
+    procs.push_back(std::move(p));
+    for (std::uint64_t r = 0; r <= rank; ++r) {
+      const net::EndpointId probe = (kJob << net::kEndpointRankBits) | r;
+      ASSERT_EQ(comm->find(probe), procs[r].get()) << "after rank " << rank;
+    }
+  }
+  // The abandoned blocks must not alias live processes: unregistering one
+  // endpoint removes exactly that endpoint.
+  const net::EndpointId victim = (kJob << net::kEndpointRankBits) | 7;
+  comm->unregister_process(victim);
+  EXPECT_EQ(comm->find(victim), nullptr);
+  EXPECT_EQ(comm->find((kJob << net::kEndpointRankBits) | 6), procs[6].get());
+  EXPECT_EQ(comm->find((kJob << net::kEndpointRankBits) | 8), procs[8].get());
+}
+
+TEST_F(CommTest, RegistryKeepsJobsIndependent) {
+  // Growth of one job's window must not disturb another's entries.
+  auto make = [&](net::EndpointId job, std::uint64_t rank) {
+    const net::EndpointId id = (job << net::kEndpointRankBits) | rank;
+    auto p = std::make_unique<Process>(id, static_cast<JobId>(job),
+                                       Program{}.exit());
+    p->bind_to_node(0);
+    comm->register_process(*p);
+    return p;
+  };
+  auto a0 = make(1, 0);
+  auto b0 = make(2, 0);
+  auto a9 = make(1, 9);  // grows job 1's window past job 2's block
+  EXPECT_EQ(comm->find((net::EndpointId{2} << net::kEndpointRankBits) | 0),
+            b0.get());
+  EXPECT_EQ(comm->find((net::EndpointId{1} << net::kEndpointRankBits) | 0),
+            a0.get());
+  EXPECT_EQ(comm->find((net::EndpointId{1} << net::kEndpointRankBits) | 9),
+            a9.get());
+  // Unknown jobs and out-of-window ranks resolve to null, not garbage.
+  EXPECT_EQ(comm->find((net::EndpointId{5} << net::kEndpointRankBits) | 0),
+            nullptr);
+  EXPECT_EQ(comm->find((net::EndpointId{1} << net::kEndpointRankBits) | 100),
+            nullptr);
+}
+
 TEST_F(CommTest, ManyMessagesAllArrive) {
   constexpr int kCount = 20;
   Program sender, receiver;

@@ -32,6 +32,18 @@ observability hooks:
 
 fails if the instrumented-but-disabled side falls more than --pair-tolerance
 below its baseline side.
+
+The scaling study (bench/fig_scaling) emits the same JSON shape with
+items_per_second = simulator events/sec, so it is gated with the same
+machinery against its own record:
+
+    ./build/bench/fig_scaling --sizes 64,256 --json scaling.json
+    python3 tools/perf_gate.py scaling.json --baseline BENCH_scaling.json \\
+      --flat bytes_per_node:4.0
+
+--flat COUNTER:FACTOR additionally checks a per-row counter for flatness
+across every row that carries it: max/min must not exceed FACTOR. Used to
+pin the O(N)-memory claim (bytes per node must not grow with machine size).
 """
 
 from __future__ import annotations
@@ -59,6 +71,20 @@ def load_report(path: pathlib.Path) -> dict[str, float]:
             plain[row["name"]] = ips
     # Median (stable under noise) wins over the raw runs it summarizes.
     return {**plain, **median}
+
+
+def load_counter(paths: list[pathlib.Path], counter: str) -> dict[str, float]:
+    """Map benchmark name -> value of a custom per-row counter."""
+    values: dict[str, float] = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for row in doc.get("benchmarks", []):
+            if row.get("run_type") == "aggregate":
+                continue
+            if isinstance(row.get(counter), (int, float)):
+                values[row["name"]] = float(row[counter])
+    return values
 
 
 def load_baseline(path: pathlib.Path) -> tuple[str, dict[str, float]]:
@@ -94,6 +120,10 @@ def main() -> int:
     parser.add_argument("--pair-tolerance", type=float, default=0.03,
                         help="allowed fractional drop for --pair gates "
                              "(default 0.03 = 3%%)")
+    parser.add_argument("--flat", action="append", default=[],
+                        metavar="COUNTER:FACTOR",
+                        help="require a per-row counter's max/min across all "
+                             "rows to stay below FACTOR (repeatable)")
     args = parser.parse_args()
 
     label, baseline = load_baseline(args.baseline)
@@ -136,6 +166,25 @@ def main() -> int:
               f"(floor {1.0 - args.pair_tolerance:.2f}x)")
         if verdict == "FAIL":
             failures.append(pair)
+
+    for flat in args.flat:
+        counter, sep, factor_text = flat.partition(":")
+        if not sep:
+            sys.exit(f"perf_gate: --flat wants COUNTER:FACTOR, got '{flat}'")
+        factor = float(factor_text)
+        values = load_counter(args.reports, counter)
+        if len(values) < 2:
+            sys.exit(f"perf_gate: --flat counter '{counter}' present in "
+                     f"{len(values)} row(s); need at least 2 to compare")
+        lo_name = min(values, key=values.get)
+        hi_name = max(values, key=values.get)
+        ratio = values[hi_name] / values[lo_name] if values[lo_name] else float("inf")
+        verdict = "ok  " if ratio <= factor else "FAIL"
+        print(f"  [{verdict}] {counter}: {values[hi_name]:.0f} ({hi_name}) / "
+              f"{values[lo_name]:.0f} ({lo_name}) = {ratio:.2f}x "
+              f"(ceiling {factor:.2f}x)")
+        if verdict == "FAIL":
+            failures.append(flat)
 
     if gated == 0:
         sys.exit("perf_gate: no benchmark overlapped the baseline entry -- "
