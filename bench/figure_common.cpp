@@ -15,7 +15,7 @@ namespace {
                         int exit_code) {
   auto& os = exit_code == 0 ? std::cout : std::cerr;
   os << "usage: " << argv0 << " [--threads N]";
-  if (figure_flags) os << " [--csv] [--with-16h]";
+  if (figure_flags) os << " [--csv] [--with-16h] [--quick]";
   if (obs_flags) os << " [--metrics[=PATH]] [--timeline=PATH]";
   os << " [--help]\n"
      << "  --threads N  farm sweep points over N worker threads\n"
@@ -24,7 +24,9 @@ namespace {
   if (figure_flags) {
     os << "  --csv        also emit the table as CSV\n"
        << "  --with-16h   include the 16-node hypercube the real machine\n"
-       << "               could not wire\n";
+       << "               could not wire\n"
+       << "  --quick      reduced problem (smaller batch and job sizes,\n"
+       << "               partition sizes 1/4/16) for regression tests\n";
   }
   if (obs_flags) os << obs::cli_help();
   std::exit(exit_code);
@@ -62,6 +64,9 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
       options.csv = true;
     } else if (figure_flags && std::strcmp(argv[i], "--with-16h") == 0) {
       options.with_16h = true;
+    } else if (figure_flags && std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+      options.partition_sizes = {1, 4, 16};
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       options.threads = parse_thread_value(
           argv[0], figure_flags, obs_flags,
@@ -122,6 +127,21 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
     }
   }
 
+  // Quick mode shrinks the batch and the per-job problem, keeping the
+  // figure's qualitative shape while cutting the run to a few percent.
+  const auto apply_quick = [&](core::ExperimentConfig& config) {
+    if (!options.quick) return;
+    config.batch.small_count = 3;
+    config.batch.large_count = 1;
+    if (app == workload::App::kMatMul) {
+      config.batch.small_size = 30;
+      config.batch.large_size = 60;
+    } else {
+      config.batch.small_size = 3000;
+      config.batch.large_size = 7000;
+    }
+  };
+
   core::SweepRunner runner(options.threads);
   std::size_t dots = 0;
   auto rows = runner.map(
@@ -134,6 +154,7 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
 
         auto static_config = core::figure_point(
             app, arch, sched::PolicyKind::kStatic, p, topology);
+        apply_quick(static_config);
         // Representative run for --metrics/--timeline: the last sweep point
         // (largest partition, last topology) -- p=1 machines have no links,
         // so the first point would leave the link instruments empty.
@@ -148,8 +169,9 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
         // The paper's "TS" line: pure time-sharing at p=16, hybrid below.
         const auto ts_policy = p == 16 ? sched::PolicyKind::kTimeSharing
                                        : sched::PolicyKind::kHybrid;
-        const auto ts_result = core::run_experiment(
-            core::figure_point(app, arch, ts_policy, p, topology));
+        auto ts_config = core::figure_point(app, arch, ts_policy, p, topology);
+        apply_quick(ts_config);
+        const auto ts_result = core::run_experiment(ts_config);
         row.ts_mrt = ts_result.mean_response_s;
         return row;
       },

@@ -22,6 +22,10 @@ struct FigureOptions {
   bool with_16h = false;
   /// Also emit CSV after the table.
   bool csv = false;
+  /// Reduced problem: smaller batch (3+1 jobs), smaller job sizes, and the
+  /// {1, 4, 16} partition column only. The shape conclusions survive; the
+  /// golden-figure ctest rows use this to cover fig3-6 cheaply.
+  bool quick = false;
   /// Worker threads for the sweep (0 = hardware thread count). The table is
   /// bit-identical at any thread count; only wall-clock changes.
   int threads = 1;
@@ -31,9 +35,9 @@ struct FigureOptions {
   obs::Options obs;
 };
 
-/// Parses --csv / --with-16h / --threads N plus the shared observability
-/// flags (used by every figure bench binary). Unknown flags or bad values
-/// print a usage message and exit with code 2; --help exits 0.
+/// Parses --csv / --with-16h / --quick / --threads N plus the shared
+/// observability flags (used by every figure bench binary). Unknown flags or
+/// bad values print a usage message and exit with code 2; --help exits 0.
 [[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv);
 
 /// Parser for the ablation benches, which take only --threads N (same

@@ -1,0 +1,369 @@
+// Sustained serving: millions of jobs through the open-arrival loop.
+//
+// The figure benches answer the paper's closed-batch question; this bench
+// runs the production-shaped one: a long-lived multi-tenant stream --
+// interactive / batch / analytics classes with exponential, heavy-tailed
+// Weibull and truncated-Pareto service demands -- served for a configured
+// number of jobs under each policy, with O(1)-memory streaming statistics
+// (P-squared percentiles, weighted reservoirs, windowed completion rates)
+// and an admission gate bounding the backlog. The table on stdout is
+// deterministic (bit-identical at any --threads); wall-clock throughput
+// and resident-memory checkpoints go to stderr and, with --json, into a
+// Google-Benchmark-shaped report that CI gates against BENCH_serving.json.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/serve.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
+
+namespace {
+
+using namespace tmc;
+
+struct ServeOptions {
+  std::uint64_t jobs = 1'000'000;
+  std::uint64_t warmup = 10'000;
+  double rate = 25.0;
+  std::string process = "poisson";
+  std::string policy = "all";
+  int threads = 1;
+  std::size_t backlog = 10'000;
+  double window_s = 10.0;
+  std::uint64_t seed = 1;
+  std::string json_path;
+  bool rss_check = false;
+  obs::Options obs;
+};
+
+[[noreturn]] void usage(int code) {
+  std::ostream& os = code == 0 ? std::cout : std::cerr;
+  os << "usage: serve_sustained [options]\n"
+        "  --jobs N        arrivals to serve (default 1000000)\n"
+        "  --warmup N      arrivals excluded from stats (default 10000,\n"
+        "                  clamped to jobs/10)\n"
+        "  --rate R        mean arrivals per simulated second (default 25)\n"
+        "  --process KIND  poisson | mmpp | diurnal (default poisson)\n"
+        "  --policy NAME   static | hybrid | adaptive | all (default all)\n"
+        "  --threads N     farm the per-policy runs over N workers\n"
+        "  --backlog N     admission backlog bound, 0 = unbounded "
+        "(default 10000)\n"
+        "  --window S      completion-rate window, simulated seconds "
+        "(default 10)\n"
+        "  --seed N        stream seed (default 1)\n"
+        "  --json PATH     write a Google-Benchmark-shaped report\n"
+        "  --rss-check     fail (exit 1) unless resident memory is flat\n"
+        "                  from 25% of the run to the end (needs --threads 1)\n"
+     << obs::cli_help();
+  std::exit(code);
+}
+
+ServeOptions parse(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::cerr << "serve_sustained: " << flag << " needs a value\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    std::string obs_error;
+    if (arg == "--help" || arg == "-h") usage(0);
+    if (const char* v = value("--jobs")) {
+      opt.jobs = std::strtoull(v, nullptr, 10);
+    } else if (const char* v2 = value("--warmup")) {
+      opt.warmup = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value("--rate")) {
+      opt.rate = std::strtod(v3, nullptr);
+    } else if (const char* v4 = value("--process")) {
+      opt.process = v4;
+    } else if (const char* v5 = value("--policy")) {
+      opt.policy = v5;
+    } else if (const char* v6 = value("--threads")) {
+      opt.threads = std::atoi(v6);
+    } else if (const char* v7 = value("--backlog")) {
+      opt.backlog = std::strtoull(v7, nullptr, 10);
+    } else if (const char* v8 = value("--window")) {
+      opt.window_s = std::strtod(v8, nullptr);
+    } else if (const char* v9 = value("--seed")) {
+      opt.seed = std::strtoull(v9, nullptr, 10);
+    } else if (const char* v10 = value("--json")) {
+      opt.json_path = v10;
+    } else if (arg == "--rss-check") {
+      opt.rss_check = true;
+    } else if (obs::parse_cli_flag(argc, argv, i, opt.obs, obs_error)) {
+      if (!obs_error.empty()) {
+        std::cerr << "serve_sustained: " << obs_error << "\n";
+        usage(2);
+      }
+    } else {
+      std::cerr << "serve_sustained: unknown flag '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  if (opt.jobs == 0 || opt.rate <= 0.0 || opt.window_s <= 0.0 ||
+      opt.threads < 0) {
+    std::cerr << "serve_sustained: invalid option value\n";
+    usage(2);
+  }
+  opt.warmup = std::min(opt.warmup, opt.jobs / 10);
+  if (opt.process != "poisson" && opt.process != "mmpp" &&
+      opt.process != "diurnal") {
+    std::cerr << "serve_sustained: unknown process '" << opt.process << "'\n";
+    usage(2);
+  }
+  if (opt.policy != "static" && opt.policy != "hybrid" &&
+      opt.policy != "adaptive" && opt.policy != "all") {
+    std::cerr << "serve_sustained: unknown policy '" << opt.policy << "'\n";
+    usage(2);
+  }
+  if (opt.rss_check && opt.threads != 1) {
+    std::cerr << "serve_sustained: --rss-check needs --threads 1 (resident "
+                 "memory is per-process)\n";
+    usage(2);
+  }
+  return opt;
+}
+
+/// The 3-class tenant mix: latency-sensitive interactive traffic, a
+/// heavy-tailed batch tier (Weibull shape < 1), and rare long analytics
+/// jobs with a truncated Pareto tail.
+std::vector<workload::JobClass> tenant_mix() {
+  workload::JobClass interactive;
+  interactive.name = "interactive";
+  interactive.weight = 0.6;
+  interactive.service.kind = workload::ServiceModel::Kind::kExponential;
+  interactive.service.mean_s = 0.08;
+  workload::JobClass batch;
+  batch.name = "batch";
+  batch.weight = 0.3;
+  batch.service.kind = workload::ServiceModel::Kind::kWeibull;
+  batch.service.mean_s = 0.5;
+  batch.service.shape = 0.6;
+  workload::JobClass analytics;
+  analytics.name = "analytics";
+  analytics.weight = 0.1;
+  analytics.service.kind = workload::ServiceModel::Kind::kPareto;
+  analytics.service.mean_s = 2.0;
+  analytics.service.shape = 1.6;
+  analytics.service.cap_s = 30.0;
+  return {interactive, batch, analytics};
+}
+
+workload::ArrivalProcess make_process(const ServeOptions& opt) {
+  workload::ArrivalProcess process;
+  process.rate_per_s = opt.rate;
+  if (opt.process == "mmpp") {
+    process.kind = workload::ArrivalProcess::Kind::kMmpp;
+    process.burst_rate_per_s = 2.0 * opt.rate;
+    process.base_sojourn_s = 120.0;
+    process.burst_sojourn_s = 20.0;
+  } else if (opt.process == "diurnal") {
+    process.kind = workload::ArrivalProcess::Kind::kDiurnal;
+    process.period_s = 3600.0;
+    process.amplitude = 0.5;
+  }
+  return process;
+}
+
+/// Current resident set from /proc/self/statm, in MB (0 if unreadable).
+double rss_mb() {
+  std::ifstream statm("/proc/self/statm");
+  long total_pages = 0;
+  long resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return 0.0;
+  return static_cast<double>(resident_pages) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / 1e6;
+}
+
+struct PolicyRun {
+  std::string name;
+  core::ServeResult result;
+  double wall_s = 0.0;
+  double rss_quarter_mb = 0.0;  // resident set at 25% of completions
+  double rss_end_mb = 0.0;
+};
+
+std::string fmt_count(std::uint64_t n) { return std::to_string(n); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServeOptions opt = parse(argc, argv);
+  bench::ObsSession obs(opt.obs);
+
+  struct PolicyChoice {
+    const char* name;
+    sched::PolicyKind kind;
+  };
+  std::vector<PolicyChoice> policies;
+  if (opt.policy == "all" || opt.policy == "static") {
+    policies.push_back({"static", sched::PolicyKind::kStatic});
+  }
+  if (opt.policy == "all" || opt.policy == "hybrid") {
+    policies.push_back({"hybrid", sched::PolicyKind::kHybrid});
+  }
+  if (opt.policy == "all" || opt.policy == "adaptive") {
+    policies.push_back({"adaptive", sched::PolicyKind::kAdaptiveStatic});
+  }
+
+  std::cout << "Sustained serving: " << opt.process << " arrivals at "
+            << core::fmt_ratio(opt.rate) << "/s, 3-class tenant mix "
+            << "(interactive/batch/analytics),\n"
+            << opt.jobs << " jobs (" << opt.warmup
+            << " warm-up), backlog bound " << opt.backlog << ", seed "
+            << opt.seed << ", partition size 4.\n";
+
+  core::SweepRunner runner(opt.threads);
+  std::vector<PolicyRun> runs(policies.size());
+  bool first = true;
+  std::vector<core::ServeConfig> configs(policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    core::ServeConfig& config = configs[i];
+    config.machine.topology = net::TopologyKind::kMesh;
+    config.machine.policy.kind = policies[i].kind;
+    config.machine.policy.partition_size = 4;
+    config.process = make_process(opt);
+    config.classes = tenant_mix();
+    config.total_jobs = opt.jobs;
+    config.warmup_jobs = opt.warmup;
+    config.max_backlog = opt.backlog;
+    config.window_s = opt.window_s;
+    config.seed = opt.seed;
+    // RSS checkpoints: 20 per run, read by the wall-clock side only (the
+    // deterministic table never sees them).
+    config.checkpoint_every = std::max<std::uint64_t>(opt.jobs / 20, 1);
+    obs.attach(config.machine, first);
+    first = false;
+  }
+  const auto outcomes = runner.map(
+      policies.size(), [&](std::size_t i) -> PolicyRun {
+        PolicyRun run;
+        run.name = policies[i].name;
+        core::ServeConfig config = configs[i];
+        const std::uint64_t quarter_at = config.total_jobs / 4;
+        config.checkpoint = [&run,
+                             quarter_at](const core::ServeCheckpoint& at) {
+          const double mb = rss_mb();
+          if (run.rss_quarter_mb == 0.0 && at.completed >= quarter_at) {
+            run.rss_quarter_mb = mb;
+          }
+          run.rss_end_mb = mb;
+        };
+        const auto t0 = std::chrono::steady_clock::now();
+        run.result = core::run_sustained(config);
+        run.wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        return run;
+      });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) runs[i] = outcomes[i];
+
+  // --- deterministic report (stdout) ------------------------------------
+  core::Table table({"policy", "class", "offered", "shed", "mrt (s)", "p50",
+                     "p95", "p99", "stretch p50", "p95", "p99"});
+  for (const PolicyRun& run : runs) {
+    for (const auto& cls : run.result.classes) {
+      table.add_row({run.name, cls.name, fmt_count(cls.offered),
+                     fmt_count(cls.shed), core::fmt_seconds(cls.response_s.mean()),
+                     core::fmt_seconds(cls.response_q.p50.value()),
+                     core::fmt_seconds(cls.response_q.p95.value()),
+                     core::fmt_seconds(cls.response_q.p99.value()),
+                     core::fmt_ratio(cls.stretch_q.p50.value()),
+                     core::fmt_ratio(cls.stretch_q.p95.value()),
+                     core::fmt_ratio(cls.stretch_q.p99.value())});
+    }
+    table.add_row({run.name, "all", fmt_count(run.result.offered),
+                   fmt_count(run.result.shed),
+                   core::fmt_seconds(run.result.response_s.mean()),
+                   core::fmt_seconds(run.result.response_q.p50.value()),
+                   core::fmt_seconds(run.result.response_q.p95.value()),
+                   core::fmt_seconds(run.result.response_q.p99.value()),
+                   core::fmt_ratio(run.result.stretch.mean()), "-", "-"});
+  }
+  std::cout << "\n";
+  table.print(std::cout);
+
+  core::Table volume({"policy", "completed", "sim jobs/s", "peak live jobs",
+                      "horizon (s)"});
+  for (const PolicyRun& run : runs) {
+    volume.add_row({run.name, fmt_count(run.result.completed),
+                    core::fmt_ratio(run.result.window_rate.mean()),
+                    fmt_count(run.result.peak_live_jobs),
+                    core::fmt_seconds(run.result.horizon_s)});
+  }
+  std::cout << "\n";
+  volume.print(std::cout);
+  std::cout << "\nExpected shape: interactive p99 separates the policies "
+               "(static queues whole\njobs behind heavy analytics work; "
+               "time-shared and adaptive partitions let\nshort jobs through), "
+               "while per-class stretch shows who pays for it.\n";
+
+  // --- wall-clock / memory side (stderr + JSON) -------------------------
+  bool rss_ok = true;
+  for (const PolicyRun& run : runs) {
+    const double jobs_per_s =
+        run.wall_s > 0.0
+            ? static_cast<double>(run.result.completed) / run.wall_s
+            : 0.0;
+    std::cerr << "serve_sustained/" << run.name << ": "
+              << static_cast<std::uint64_t>(jobs_per_s)
+              << " jobs/s wall-clock, rss " << run.rss_quarter_mb << " MB @25% -> "
+              << run.rss_end_mb << " MB @end\n";
+    if (opt.rss_check && run.rss_quarter_mb > 0.0) {
+      // Flat = the second three-quarters of the run added at most 10% or
+      // 8 MB (allocator slack), whichever is larger.
+      const double allowed =
+          run.rss_quarter_mb + std::max(8.0, 0.10 * run.rss_quarter_mb);
+      if (run.rss_end_mb > allowed) {
+        std::cerr << "serve_sustained: RSS NOT FLAT for " << run.name << " ("
+                  << run.rss_quarter_mb << " MB @25% -> " << run.rss_end_mb
+                  << " MB @end, allowed " << allowed << " MB)\n";
+        rss_ok = false;
+      }
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    std::ofstream json(opt.json_path);
+    json << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const PolicyRun& run = runs[i];
+      const double jobs_per_s =
+          run.wall_s > 0.0
+              ? static_cast<double>(run.result.completed) / run.wall_s
+              : 0.0;
+      json << "    {\"name\": \"serve_sustained/" << run.name << "/"
+           << opt.jobs << "\", \"run_type\": \"iteration\", "
+           << "\"items_per_second\": " << jobs_per_s << ", "
+           << "\"jobs\": " << run.result.completed << ", "
+           << "\"shed\": " << run.result.shed << ", "
+           << "\"peak_live_jobs\": " << run.result.peak_live_jobs << ", "
+           << "\"rss_quarter_mb\": " << run.rss_quarter_mb << ", "
+           << "\"rss_end_mb\": " << run.rss_end_mb << "}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    if (!json) {
+      std::cerr << "serve_sustained: cannot write " << opt.json_path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << opt.json_path << "\n";
+  }
+
+  const int obs_rc = obs.flush(std::cerr);
+  if (!rss_ok) return 1;
+  return obs_rc;
+}

@@ -197,23 +197,31 @@ void Multicomputer::wire_observability() {
   }
 
   // --- timeline tracks and sampled channels ------------------------------
+  // `tl` is the recording timeline (null unless --timeline was given);
+  // `names` is the hub's track registry, used for track/name registration
+  // even when only the JSONL metrics stream is active, so the stream can
+  // label its channels without buffering a single record.
   obs::Timeline* tl = hub.timeline();
-  if (tl == nullptr) return;
+  if (tl == nullptr && hub.metrics_stream() == nullptr) return;
+  obs::Timeline* names = &hub.track_registry();
   obs::Sampler& sampler = hub.sampler();
   sampler.configure(tl, hub.options().sample_interval);
+  if (hub.metrics_stream() != nullptr) {
+    sampler.set_stream(hub.metrics_stream(), names);
+  }
 
-  const obs::NameId n_ready = tl->intern("ready");
-  const obs::NameId n_free = tl->intern("free_bytes");
-  const obs::NameId n_util = tl->intern("utilization");
-  const obs::NameId n_jobs = tl->intern("active_jobs");
-  const obs::NameId n_pending = tl->intern("pending_events");
-  const obs::NameId n_mailbox = tl->intern("mailbox_pending");
+  const obs::NameId n_ready = names->intern("ready");
+  const obs::NameId n_free = names->intern("free_bytes");
+  const obs::NameId n_util = names->intern("utilization");
+  const obs::NameId n_jobs = names->intern("active_jobs");
+  const obs::NameId n_pending = names->intern("pending_events");
+  const obs::NameId n_mailbox = names->intern("mailbox_pending");
 
   for (int i = 0; i < cfg_.processors; ++i) {
     node::Transputer* cpu = &cpus_[static_cast<std::size_t>(i)];
     mem::Mmu* mmu = &mmus_[static_cast<std::size_t>(i)];
     const obs::TrackId track =
-        tl->add_track(obs::TrackKind::kNode, "node" + std::to_string(i));
+        names->add_track(obs::TrackKind::kNode, "node" + std::to_string(i));
     cpu->set_timeline(tl, track);
     sampler.add_channel(
         [cpu] { return static_cast<double>(cpu->ready_count()); }, track,
@@ -226,7 +234,7 @@ void Multicomputer::wire_observability() {
   obs::TrackId link_base = 0;
   for (int l = 0; l < network_->link_count(); ++l) {
     const net::Topology::LinkEnds ends = topo_.link_ends(l);
-    const obs::TrackId track = tl->add_track(
+    const obs::TrackId track = names->add_track(
         obs::TrackKind::kLink, "link" + std::to_string(l) + " " +
                                    std::to_string(ends.from) + "->" +
                                    std::to_string(ends.to));
@@ -236,12 +244,12 @@ void Multicomputer::wire_observability() {
                         track, n_util);
   }
   const obs::TrackId net_track =
-      tl->add_track(obs::TrackKind::kGlobal, "network");
+      names->add_track(obs::TrackKind::kGlobal, "network");
   network_->set_timeline(tl, link_base, net_track);
 
   for (std::size_t p = 0; p < partition_scheds_.size(); ++p) {
     sched::PartitionScheduler* ps = partition_scheds_[p].get();
-    const obs::TrackId track = tl->add_track(
+    const obs::TrackId track = names->add_track(
         obs::TrackKind::kPartition, "partition" + std::to_string(p));
     ps->set_timeline(tl, track);
     sampler.add_channel(
@@ -250,7 +258,7 @@ void Multicomputer::wire_observability() {
   }
 
   const obs::TrackId machine_track =
-      tl->add_track(obs::TrackKind::kGlobal, "machine");
+      names->add_track(obs::TrackKind::kGlobal, "machine");
   sampler.add_channel(
       [this] { return static_cast<double>(sim_.pending_events()); },
       machine_track, n_pending);
@@ -260,7 +268,7 @@ void Multicomputer::wire_observability() {
       },
       machine_track, n_mailbox);
 
-  trace_track_ = tl->add_track(obs::TrackKind::kGlobal, "trace");
+  trace_track_ = names->add_track(obs::TrackKind::kGlobal, "trace");
 }
 
 void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {

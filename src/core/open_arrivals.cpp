@@ -5,57 +5,79 @@
 #include <vector>
 
 #include "core/sweep_runner.h"
-#include "sim/rng.h"
+#include "workload/arrivals.h"
 #include "workload/matmul.h"
 #include "workload/sort.h"
 
 namespace tmc::core {
+namespace {
+
+/// The A10 mix as a two-class arrival stream. Class order is [large,
+/// small] so the stream's cumulative class draw consumes the exact uniform
+/// the historical `bernoulli(large_count/total)` did -- the golden table
+/// depends on it. Sizes are deterministic per class (kFixed service model),
+/// so the service step consumes no randomness, also as before.
+std::vector<workload::JobClass> classes_from_mix(
+    const workload::BatchParams& mix) {
+  workload::JobClass large;
+  large.name = "large";
+  large.weight = static_cast<double>(mix.large_count);
+  workload::JobClass small;
+  small.name = "small";
+  small.weight = static_cast<double>(mix.small_count);
+  return {large, small};
+}
+
+/// Builds the job spec of one arrival (class 0 = large).
+sched::JobSpec make_mix_job(const workload::BatchParams& mix, bool large) {
+  const std::size_t size = large ? mix.large_size : mix.small_size;
+  if (mix.app == workload::App::kMatMul) {
+    workload::MatMulParams mm;
+    mm.n = size;
+    mm.arch = mix.arch;
+    mm.fixed_processes = mix.fixed_processes;
+    mm.broadcast = mix.matmul_broadcast;
+    mm.costs = mix.costs;
+    return workload::make_matmul_job(mm, large);
+  }
+  workload::SortParams sp;
+  sp.elements = size;
+  sp.arch = mix.arch;
+  sp.fixed_processes = mix.fixed_processes;
+  sp.costs = mix.costs;
+  return workload::make_sort_job(sp, large);
+}
+
+}  // namespace
 
 OpenArrivalResult run_open_arrivals(const OpenArrivalConfig& config) {
   if (config.arrivals_per_second <= 0.0) {
     throw std::invalid_argument("arrival rate must be positive");
   }
   const int total_jobs = config.warmup_jobs + config.measured_jobs;
-  sim::Rng rng(config.seed);
+
+  workload::ArrivalProcess process;
+  process.kind = workload::ArrivalProcess::Kind::kPoisson;
+  process.rate_per_s = config.arrivals_per_second;
+  workload::ArrivalStream stream(process, classes_from_mix(config.mix),
+                                 config.seed);
 
   Multicomputer machine(config.machine);
 
   // Draw the job sequence and arrival instants up front (deterministic).
-  const double large_probability =
-      static_cast<double>(config.mix.large_count) /
-      static_cast<double>(config.mix.total());
   std::vector<std::unique_ptr<sched::Job>> jobs;
   std::vector<sim::SimTime> arrivals;
   jobs.reserve(static_cast<std::size_t>(total_jobs));
-  double clock_s = 0.0;
   double total_demand_s = 0.0;
   for (int i = 0; i < total_jobs; ++i) {
-    const bool large = rng.bernoulli(large_probability);
-    const std::size_t size =
-        large ? config.mix.large_size : config.mix.small_size;
-    sched::JobSpec spec;
-    if (config.mix.app == workload::App::kMatMul) {
-      workload::MatMulParams mm;
-      mm.n = size;
-      mm.arch = config.mix.arch;
-      mm.fixed_processes = config.mix.fixed_processes;
-      mm.broadcast = config.mix.matmul_broadcast;
-      mm.costs = config.mix.costs;
-      spec = workload::make_matmul_job(mm, large);
-    } else {
-      workload::SortParams sp;
-      sp.elements = size;
-      sp.arch = config.mix.arch;
-      sp.fixed_processes = config.mix.fixed_processes;
-      sp.costs = config.mix.costs;
-      spec = workload::make_sort_job(sp, large);
-    }
+    workload::Arrival arrival;
+    if (!stream.next(arrival)) break;  // unreachable: Poisson never ends
+    sched::JobSpec spec = make_mix_job(config.mix, arrival.job_class == 0);
     total_demand_s += spec.demand_estimate.to_seconds();
     jobs.push_back(std::make_unique<sched::Job>(
         static_cast<sched::JobId>(i + 1), std::move(spec)));
-    clock_s += rng.exponential(1.0 / config.arrivals_per_second);
-    arrivals.push_back(
-        sim::SimTime::nanoseconds(static_cast<std::int64_t>(clock_s * 1e9)));
+    arrivals.push_back(sim::SimTime::nanoseconds(
+        static_cast<std::int64_t>(arrival.at_s * 1e9)));
   }
 
   OpenArrivalResult result;

@@ -1,0 +1,173 @@
+#include "core/serve.h"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "sched/admission.h"
+
+namespace tmc::core {
+namespace {
+
+/// Per-job-slot bookkeeping, recycled with the job id.
+struct SlotMeta {
+  int job_class = 0;
+  bool measured = false;
+};
+
+}  // namespace
+
+ServeResult run_sustained(const ServeConfig& config) {
+  if (config.classes.empty()) {
+    throw std::invalid_argument("serving needs at least one job class");
+  }
+  if (config.total_jobs == 0) {
+    throw std::invalid_argument("total_jobs must be positive");
+  }
+  if (config.window_s <= 0.0) {
+    throw std::invalid_argument("window_s must be positive");
+  }
+
+  // The default watchdog is sized for minute-long closed batches; a
+  // million-job stream runs for total/rate simulated seconds. Give the run
+  // generous headroom past its expected horizon instead of making every
+  // caller do the arithmetic.
+  MachineConfig machine_config = config.machine;
+  const double mean_rate = config.process.mean_rate_per_s();
+  if (mean_rate > 0.0) {
+    const double expected_s =
+        static_cast<double>(config.total_jobs) / mean_rate;
+    const auto required = sim::SimTime::seconds(
+        static_cast<std::int64_t>(4.0 * expected_s) + 600);
+    if (machine_config.max_sim_time < required) {
+      machine_config.max_sim_time = required;
+    }
+  }
+
+  Multicomputer machine(machine_config);
+  workload::ArrivalStream stream(config.process, config.classes, config.seed);
+  sched::AdmissionControl admission(config.max_backlog, config.classes.size());
+
+  ServeResult result;
+  result.classes.reserve(config.classes.size());
+  for (std::size_t i = 0; i < config.classes.size(); ++i) {
+    result.classes.emplace_back(
+        config.classes[i].name, config.reservoir_capacity,
+        config.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
+  sim::WindowedRate completions(sim::SimTime::nanoseconds(
+      static_cast<std::int64_t>(config.window_s * 1e9)));
+
+  // Live-job arena: slot i holds the job with id i+1. Ids of retired jobs
+  // are recycled (free_ids) so the arena -- and the comm system's per-job
+  // endpoint windows, which are keyed by id -- stay bounded by the peak
+  // number of jobs simultaneously in the system, not by the stream length.
+  std::vector<std::unique_ptr<sched::Job>> slots;
+  std::vector<SlotMeta> meta;
+  std::vector<sched::JobId> free_ids;
+  // Jobs completed since the last arrival. Completion fires inside the
+  // scheduler's teardown event, so the Job is destroyed at the *next*
+  // arrival instead (deferred retirement), never under its own stack.
+  std::vector<sched::JobId> retirable;
+  std::size_t live = 0;
+  std::uint64_t offered = 0;
+
+  machine.scheduler().set_completion_observer([&](sched::Job& job) {
+    const auto slot = static_cast<std::size_t>(job.id() - 1);
+    ClassServeStats& cls = result.classes[static_cast<std::size_t>(
+        meta[slot].job_class)];
+    ++cls.completed;
+    ++result.completed;
+    completions.record(machine.sim().now());
+    if (meta[slot].measured) {
+      const double response_s = job.response_time().to_seconds();
+      const double demand_s = job.spec().demand_estimate.to_seconds();
+      const double stretch = response_s / demand_s;
+      ++cls.measured;
+      ++result.measured;
+      cls.response_s.add(response_s);
+      cls.stretch.add(stretch);
+      cls.response_q.add(response_s);
+      cls.stretch_q.add(stretch);
+      cls.response_sample.add(response_s);
+      result.response_s.add(response_s);
+      result.stretch.add(stretch);
+      result.response_q.add(response_s);
+    }
+    retirable.push_back(job.id());
+    if (config.checkpoint_every != 0 && config.checkpoint &&
+        result.completed % config.checkpoint_every == 0) {
+      config.checkpoint({offered, result.completed, admission.shed(), live,
+                         machine.sim().now().to_seconds()});
+    }
+  });
+
+  std::function<void(const workload::Arrival&)> on_arrival;
+  auto schedule_next = [&] {
+    if (offered >= config.total_jobs) return;
+    workload::Arrival arrival;
+    if (!stream.next(arrival)) return;  // trace exhausted
+    machine.sim().schedule_at(
+        sim::SimTime::nanoseconds(
+            static_cast<std::int64_t>(arrival.at_s * 1e9)),
+        [&on_arrival, arrival] { on_arrival(arrival); });
+  };
+  on_arrival = [&](const workload::Arrival& arrival) {
+    // Retire jobs that completed since the previous arrival.
+    for (const sched::JobId id : retirable) {
+      const auto slot = static_cast<std::size_t>(id - 1);
+      assert(slots[slot] && slots[slot]->completed());
+      slots[slot].reset();
+      free_ids.push_back(id);
+      --live;
+    }
+    retirable.clear();
+
+    ++offered;
+    const bool measured = offered > config.warmup_jobs;
+    ++result.classes[arrival.job_class].offered;
+    // Admission keys on jobs in the system (queued + running = `live`, and
+    // retirement just ran so it is current), not the scheduler's central
+    // queue: time-shared policies park arrivals inside partitions, so the
+    // central queue can stay empty while memory grows.
+    if (admission.admit(live, arrival.job_class)) {
+      sched::JobId id;
+      if (free_ids.empty()) {
+        id = static_cast<sched::JobId>(slots.size() + 1);
+        slots.emplace_back();
+        meta.emplace_back();
+      } else {
+        id = free_ids.back();
+        free_ids.pop_back();
+      }
+      const auto slot = static_cast<std::size_t>(id - 1);
+      sched::JobSpec spec = workload::make_arrival_job(
+          config.classes[arrival.job_class], arrival);
+      spec.job_class = static_cast<int>(arrival.job_class);
+      slots[slot] = std::make_unique<sched::Job>(id, std::move(spec));
+      meta[slot] = {static_cast<int>(arrival.job_class), measured};
+      ++live;
+      result.peak_live_jobs = std::max(result.peak_live_jobs, live);
+      machine.submit(*slots[slot]);
+    }
+    schedule_next();
+  };
+
+  schedule_next();
+  machine.run_to_completion();
+
+  completions.finish(machine.sim().now());
+  result.window_rate = completions.rates();
+  result.horizon_s = machine.sim().now().to_seconds();
+  result.offered = admission.offered();
+  result.admitted = admission.admitted();
+  result.shed = admission.shed();
+  for (std::size_t i = 0; i < result.classes.size(); ++i) {
+    result.classes[i].shed = admission.shed_in_class(i);
+  }
+  assert(result.completed == result.admitted);
+  result.machine = machine.stats();
+  return result;
+}
+
+}  // namespace tmc::core

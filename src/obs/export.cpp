@@ -100,14 +100,13 @@ const char* kind_name(Registry::Kind kind) {
 
 }  // namespace
 
-void write_chrome_trace(const Timeline& timeline, std::ostream& os) {
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  const auto emit_sep = [&] {
-    if (!first) os << ",\n";
-    first = false;
-  };
+void ChromeTraceWriter::sep() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+}
 
+void ChromeTraceWriter::begin(const Timeline& timeline) {
+  os_ << "{\"traceEvents\":[";
   // Metadata: name each process (track kind) and thread (track).
   std::array<bool, 4> kind_seen{};
   const auto& tracks = timeline.tracks();
@@ -116,54 +115,88 @@ void write_chrome_trace(const Timeline& timeline, std::ostream& os) {
     const auto kind_index = static_cast<std::size_t>(info.pid - 1);
     if (!kind_seen[kind_index]) {
       kind_seen[kind_index] = true;
-      emit_sep();
-      os << "{\"ph\":\"M\",\"pid\":" << info.pid
-         << ",\"name\":\"process_name\",\"args\":{\"name\":\""
-         << info.process_name << "\"}}";
+      sep();
+      os_ << "{\"ph\":\"M\",\"pid\":" << info.pid
+          << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+          << info.process_name << "\"}}";
     }
-    emit_sep();
-    os << "{\"ph\":\"M\",\"pid\":" << info.pid << ",\"tid\":" << i + 1
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-       << json_escape(tracks[i].name) << "\"}}";
+    sep();
+    os_ << "{\"ph\":\"M\",\"pid\":" << info.pid << ",\"tid\":" << i + 1
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << json_escape(tracks[i].name) << "\"}}";
   }
+}
 
-  for (const TimelineRecord& r : timeline.records()) {
+void ChromeTraceWriter::write_records(
+    const Timeline& timeline, const std::vector<TimelineRecord>& records) {
+  const auto& tracks = timeline.tracks();
+  for (const TimelineRecord& r : records) {
     const Timeline::Track& track = tracks[r.track];
     const KindInfo info = kind_info(track.kind);
     const std::string name = json_escape(timeline.name(r.name));
-    emit_sep();
+    sep();
     switch (r.kind) {
       case RecordKind::kSpan:
-        os << "{\"ph\":\"X\",\"pid\":" << info.pid << ",\"tid\":" << r.track + 1
-           << ",\"ts\":" << trace_ts(r.start_ns)
-           << ",\"dur\":" << trace_ts(r.dur_ns) << ",\"name\":\"" << name
-           << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
+        os_ << "{\"ph\":\"X\",\"pid\":" << info.pid
+            << ",\"tid\":" << r.track + 1 << ",\"ts\":" << trace_ts(r.start_ns)
+            << ",\"dur\":" << trace_ts(r.dur_ns) << ",\"name\":\"" << name
+            << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
         break;
       case RecordKind::kInstant:
-        os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << info.pid
-           << ",\"tid\":" << r.track + 1 << ",\"ts\":" << trace_ts(r.start_ns)
-           << ",\"name\":\"" << name
-           << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
+        os_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << info.pid
+            << ",\"tid\":" << r.track + 1 << ",\"ts\":" << trace_ts(r.start_ns)
+            << ",\"name\":\"" << name
+            << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
         break;
       case RecordKind::kSample:
         // Counter events group by (pid, name); qualify with the track name
         // so each (track, channel) pair gets its own counter track.
-        os << "{\"ph\":\"C\",\"pid\":" << info.pid
-           << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\""
-           << json_escape(track.name) << ":" << name << "\",\"args\":{\""
-           << name << "\":" << json_number(r.value) << "}}";
+        os_ << "{\"ph\":\"C\",\"pid\":" << info.pid
+            << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\""
+            << json_escape(track.name) << ":" << name << "\",\"args\":{\""
+            << name << "\":" << json_number(r.value) << "}}";
         break;
     }
   }
+}
 
+void ChromeTraceWriter::end(const Timeline& timeline) {
+  const auto& tracks = timeline.tracks();
   for (const Timeline::Annotation& a : timeline.annotations()) {
     const KindInfo info = kind_info(tracks[a.track].kind);
-    emit_sep();
-    os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << info.pid
-       << ",\"tid\":" << a.track + 1 << ",\"ts\":" << trace_ts(a.at_ns)
-       << ",\"name\":\"" << json_escape(a.text) << "\"}";
+    sep();
+    os_ << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << info.pid
+        << ",\"tid\":" << a.track + 1 << ",\"ts\":" << trace_ts(a.at_ns)
+        << ",\"name\":\"" << json_escape(a.text) << "\"}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  os_ << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(const Timeline& timeline, std::ostream& os) {
+  ChromeTraceWriter writer(os);
+  writer.begin(timeline);
+  writer.write_records(timeline, timeline.records());
+  writer.end(timeline);
+}
+
+void MetricsStreamWriter::begin(const std::vector<std::string>& channels) {
+  os_ << "{\"schema\":\"tmc-metrics-stream-v1\",\"label\":\""
+      << json_escape(label_) << "\",\"channels\":[";
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (i != 0) os_ << ",";
+    os_ << "\"" << json_escape(channels[i]) << "\"";
+  }
+  os_ << "]}\n";
+}
+
+void MetricsStreamWriter::tick(double t_s, const std::vector<double>& values) {
+  os_ << "{\"t_s\":" << json_number(t_s) << ",\"v\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os_ << ",";
+    os_ << json_number(values[i]);
+  }
+  os_ << "]}\n";
+  ++ticks_;
 }
 
 void write_metrics_json(const Registry& registry, std::ostream& os,

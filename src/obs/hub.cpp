@@ -52,6 +52,42 @@ bool parse_cli_flag(int argc, char** argv, int& i, Options& options,
     options.timeline_path = value;
     return true;
   }
+  if (match_flag(arg, "--timeline-chunk", has_value, value)) {
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error = "--timeline-chunk requires a record count";
+        return true;
+      }
+      value = argv[++i];
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string text(value);
+    const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || n == 0 ||
+        n > 1ULL << 30) {
+      error = "--timeline-chunk wants a positive record count, got '" + text +
+              "'";
+      return true;
+    }
+    options.timeline_chunk = static_cast<std::size_t>(n);
+    return true;
+  }
+  if (match_flag(arg, "--metrics-stream", has_value, value)) {
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error = "--metrics-stream requires a path";
+        return true;
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      error = "--metrics-stream requires a non-empty path";
+      return true;
+    }
+    options.metrics_stream_path = value;
+    return true;
+  }
   if (match_flag(arg, "--sample-interval", has_value, value)) {
     if (!has_value) {
       if (i + 1 >= argc) {
@@ -82,8 +118,54 @@ std::string cli_help() {
          "                        (stderr by default; *.csv selects CSV)\n"
          "  --timeline=PATH       record a Chrome trace_event timeline\n"
          "                        (open in Perfetto / chrome://tracing)\n"
+         "  --timeline-chunk N    stream the timeline to disk every N\n"
+         "                        records instead of buffering the run\n"
+         "  --metrics-stream=PATH JSONL sampler stream (one line per tick,\n"
+         "                        O(1) memory; works without --timeline)\n"
          "  --sample-interval MS  counter-sampling period for --timeline\n"
-         "                        (default 100, fractional ok)\n";
+         "                        and --metrics-stream (default 100)\n";
+}
+
+Hub::Hub(Options options) : options_(std::move(options)) {
+  if (!options_.metrics_stream_path.empty()) {
+    metrics_stream_out_.open(options_.metrics_stream_path);
+    if (!metrics_stream_out_) {
+      metrics_stream_failed_ = true;
+    } else {
+      metrics_stream_writer_.emplace(metrics_stream_out_);
+      metrics_stream_writer_->set_label(label_);
+    }
+  }
+  if (!options_.timeline_path.empty() && options_.timeline_chunk > 0) {
+    timeline_.set_flush(
+        [this](const std::vector<TimelineRecord>& records) {
+          stream_timeline_chunk(records);
+        },
+        options_.timeline_chunk);
+  }
+}
+
+bool Hub::ensure_timeline_writer() {
+  if (timeline_open_failed_) return false;
+  if (timeline_writer_) return true;
+  timeline_stream_out_.open(options_.timeline_path);
+  if (!timeline_stream_out_) {
+    timeline_open_failed_ = true;
+    return false;
+  }
+  // All tracks are registered before the run starts (the machine wires
+  // observability during construction), so the preamble written here is
+  // identical to what the buffered exporter would emit.
+  timeline_writer_.emplace(timeline_stream_out_);
+  timeline_writer_->begin(timeline_);
+  return true;
+}
+
+void Hub::stream_timeline_chunk(const std::vector<TimelineRecord>& records) {
+  // On open failure the chunk is dropped (the buffer must still be cleared
+  // to keep memory flat); write_outputs reports the error at end of run.
+  if (!ensure_timeline_writer()) return;
+  timeline_writer_->write_records(timeline_, records);
 }
 
 bool Hub::write_outputs(std::ostream& diag) {
@@ -114,16 +196,59 @@ bool Hub::write_outputs(std::ostream& diag) {
   }
 
   if (!options_.timeline_path.empty()) {
-    std::ofstream out(options_.timeline_path);
-    if (!out) {
-      diag << "obs: cannot open timeline path " << options_.timeline_path
-           << "\n";
+    if (options_.timeline_chunk > 0) {
+      // Chunked mode: most records were already drained during the run;
+      // write the tail, then the annotations and the closing bracket.
+      if (!ensure_timeline_writer()) {
+        diag << "obs: cannot open timeline path " << options_.timeline_path
+             << "\n";
+        ok = false;
+      } else {
+        timeline_writer_->write_records(timeline_, timeline_.records());
+        timeline_writer_->end(timeline_);
+        timeline_stream_out_.flush();
+        if (!timeline_stream_out_) {
+          diag << "obs: error writing timeline path " << options_.timeline_path
+               << "\n";
+          ok = false;
+        } else {
+          diag << "obs: streamed "
+               << timeline_.flushed_records() + timeline_.records().size()
+               << " timeline records (" << timeline_.tracks().size()
+               << " tracks, chunk " << options_.timeline_chunk << ") to "
+               << options_.timeline_path << "\n";
+        }
+      }
+    } else {
+      std::ofstream out(options_.timeline_path);
+      if (!out) {
+        diag << "obs: cannot open timeline path " << options_.timeline_path
+             << "\n";
+        ok = false;
+      } else {
+        write_chrome_trace(timeline_, out);
+        diag << "obs: wrote " << timeline_.records().size()
+             << " timeline records (" << timeline_.tracks().size()
+             << " tracks) to " << options_.timeline_path << "\n";
+      }
+    }
+  }
+
+  if (!options_.metrics_stream_path.empty()) {
+    if (metrics_stream_failed_) {
+      diag << "obs: cannot open metrics stream path "
+           << options_.metrics_stream_path << "\n";
       ok = false;
     } else {
-      write_chrome_trace(timeline_, out);
-      diag << "obs: wrote " << timeline_.records().size()
-           << " timeline records (" << timeline_.tracks().size()
-           << " tracks) to " << options_.timeline_path << "\n";
+      metrics_stream_out_.flush();
+      if (!metrics_stream_out_) {
+        diag << "obs: error writing metrics stream path "
+             << options_.metrics_stream_path << "\n";
+        ok = false;
+      } else {
+        diag << "obs: streamed " << metrics_stream_writer_->ticks()
+             << " metric samples to " << options_.metrics_stream_path << "\n";
+      }
     }
   }
 

@@ -8,11 +8,23 @@
 // single-threaded instruments are never shared across workers.
 //
 // The CLI surface (`--metrics[=path]`, `--timeline=path`,
-// `--sample-interval MS`) is parsed here so tmc_cli and every bench agree on
-// flag semantics.
+// `--timeline-chunk N`, `--metrics-stream=path`, `--sample-interval MS`) is
+// parsed here so tmc_cli and every bench agree on flag semantics.
+//
+// Two sinks exist for long-lived (sustained-serving) runs where buffering
+// every record would grow without bound:
+//  * `--timeline-chunk N` drains the timeline to the trace file every N
+//    records; the output is byte-identical to the buffered `--timeline`
+//    path because both drive the same ChromeTraceWriter.
+//  * `--metrics-stream=path` writes one JSONL line per sampler tick
+//    ("tmc-metrics-stream-v1") with O(1) memory and works with or without
+//    a timeline file.
 #pragma once
 
+#include <cstddef>
+#include <fstream>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -28,10 +40,12 @@ struct Options {
   bool metrics = false;         // dump the registry at end of run
   std::string metrics_path;     // empty => stderr; *.csv => CSV, else JSON
   std::string timeline_path;    // empty => timeline recording off
+  std::size_t timeline_chunk = 0;  // 0 => buffer; N => drain every N records
+  std::string metrics_stream_path;  // empty => JSONL sampler stream off
   sim::SimTime sample_interval = sim::SimTime::milliseconds(100);
 
   [[nodiscard]] bool any() const {
-    return metrics || !timeline_path.empty();
+    return metrics || !timeline_path.empty() || !metrics_stream_path.empty();
   }
 };
 
@@ -46,7 +60,7 @@ bool parse_cli_flag(int argc, char** argv, int& i, Options& options,
 
 class Hub {
  public:
-  explicit Hub(Options options) : options_(std::move(options)) {}
+  explicit Hub(Options options);
   Hub(const Hub&) = delete;
   Hub& operator=(const Hub&) = delete;
 
@@ -60,8 +74,22 @@ class Hub {
     return options_.timeline_path.empty() ? nullptr : &timeline_;
   }
 
+  /// Track/name registry for label resolution. Always valid -- the machine
+  /// registers tracks here even when timeline *recording* is off, so the
+  /// metrics stream can name its channels without buffering any records.
+  [[nodiscard]] Timeline& track_registry() { return timeline_; }
+
+  /// The JSONL metrics stream writer, or nullptr when no
+  /// --metrics-stream path was given (or the file failed to open).
+  [[nodiscard]] MetricsStreamWriter* metrics_stream() {
+    return metrics_stream_writer_ ? &*metrics_stream_writer_ : nullptr;
+  }
+
   /// Identifies the run in the metrics dump (experiment/policy label).
-  void set_label(std::string label) { label_ = std::move(label); }
+  void set_label(std::string label) {
+    label_ = std::move(label);
+    if (metrics_stream_writer_) metrics_stream_writer_->set_label(label_);
+  }
 
   /// Called by the machine when its run completes: final sample, then
   /// freeze probes so exports outlive the machine.
@@ -77,12 +105,23 @@ class Hub {
   bool write_outputs(std::ostream& diag);
 
  private:
+  /// Drains one chunk of timeline records to the trace file, lazily opening
+  /// the file and writing the preamble on the first call.
+  void stream_timeline_chunk(const std::vector<TimelineRecord>& records);
+  bool ensure_timeline_writer();
+
   Options options_;
   Registry registry_;
   Timeline timeline_;
   Sampler sampler_;
   std::string label_ = "tmcsim";
   sim::SimTime end_time_;
+  std::ofstream timeline_stream_out_;
+  std::optional<ChromeTraceWriter> timeline_writer_;
+  bool timeline_open_failed_ = false;
+  std::ofstream metrics_stream_out_;
+  std::optional<MetricsStreamWriter> metrics_stream_writer_;
+  bool metrics_stream_failed_ = false;
 };
 
 }  // namespace tmc::obs

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/timeline.h"
 #include "sim/time.h"
 
@@ -20,12 +22,23 @@ class Sampler {
  public:
   using Reader = std::function<double()>;
 
-  /// Arms the sampler. A null timeline or non-positive interval leaves it
-  /// inactive (advance_to becomes a single branch).
+  /// Arms the sampler. `timeline` may be null when only a metrics stream is
+  /// requested (set_stream); with neither sink nor a positive interval the
+  /// sampler stays inactive (advance_to becomes a single branch).
   void configure(Timeline* timeline, sim::SimTime interval) {
     timeline_ = timeline;
     interval_ = interval;
     next_ = sim::SimTime::zero();
+  }
+
+  /// Additionally (or instead) emits one JSONL line per sample instant.
+  /// `names` resolves track/channel labels for the stream header -- it is
+  /// the hub's track registry, which may or may not also be the recording
+  /// timeline. The header is written lazily at the first tick so every
+  /// channel is registered by then.
+  void set_stream(MetricsStreamWriter* stream, const Timeline* names) {
+    stream_ = stream;
+    stream_names_ = names;
   }
 
   /// Adds a sampled channel: `read` is polled at each sample instant and the
@@ -36,8 +49,8 @@ class Sampler {
   }
 
   [[nodiscard]] bool active() const {
-    return timeline_ != nullptr && interval_ > sim::SimTime::zero() &&
-           !channels_.empty();
+    return (timeline_ != nullptr || stream_ != nullptr) &&
+           interval_ > sim::SimTime::zero() && !channels_.empty();
   }
 
   /// Records every channel at each interval multiple in [next_, horizon).
@@ -66,15 +79,33 @@ class Sampler {
   };
 
   void record_all(sim::SimTime at) {
-    for (const Channel& c : channels_) {
-      timeline_->sample(c.track, c.name, at, c.read());
+    if (stream_ != nullptr && !stream_header_written_) {
+      std::vector<std::string> labels;
+      labels.reserve(channels_.size());
+      for (const Channel& c : channels_) {
+        labels.push_back(std::string(stream_names_->tracks()[c.track].name) +
+                         ":" + std::string(stream_names_->name(c.name)));
+      }
+      stream_->begin(labels);
+      stream_header_written_ = true;
     }
+    scratch_.clear();
+    for (const Channel& c : channels_) {
+      const double v = c.read();
+      if (timeline_ != nullptr) timeline_->sample(c.track, c.name, at, v);
+      if (stream_ != nullptr) scratch_.push_back(v);
+    }
+    if (stream_ != nullptr) stream_->tick(at.to_seconds(), scratch_);
   }
 
   Timeline* timeline_ = nullptr;
   sim::SimTime interval_;
   sim::SimTime next_;
   std::vector<Channel> channels_;
+  MetricsStreamWriter* stream_ = nullptr;
+  const Timeline* stream_names_ = nullptr;
+  bool stream_header_written_ = false;
+  std::vector<double> scratch_;
 };
 
 }  // namespace tmc::obs

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -56,15 +57,35 @@ class Timeline {
             sim::SimTime duration, double value = 0.0) {
     records_.push_back(
         {start.ns(), duration.ns(), track, name, RecordKind::kSpan, value});
+    maybe_flush();
   }
   void instant(TrackId track, NameId name, sim::SimTime at,
                double value = 0.0) {
     records_.push_back(
         {at.ns(), 0, track, name, RecordKind::kInstant, value});
+    maybe_flush();
   }
   void sample(TrackId track, NameId name, sim::SimTime at, double value) {
     records_.push_back(
         {at.ns(), 0, track, name, RecordKind::kSample, value});
+    maybe_flush();
+  }
+
+  /// Arms chunked draining: whenever at least `chunk_records` records have
+  /// accumulated, `flush` is invoked with the batch and the buffer is
+  /// cleared. Records are appended in event order, so draining preserves
+  /// the exact sequence the buffered path would have written. Annotations
+  /// are not drained -- they are per-run prose, bounded, and the trace
+  /// format wants them after the records anyway.
+  using FlushFn = std::function<void(const std::vector<TimelineRecord>&)>;
+  void set_flush(FlushFn flush, std::size_t chunk_records) {
+    flush_ = std::move(flush);
+    chunk_records_ = chunk_records == 0 ? 1 : chunk_records;
+  }
+
+  /// Total records handed to the flush callback so far.
+  [[nodiscard]] std::uint64_t flushed_records() const {
+    return flushed_records_;
   }
 
   /// Freeform text instant: legacy trace lines routed through the recorder.
@@ -89,11 +110,22 @@ class Timeline {
   }
 
  private:
+  void maybe_flush() {
+    if (flush_ && records_.size() >= chunk_records_) {
+      flushed_records_ += records_.size();
+      flush_(records_);
+      records_.clear();
+    }
+  }
+
   std::vector<Track> tracks_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, NameId> name_ids_;
   std::vector<TimelineRecord> records_;
   std::vector<Annotation> annotations_;
+  FlushFn flush_;
+  std::size_t chunk_records_ = 0;
+  std::uint64_t flushed_records_ = 0;
 };
 
 }  // namespace tmc::obs

@@ -68,6 +68,12 @@ void AdaptiveScheduler::on_job_complete(Job& job) {
   const auto it = running_.find(job.id());
   assert(it != running_.end());
   buddy_.free(it->second.block);
+  // Reclaim schedulers retired by *earlier* completions. Safe here:
+  // teardown only runs as its own deferred event with this handler in tail
+  // position, so a previously retired scheduler has no pending events and
+  // no frame on the stack. Keeping only the current one bounds memory over
+  // sustained runs (it used to grow by one scheduler per completed job).
+  retired_.clear();
   retired_.push_back(std::move(it->second.scheduler));
   running_.erase(it);
   ++completed_;

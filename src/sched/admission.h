@@ -1,0 +1,55 @@
+// tmcsim -- admission control for open-arrival serving.
+//
+// A closed batch never needs admission: every job is submitted up front
+// and the system drains. An open stream served for millions of jobs does:
+// if the offered load exceeds what the policy can sustain, the backlog --
+// and with it memory and every response time -- grows without bound. The
+// serving harness therefore sheds arrivals beyond a configured backlog,
+// the standard bounded-queue discipline of production admission gates.
+// Shedding is accounted per tenant class so the report can show who was
+// turned away, not just how many.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmc::sched {
+
+/// Bounded-backlog admission gate. Stateless apart from its counters: the
+/// caller presents the scheduler's current queue depth at each arrival.
+class AdmissionControl {
+ public:
+  /// `max_backlog` = most jobs allowed to be waiting (queued, not yet
+  /// dispatched) when a new arrival is admitted; 0 = admit everything.
+  explicit AdmissionControl(std::size_t max_backlog, std::size_t classes = 1)
+      : max_backlog_(max_backlog), shed_by_class_(classes, 0) {}
+
+  /// Decides one arrival of class `job_class` with `queued` jobs waiting.
+  [[nodiscard]] bool admit(std::size_t queued, std::size_t job_class = 0) {
+    ++offered_;
+    if (max_backlog_ != 0 && queued >= max_backlog_) {
+      ++shed_;
+      shed_by_class_[job_class] += 1;
+      return false;
+    }
+    ++admitted_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t max_backlog() const { return max_backlog_; }
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  [[nodiscard]] std::uint64_t shed_in_class(std::size_t job_class) const {
+    return shed_by_class_[job_class];
+  }
+
+ private:
+  std::size_t max_backlog_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::vector<std::uint64_t> shed_by_class_;
+};
+
+}  // namespace tmc::sched

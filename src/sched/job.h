@@ -49,6 +49,10 @@ struct JobSpec {
   std::size_t problem_size = 0;
   bool large = false;       // size class within the batch (12 small + 4 large)
   SoftwareArch arch = SoftwareArch::kFixed;
+  /// Tenant class index in multi-class serving mixes (workload::arrivals);
+  /// the serving harness keys its per-class accounting on this. Closed
+  /// batches leave it 0.
+  int job_class = 0;
   /// Service-demand estimate used only for the static policy's best/worst
   /// orderings (smaller estimate = "small job").
   sim::SimTime demand_estimate;

@@ -101,6 +101,20 @@ double Rng::hyperexponential(double mean, double cv) {
   return exponential(mean / (2.0 * (1.0 - p)));
 }
 
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0 && scale > 0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::pareto(double alpha, double xm) {
+  assert(alpha > 0 && xm > 0);
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
 bool Rng::bernoulli(double p) { return uniform01() < p; }
 
 Rng Rng::split() {

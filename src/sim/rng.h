@@ -49,6 +49,16 @@ class Rng {
   /// variation cv >= 1. Used by the synthetic variance workload (bench A1).
   double hyperexponential(double mean, double cv);
 
+  /// Weibull with the given shape k > 0 and scale lambda > 0 (inverse-CDF;
+  /// one uniform draw). Shape < 1 gives the heavy-tailed service times of
+  /// the DFRS workloads (workload::arrivals).
+  double weibull(double shape, double scale);
+
+  /// Pareto (type I) with tail index alpha > 0 and minimum xm > 0
+  /// (inverse-CDF; one uniform draw). Mean is alpha*xm/(alpha-1) for
+  /// alpha > 1, infinite otherwise -- callers truncate.
+  double pareto(double alpha, double xm);
+
   /// Bernoulli trial.
   bool bernoulli(double p);
 

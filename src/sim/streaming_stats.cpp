@@ -1,0 +1,176 @@
+#include "sim/streaming_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tmc::sim {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  assert(q > 0.0 && q < 1.0);
+  rate_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  if (n_ < 5) {
+    height_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(height_.begin(), height_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        pos_[i] = static_cast<std::int64_t>(i) + 1;
+        desired_[i] = 1.0 + 4.0 * rate_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x and update the extreme markers.
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x < height_[1]) {
+    k = 0;
+  } else if (x < height_[2]) {
+    k = 1;
+  } else if (x < height_[3]) {
+    k = 2;
+  } else if (x <= height_[4]) {
+    k = 3;
+  } else {
+    height_[4] = x;
+    k = 3;
+  }
+  ++n_;
+  for (std::size_t i = k + 1; i < 5; ++i) ++pos_[i];
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rate_[i];
+
+  // Nudge the three interior markers toward their desired positions with a
+  // piecewise-parabolic (PP) height prediction, falling back to linear when
+  // the parabola would leave the bracketing heights.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - static_cast<double>(pos_[i]);
+    const bool up = d >= 1.0 && pos_[i + 1] - pos_[i] > 1;
+    const bool down = d <= -1.0 && pos_[i - 1] - pos_[i] < -1;
+    if (!up && !down) continue;
+    const double ds = up ? 1.0 : -1.0;
+    const double np = static_cast<double>(pos_[i + 1] - pos_[i]);
+    const double nm = static_cast<double>(pos_[i - 1] - pos_[i]);
+    const double hp = (height_[i + 1] - height_[i]) / np;
+    const double hm = (height_[i - 1] - height_[i]) / nm;
+    double h =
+        height_[i] + ds / (np - nm) * ((ds - nm) * hp + (np - ds) * hm);
+    if (h <= height_[i - 1] || h >= height_[i + 1]) {
+      // Linear fallback toward the neighbour in the move direction.
+      const std::size_t j = up ? i + 1 : i - 1;
+      h = height_[i] + ds * (height_[j] - height_[i]) /
+                           static_cast<double>(pos_[j] - pos_[i]);
+    }
+    height_[i] = h;
+    pos_[i] += up ? 1 : -1;
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    std::vector<double> sorted(
+        height_.begin(), height_.begin() + static_cast<std::ptrdiff_t>(n_));
+    std::sort(sorted.begin(), sorted.end());
+    return sorted_quantile(sorted, q_);
+  }
+  return height_[2];
+}
+
+double P2Quantile::min() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5)
+    return *std::min_element(
+        height_.begin(), height_.begin() + static_cast<std::ptrdiff_t>(n_));
+  return height_[0];
+}
+
+double P2Quantile::max() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5)
+    return *std::max_element(
+        height_.begin(), height_.begin() + static_cast<std::ptrdiff_t>(n_));
+  return height_[4];
+}
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  assert(capacity > 0);
+  heap_.reserve(capacity);
+}
+
+void ReservoirSample::add(double value, double weight) {
+  assert(weight > 0.0);
+  ++seen_;
+  // A-Res key: u^(1/w). Computed in log space as exp(log(u)/w) for
+  // numerical stability with extreme weights.
+  double u = rng_.uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double key = std::exp(std::log(u) / weight);
+  const auto by_key = [](const Item& a, const Item& b) {
+    return a.key > b.key;  // min-heap on key
+  };
+  if (heap_.size() < capacity_) {
+    heap_.push_back({key, value});
+    std::push_heap(heap_.begin(), heap_.end(), by_key);
+    return;
+  }
+  if (key <= heap_.front().key) return;
+  std::pop_heap(heap_.begin(), heap_.end(), by_key);
+  heap_.back() = {key, value};
+  std::push_heap(heap_.begin(), heap_.end(), by_key);
+}
+
+std::vector<double> ReservoirSample::sorted_values() const {
+  std::vector<double> values;
+  values.reserve(heap_.size());
+  for (const Item& item : heap_) values.push_back(item.value);
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+double ReservoirSample::quantile(double q) const {
+  return sorted_quantile(sorted_values(), q);
+}
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+WindowedRate::WindowedRate(SimTime width) : width_(width) {
+  assert(width > SimTime::zero());
+}
+
+void WindowedRate::close_through(std::int64_t window) {
+  const double per_second = 1.0 / (static_cast<double>(width_.ns()) * 1e-9);
+  while (open_window_ < window) {
+    rates_.add(open_amount_ * per_second);
+    open_amount_ = 0.0;
+    ++open_window_;
+  }
+}
+
+void WindowedRate::record(SimTime now, double amount) {
+  const std::int64_t window = now.ns() / width_.ns();
+  assert(window >= open_window_);
+  close_through(window);
+  open_amount_ += amount;
+}
+
+void WindowedRate::finish(SimTime end) {
+  const std::int64_t window = end.ns() / width_.ns();
+  if (window >= open_window_) close_through(window);
+}
+
+}  // namespace tmc::sim

@@ -1,0 +1,143 @@
+// tmcsim -- O(1)-memory streaming statistics for sustained serving.
+//
+// The closed-batch experiments buffer every response sample; a sustained
+// open-arrival run serving millions of jobs cannot. This header provides
+// the estimators the serving harness (core/serve.h) keeps per job class:
+//
+//  * P2Quantile -- the P-squared algorithm (Jain & Chlamtac, CACM 1985):
+//    one quantile tracked with five markers, constant memory, no buffer.
+//  * QuantileTrio -- the serving report's p50/p95/p99 as three P2 markers.
+//  * ReservoirSample -- weighted reservoir sampling (Efraimidis &
+//    Spirtakis A-Res): a fixed-capacity, seed-deterministic sample of the
+//    stream usable for exact-style post-hoc quantiles and export.
+//  * WindowedRate -- per-window event rates of a simulated-time stream
+//    (jobs/sec over fixed windows), with summary stats over the windows.
+//
+// All estimators are deterministic: identical input sequences (and seeds,
+// for the reservoir) produce bit-identical state at any --threads value,
+// which the differential tests in tests/sim/test_streaming_stats.cpp and
+// the serve_sustained golden table pin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace tmc::sim {
+
+/// Streaming estimate of a single quantile q in (0, 1) via the P-squared
+/// algorithm: five markers (min, q/2, q, (1+q)/2, max) whose heights are
+/// adjusted with a piecewise-parabolic fit as observations arrive. O(1)
+/// memory and O(1) per add; exact until the fifth observation.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate (exact for count() < 5; the middle marker after).
+  [[nodiscard]] double value() const;
+  [[nodiscard]] double quantile() const { return q_; }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  /// Lowest / highest observation so far (markers 0 and 4).
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> height_{};    // marker heights (sorted)
+  std::array<std::int64_t, 5> pos_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired positions
+  std::array<double, 5> rate_{};      // desired-position increments
+};
+
+/// The serving report's three response-time quantiles as P2 estimators.
+struct QuantileTrio {
+  P2Quantile p50{0.50};
+  P2Quantile p95{0.95};
+  P2Quantile p99{0.99};
+
+  void add(double x) {
+    p50.add(x);
+    p95.add(x);
+    p99.add(x);
+  }
+  [[nodiscard]] std::uint64_t count() const { return p50.count(); }
+};
+
+/// Weighted reservoir sample (Efraimidis & Spirtakis algorithm A-Res):
+/// keeps the `capacity` stream items with the largest keys u^(1/w), so an
+/// item's inclusion probability grows with its weight and a weight-1 stream
+/// degenerates to classic uniform reservoir sampling. With capacity >= the
+/// stream length every item is kept, which makes the reservoir an *exact*
+/// sample -- the differential tests use that to cross-check the P2
+/// estimates. One uniform draw per add; deterministic from the seed.
+class ReservoirSample {
+ public:
+  ReservoirSample(std::size_t capacity, std::uint64_t seed);
+
+  void add(double value, double weight = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+  /// Sample values in ascending order (copies; the heap stays intact).
+  [[nodiscard]] std::vector<double> sorted_values() const;
+
+  /// Empirical quantile of the sample with linear interpolation between
+  /// order statistics. Returns 0 for an empty reservoir.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  struct Item {
+    double key;
+    double value;
+  };
+
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<Item> heap_;  // min-heap on key: heap_[0] is the evictee
+  std::uint64_t seen_ = 0;
+};
+
+/// Empirical quantile of an ascending-sorted buffer, interpolated between
+/// order statistics (the exact reference the streaming estimators are
+/// tested against; also used by ReservoirSample::quantile).
+[[nodiscard]] double sorted_quantile(const std::vector<double>& sorted,
+                                     double q);
+
+/// Event rate of a simulated-time stream over fixed windows: record(now)
+/// counts an event into the window containing `now`; every *completed*
+/// window (including empty ones between events) contributes one per-window
+/// rate to the summary. O(1) memory -- only the open window is held.
+class WindowedRate {
+ public:
+  explicit WindowedRate(SimTime width);
+
+  void record(SimTime now, double amount = 1.0);
+  /// Closes every window ending at or before `end`. Call once when the
+  /// stream stops; recording after finish() is undefined.
+  void finish(SimTime end);
+
+  /// Per-window rates (events per second), over completed windows only.
+  [[nodiscard]] const OnlineStats& rates() const { return rates_; }
+  [[nodiscard]] SimTime width() const { return width_; }
+  /// Amount accumulated in the currently open window.
+  [[nodiscard]] double open_window_amount() const { return open_amount_; }
+
+ private:
+  void close_through(std::int64_t window);
+
+  SimTime width_;
+  std::int64_t open_window_ = 0;
+  double open_amount_ = 0.0;
+  OnlineStats rates_;
+};
+
+}  // namespace tmc::sim

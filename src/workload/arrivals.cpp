@@ -1,0 +1,250 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "workload/synthetic.h"
+
+namespace tmc::workload {
+
+double ServiceModel::draw(sim::Rng& rng) const {
+  double demand_s;
+  switch (kind) {
+    case Kind::kFixed:
+      demand_s = mean_s;
+      break;
+    case Kind::kExponential:
+      demand_s = rng.exponential(mean_s);
+      break;
+    case Kind::kHyperexponential:
+      demand_s = rng.hyperexponential(mean_s, shape);
+      break;
+    case Kind::kWeibull: {
+      // Scale chosen so the distribution mean is mean_s:
+      // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k).
+      const double scale = mean_s / std::tgamma(1.0 + 1.0 / shape);
+      demand_s = rng.weibull(shape, scale);
+      break;
+    }
+    case Kind::kPareto: {
+      // Minimum chosen so the mean is mean_s: E = alpha*xm/(alpha-1).
+      assert(shape > 1.0);
+      const double xm = mean_s * (shape - 1.0) / shape;
+      demand_s = rng.pareto(shape, xm);
+      break;
+    }
+    default:
+      demand_s = mean_s;
+      break;
+  }
+  if (cap_s > 0.0 && demand_s > cap_s) demand_s = cap_s;
+  // Floor of 0.1 ms: the heavy-tail inverses can produce demands below any
+  // schedulable quantum, which would make stretch denominators meaningless.
+  return std::max(demand_s, 1e-4);
+}
+
+std::string_view to_string(ServiceModel::Kind kind) {
+  switch (kind) {
+    case ServiceModel::Kind::kFixed:
+      return "fixed";
+    case ServiceModel::Kind::kExponential:
+      return "exponential";
+    case ServiceModel::Kind::kHyperexponential:
+      return "hyperexponential";
+    case ServiceModel::Kind::kWeibull:
+      return "weibull";
+    case ServiceModel::Kind::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+double ArrivalProcess::mean_rate_per_s() const {
+  switch (kind) {
+    case Kind::kPoisson:
+      return rate_per_s;
+    case Kind::kMmpp: {
+      // Stationary state probabilities are proportional to mean sojourns.
+      const double total = base_sojourn_s + burst_sojourn_s;
+      return (rate_per_s * base_sojourn_s + burst_rate_per_s * burst_sojourn_s) /
+             total;
+    }
+    case Kind::kDiurnal:
+      return rate_per_s;  // the sinusoid integrates to zero over a period
+    case Kind::kTrace:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+std::string_view to_string(ArrivalProcess::Kind kind) {
+  switch (kind) {
+    case ArrivalProcess::Kind::kPoisson:
+      return "poisson";
+    case ArrivalProcess::Kind::kMmpp:
+      return "mmpp";
+    case ArrivalProcess::Kind::kDiurnal:
+      return "diurnal";
+    case ArrivalProcess::Kind::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+ArrivalStream::ArrivalStream(ArrivalProcess process,
+                             std::vector<JobClass> classes, std::uint64_t seed)
+    : process_(std::move(process)),
+      classes_(std::move(classes)),
+      rng_(seed) {
+  if (classes_.empty()) {
+    throw std::invalid_argument("arrival stream needs at least one job class");
+  }
+  double total = 0.0;
+  for (const JobClass& cls : classes_) {
+    if (cls.weight <= 0.0) {
+      throw std::invalid_argument("job class weights must be positive");
+    }
+    total += cls.weight;
+  }
+  cumulative_.reserve(classes_.size());
+  double acc = 0.0;
+  for (const JobClass& cls : classes_) {
+    acc += cls.weight;
+    cumulative_.push_back(acc / total);
+  }
+  if (process_.kind != ArrivalProcess::Kind::kTrace &&
+      process_.rate_per_s <= 0.0) {
+    throw std::invalid_argument("arrival rate must be positive");
+  }
+  if (process_.kind == ArrivalProcess::Kind::kDiurnal &&
+      (process_.amplitude < 0.0 || process_.amplitude >= 1.0)) {
+    throw std::invalid_argument("diurnal amplitude must be in [0, 1)");
+  }
+  if (process_.kind == ArrivalProcess::Kind::kTrace) {
+    trace_.open(process_.trace_path);
+    if (!trace_) {
+      throw std::runtime_error("cannot open arrival trace: " +
+                               process_.trace_path);
+    }
+  }
+}
+
+std::size_t ArrivalStream::draw_class() {
+  const double u = rng_.uniform01();
+  for (std::size_t i = 0; i + 1 < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) return i;
+  }
+  return cumulative_.size() - 1;
+}
+
+double ArrivalStream::draw_interarrival() {
+  switch (process_.kind) {
+    case ArrivalProcess::Kind::kPoisson:
+      return rng_.exponential(1.0 / process_.rate_per_s);
+    case ArrivalProcess::Kind::kMmpp: {
+      if (!mmpp_started_) {
+        mmpp_started_ = true;
+        mmpp_sojourn_left_s_ = rng_.exponential(process_.base_sojourn_s);
+      }
+      double gap = 0.0;
+      for (;;) {
+        const double rate = mmpp_state_ == 0 ? process_.rate_per_s
+                                             : process_.burst_rate_per_s;
+        const double candidate = rng_.exponential(1.0 / rate);
+        if (candidate <= mmpp_sojourn_left_s_) {
+          mmpp_sojourn_left_s_ -= candidate;
+          return gap + candidate;
+        }
+        // The state flips before the candidate arrival: discard it (the
+        // exponential is memoryless) and redraw at the new rate.
+        gap += mmpp_sojourn_left_s_;
+        mmpp_state_ = 1 - mmpp_state_;
+        mmpp_sojourn_left_s_ = rng_.exponential(
+            mmpp_state_ == 0 ? process_.base_sojourn_s
+                             : process_.burst_sojourn_s);
+      }
+    }
+    case ArrivalProcess::Kind::kDiurnal: {
+      // Thinning (Lewis & Shedler): generate at the peak rate, accept a
+      // candidate at time t with probability rate(t)/peak.
+      const double peak = process_.rate_per_s * (1.0 + process_.amplitude);
+      double gap = 0.0;
+      for (;;) {
+        gap += rng_.exponential(1.0 / peak);
+        const double t = clock_s_ + gap;
+        const double rate =
+            process_.rate_per_s *
+            (1.0 + process_.amplitude *
+                       std::sin(2.0 * std::numbers::pi * t /
+                                process_.period_s));
+        if (rng_.uniform01() * peak < rate) return gap;
+      }
+    }
+    case ArrivalProcess::Kind::kTrace:
+      break;  // handled by next_trace
+  }
+  return 0.0;
+}
+
+bool ArrivalStream::next_trace(Arrival& out) {
+  std::string line;
+  while (std::getline(trace_, line)) {
+    ++trace_line_;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    double at_s;
+    std::size_t cls;
+    if (!(fields >> at_s)) continue;  // blank / comment-only line
+    const auto fail = [this](const char* what) {
+      throw std::runtime_error("arrival trace " + process_.trace_path +
+                               " line " + std::to_string(trace_line_) + ": " +
+                               what);
+    };
+    if (!(fields >> cls)) fail("missing class index");
+    if (cls >= classes_.size()) fail("class index out of range");
+    if (at_s < clock_s_) fail("arrival instants must be non-decreasing");
+    double demand_s;
+    if (fields >> demand_s) {
+      if (demand_s <= 0.0) fail("demand must be positive");
+    } else {
+      demand_s = classes_[cls].service.draw(rng_);
+    }
+    clock_s_ = at_s;
+    out.at_s = at_s;
+    out.job_class = cls;
+    out.demand_s = demand_s;
+    return true;
+  }
+  return false;
+}
+
+bool ArrivalStream::next(Arrival& out) {
+  if (process_.kind == ArrivalProcess::Kind::kTrace) return next_trace(out);
+  // Fixed draw order -- class, service, interarrival -- see header.
+  out.job_class = draw_class();
+  out.demand_s = classes_[out.job_class].service.draw(rng_);
+  clock_s_ += draw_interarrival();
+  out.at_s = clock_s_;
+  return true;
+}
+
+sched::JobSpec make_arrival_job(const JobClass& cls, const Arrival& arrival) {
+  SyntheticParams params;
+  params.mean_demand = sim::SimTime::nanoseconds(
+      static_cast<std::int64_t>(cls.service.theoretical_mean() * 1e9));
+  params.arch = cls.arch;
+  params.fixed_processes = cls.processes;
+  params.message_bytes = cls.message_bytes;
+  sched::JobSpec spec = make_synthetic_job(
+      params, sim::SimTime::nanoseconds(
+                  static_cast<std::int64_t>(arrival.demand_s * 1e9)));
+  spec.app = cls.name;
+  return spec;
+}
+
+}  // namespace tmc::workload

@@ -1,0 +1,148 @@
+// core::run_sustained -- the long-lived open-arrival serving loop.
+//
+// The million-job acceptance run lives in bench/serve_sustained and the
+// soak binary; these tests pin the loop's contracts at a few thousand jobs:
+// exact determinism (same config, same result, twice), conservation
+// (offered = admitted + shed, completed = admitted, per-class sums match
+// totals), admission shedding under a tight backlog bound, checkpoint
+// monotonicity (the soak test's foundation), and warmup exclusion.
+#include "core/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tmc::core {
+namespace {
+
+std::vector<workload::JobClass> two_class_mix() {
+  workload::JobClass interactive;
+  interactive.name = "interactive";
+  interactive.weight = 3.0;
+  interactive.service.kind = workload::ServiceModel::Kind::kExponential;
+  interactive.service.mean_s = 0.05;
+  interactive.arch = sched::SoftwareArch::kAdaptive;
+
+  workload::JobClass batch;
+  batch.name = "batch";
+  batch.weight = 1.0;
+  batch.service.kind = workload::ServiceModel::Kind::kWeibull;
+  batch.service.mean_s = 0.3;
+  batch.service.shape = 0.7;
+  batch.arch = sched::SoftwareArch::kAdaptive;
+  return {interactive, batch};
+}
+
+ServeConfig small_config(std::uint64_t jobs = 2000) {
+  ServeConfig config;
+  config.machine.policy.kind = sched::PolicyKind::kHybrid;
+  config.machine.policy.partition_size = 4;
+  config.process.kind = workload::ArrivalProcess::Kind::kPoisson;
+  config.process.rate_per_s = 25.0;
+  config.classes = two_class_mix();
+  config.total_jobs = jobs;
+  config.warmup_jobs = 200;
+  config.seed = 7;
+  return config;
+}
+
+TEST(RunSustained, DeterministicRunToRun) {
+  const ServeResult a = run_sustained(small_config());
+  const ServeResult b = run_sustained(small_config());
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.machine.events, b.machine.events);
+  EXPECT_DOUBLE_EQ(a.horizon_s, b.horizon_s);
+  EXPECT_DOUBLE_EQ(a.response_s.mean(), b.response_s.mean());
+  EXPECT_DOUBLE_EQ(a.response_q.p99.value(), b.response_q.p99.value());
+  ASSERT_EQ(a.classes.size(), b.classes.size());
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    EXPECT_EQ(a.classes[i].completed, b.classes[i].completed);
+    EXPECT_DOUBLE_EQ(a.classes[i].response_s.mean(),
+                     b.classes[i].response_s.mean());
+    EXPECT_EQ(a.classes[i].response_sample.sorted_values(),
+              b.classes[i].response_sample.sorted_values());
+  }
+}
+
+TEST(RunSustained, ConservesEveryArrival) {
+  const ServeResult r = run_sustained(small_config());
+  EXPECT_EQ(r.offered, 2000u);
+  EXPECT_EQ(r.offered, r.admitted + r.shed);
+  EXPECT_EQ(r.completed, r.admitted);
+  // Per-class `offered` counts every arrival of the class, shed included.
+  std::uint64_t class_offered = 0, class_completed = 0, class_measured = 0;
+  for (const ClassServeStats& cls : r.classes) {
+    class_offered += cls.offered;
+    class_completed += cls.completed;
+    class_measured += cls.measured;
+    EXPECT_EQ(cls.response_s.count(), cls.measured);
+    EXPECT_EQ(cls.response_q.count(), cls.measured);
+  }
+  EXPECT_EQ(class_offered, r.offered);
+  EXPECT_EQ(class_completed, r.completed);
+  EXPECT_EQ(class_measured, r.measured);
+  // Warmup exclusion: exactly the post-warmup admitted jobs are measured.
+  EXPECT_EQ(r.measured, r.response_s.count());
+  EXPECT_LE(r.measured, r.completed);
+  EXPECT_GE(r.horizon_s, 0.0);
+  EXPECT_GT(r.peak_live_jobs, 0u);
+}
+
+TEST(RunSustained, TightBacklogShedsButStaysConsistent) {
+  ServeConfig config = small_config(1000);
+  config.process.rate_per_s = 2000.0;  // far above service capacity
+  config.max_backlog = 5;
+  const ServeResult r = run_sustained(config);
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_EQ(r.offered, r.admitted + r.shed);
+  EXPECT_EQ(r.completed, r.admitted);
+  std::uint64_t class_shed = 0;
+  for (const ClassServeStats& cls : r.classes) class_shed += cls.shed;
+  EXPECT_EQ(class_shed, r.shed);
+}
+
+TEST(RunSustained, CheckpointsAreMonotone) {
+  ServeConfig config = small_config();
+  config.checkpoint_every = 100;
+  std::vector<ServeCheckpoint> checkpoints;
+  config.checkpoint = [&checkpoints](const ServeCheckpoint& cp) {
+    checkpoints.push_back(cp);
+  };
+  const ServeResult r = run_sustained(config);
+  ASSERT_GE(checkpoints.size(), 10u);
+  for (std::size_t i = 1; i < checkpoints.size(); ++i) {
+    // Simulated time and the completion counter never move backwards; the
+    // soak binary leans on this to claim forward progress.
+    EXPECT_GE(checkpoints[i].now_s, checkpoints[i - 1].now_s);
+    EXPECT_GT(checkpoints[i].completed, checkpoints[i - 1].completed);
+    EXPECT_LE(checkpoints[i].offered, r.offered);
+  }
+  // Live jobs at every checkpoint stay within the recorded high-water mark.
+  for (const ServeCheckpoint& cp : checkpoints) {
+    EXPECT_LE(cp.live_jobs, r.peak_live_jobs);
+  }
+}
+
+TEST(RunSustained, WindowRateReflectsThroughput) {
+  ServeConfig config = small_config(4000);
+  config.window_s = 5.0;
+  const ServeResult r = run_sustained(config);
+  // 25 jobs/s offered, everything admitted and completed: the per-window
+  // completion rate must average near the arrival rate.
+  EXPECT_GT(r.window_rate.count(), 10u);
+  EXPECT_NEAR(r.window_rate.mean(), 25.0, 2.5);
+}
+
+TEST(RunSustained, ValidatesConfig) {
+  ServeConfig config = small_config();
+  config.total_jobs = 0;
+  EXPECT_THROW((void)run_sustained(config), std::invalid_argument);
+  config = small_config();
+  config.classes.clear();
+  EXPECT_THROW((void)run_sustained(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tmc::core

@@ -1,0 +1,171 @@
+// Soak test: a long open-arrival serving run must not grow.
+//
+// Overrides global operator new/delete with counting versions, runs the
+// sustained serving loop (default one million jobs; TMC_SOAK_JOBS scales it
+// down for CI and sanitizer builds), snapshots the live-allocation count at
+// every checkpoint, and fails unless
+//   (1) live heap allocations PLATEAU: after the first quarter of the run,
+//       the live count never exceeds the quarter-mark count by more than a
+//       small fixed headroom (job churn), i.e. memory is flat in the number
+//       of jobs served;
+//   (2) simulated time and the completion counter are MONOTONE across
+//       checkpoints (forward progress, no replayed or lost completions);
+//   (3) the run completes: every admitted job finished.
+// This is the allocation-counter twin of bench/serve_sustained --rss-check:
+// RSS can hide growth inside freed-but-retained pages, allocation counts
+// cannot.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/serve.h"
+
+namespace {
+
+std::atomic<std::int64_t> g_live_allocs{0};
+std::atomic<std::int64_t> g_total_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_live_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_total_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_live_allocs.fetch_sub(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+
+namespace {
+
+using namespace tmc;
+
+std::vector<workload::JobClass> soak_mix() {
+  workload::JobClass interactive;
+  interactive.name = "interactive";
+  interactive.weight = 3.0;
+  interactive.service.kind = workload::ServiceModel::Kind::kExponential;
+  interactive.service.mean_s = 0.08;
+  interactive.arch = sched::SoftwareArch::kAdaptive;
+
+  workload::JobClass batch;
+  batch.name = "batch";
+  batch.weight = 1.0;
+  batch.service.kind = workload::ServiceModel::Kind::kPareto;
+  batch.service.mean_s = 0.5;
+  batch.service.shape = 1.6;
+  batch.service.cap_s = 10.0;
+  batch.arch = sched::SoftwareArch::kAdaptive;
+  return {interactive, batch};
+}
+
+struct Snapshot {
+  core::ServeCheckpoint checkpoint;
+  std::int64_t live_allocs = 0;
+};
+
+int run() {
+  std::uint64_t jobs = 1'000'000;
+  if (const char* env = std::getenv("TMC_SOAK_JOBS")) {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    if (parsed < 100) {
+      std::fprintf(stderr, "soak_serve: TMC_SOAK_JOBS must be >= 100\n");
+      return 2;
+    }
+    jobs = parsed;
+  }
+
+  core::ServeConfig config;
+  config.machine.policy.kind = sched::PolicyKind::kHybrid;
+  config.machine.policy.partition_size = 4;
+  config.process.kind = workload::ArrivalProcess::Kind::kPoisson;
+  config.process.rate_per_s = 25.0;
+  config.classes = soak_mix();
+  config.total_jobs = jobs;
+  config.warmup_jobs = jobs / 10;
+  config.seed = 1;
+  config.checkpoint_every = jobs / 40;
+
+  std::vector<Snapshot> snapshots;
+  config.checkpoint = [&snapshots](const core::ServeCheckpoint& cp) {
+    snapshots.push_back(
+        {cp, g_live_allocs.load(std::memory_order_relaxed)});
+  };
+
+  const core::ServeResult result = core::run_sustained(config);
+
+  int failures = 0;
+  const auto fail = [&failures](const char* what) {
+    std::fprintf(stderr, "soak_serve: FAIL: %s\n", what);
+    ++failures;
+  };
+
+  if (result.completed != result.admitted) fail("admitted jobs went missing");
+  if (result.completed + result.shed != jobs) fail("arrivals not conserved");
+  if (snapshots.size() < 10) fail("too few checkpoints to judge a plateau");
+
+  // Monotone forward progress.
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    if (snapshots[i].checkpoint.now_s < snapshots[i - 1].checkpoint.now_s) {
+      fail("simulated time went backwards between checkpoints");
+      break;
+    }
+    if (snapshots[i].checkpoint.completed <=
+        snapshots[i - 1].checkpoint.completed) {
+      fail("completion counter did not advance between checkpoints");
+      break;
+    }
+  }
+
+  // Allocation plateau after the first quarter. The headroom absorbs job
+  // churn (live jobs fluctuate with the Poisson stream) and container
+  // growth that doubles at most once more after warmup; what it must NOT
+  // absorb is per-job growth, which at 3/4 of a run is ~jobs/2 allocations.
+  const std::size_t quarter = snapshots.size() / 4;
+  const std::int64_t at_quarter = snapshots[quarter].live_allocs;
+  const std::int64_t headroom =
+      std::max<std::int64_t>(2'000, at_quarter / 5);
+  std::int64_t peak_after = 0;
+  for (std::size_t i = quarter; i < snapshots.size(); ++i) {
+    peak_after = std::max(peak_after, snapshots[i].live_allocs);
+  }
+  std::fprintf(stderr,
+               "soak_serve: %llu jobs, %zu checkpoints, live allocs "
+               "%lld @25%% -> peak %lld after (headroom %lld), "
+               "%lld total allocs, peak live jobs %zu\n",
+               static_cast<unsigned long long>(jobs), snapshots.size(),
+               static_cast<long long>(at_quarter),
+               static_cast<long long>(peak_after),
+               static_cast<long long>(headroom),
+               static_cast<long long>(
+                   g_total_allocs.load(std::memory_order_relaxed)),
+               result.peak_live_jobs);
+  if (peak_after > at_quarter + headroom) {
+    fail("live allocation count kept growing after the first quarter");
+  }
+
+  if (failures == 0) {
+    std::fprintf(stderr, "soak_serve: PASS\n");
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -14,10 +14,18 @@ contracts consumers actually rely on:
       metadata first, every event one of M/X/i/C with the fields that phase
       requires, spans with non-negative durations, and -- the point of the
       exercise -- per-node tracks plus at least one utilization counter.
+      Chunked output (--timeline-chunk) is byte-identical to buffered, so
+      the same checker covers both.
+
+  metrics stream JSONL (--metrics-stream=out.jsonl)
+      header line tagged "tmc-metrics-stream-v1" naming every channel, then
+      one tick object per line with finite values parallel to the channel
+      list and non-decreasing timestamps.
 
 Usage:
     python3 tools/check_obs_json.py --metrics metrics.json \\
-                                    --timeline timeline.json
+                                    --timeline timeline.json \\
+                                    --stream metrics.jsonl
 Exit 0 if every given file passes; first violation is fatal.
 """
 
@@ -145,19 +153,69 @@ def check_timeline(path: str) -> None:
           f"{len(counters)} counter series ok")
 
 
+def check_stream(path: str) -> None:
+    with open(path) as f:
+        lines = [line for line in f.read().splitlines() if line]
+    require(len(lines) >= 2, path,
+            f"want a header line plus at least one tick, got {len(lines)} "
+            f"non-empty lines")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        fail(path, f"header line is not JSON: {e}")
+    require(header.get("schema") == "tmc-metrics-stream-v1", path,
+            f"schema tag is {header.get('schema')!r}, "
+            f"want 'tmc-metrics-stream-v1'")
+    require(isinstance(header.get("label"), str) and header["label"], path,
+            "header missing run label")
+    channels = header.get("channels")
+    require(isinstance(channels, list) and channels, path,
+            "header channels list missing or empty")
+    for c in channels:
+        require(isinstance(c, str) and c, path,
+                f"channel label not a non-empty string: {c!r}")
+    last_t = -math.inf
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            tick = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(path, f"line {lineno}: not JSON: {e}")
+        t = tick.get("t_s")
+        require(is_finite_number(t), path,
+                f"line {lineno}: t_s missing or not finite")
+        require(t >= last_t, path,
+                f"line {lineno}: t_s {t} went backwards (previous {last_t})")
+        last_t = t
+        values = tick.get("v")
+        require(isinstance(values, list) and len(values) == len(channels),
+                path,
+                f"line {lineno}: v has {len(values) if isinstance(values, list) else 'no'} "
+                f"entries, want {len(channels)}")
+        for v in values:
+            require(is_finite_number(v), path,
+                    f"line {lineno}: non-finite sample value {v!r}")
+    print(f"check_obs_json: {path}: {len(lines) - 1} ticks x "
+          f"{len(channels)} channels ok (stream)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--metrics", action="append", default=[],
                         help="tmc-metrics-v1 JSON file (repeatable)")
     parser.add_argument("--timeline", action="append", default=[],
                         help="Chrome trace_event JSON file (repeatable)")
+    parser.add_argument("--stream", action="append", default=[],
+                        help="tmc-metrics-stream-v1 JSONL file (repeatable)")
     args = parser.parse_args()
-    if not args.metrics and not args.timeline:
-        parser.error("nothing to check: pass --metrics and/or --timeline")
+    if not args.metrics and not args.timeline and not args.stream:
+        parser.error(
+            "nothing to check: pass --metrics, --timeline, and/or --stream")
     for path in args.metrics:
         check_metrics(path)
     for path in args.timeline:
         check_timeline(path)
+    for path in args.stream:
+        check_stream(path)
     return 0
 
 

@@ -17,6 +17,9 @@ Rules of engagement:
     added to BENCH_kernel.json in the PR that introduces them.
   - Aggregate rows (mean/median/stddev from --benchmark_repetitions) are
     gated on the median when present, otherwise on the plain run.
+  - A benchmark appearing in several report files is gated on its fastest
+    observation: single-shot benches (fig_scaling, serve_sustained) can be
+    run twice on a noisy 1-core runner and gated best-of-N.
   - Speedups are never an error: the gate only bounds regressions. When the
     numbers move up for good, refresh BENCH_kernel.json with a new entry
     rather than letting headroom accumulate.
@@ -129,7 +132,11 @@ def main() -> int:
     label, baseline = load_baseline(args.baseline)
     measured: dict[str, float] = {}
     for report in args.reports:
-        measured.update(load_report(report))
+        for name, ips in load_report(report).items():
+            # Noise only ever slows a run down, so when a benchmark appears
+            # in several reports (repeat-and-gate-best), the fastest
+            # observation is the least noisy one.
+            measured[name] = max(ips, measured.get(name, 0.0))
     if not measured:
         sys.exit("perf_gate: reports contained no items_per_second rows")
 
