@@ -34,9 +34,11 @@
 #include "core/experiment.h"
 #include "core/machine.h"
 #include "core/report.h"
+#include "figure_common.h"
 #include "net/router.h"
 #include "net/routing.h"
 #include "net/topology.h"
+#include "obs/hub.h"
 #include "workload/batch.h"
 
 #if defined(__GLIBC__)
@@ -101,7 +103,8 @@ core::ExperimentConfig scaled_config(int nodes) {
   return config;
 }
 
-SizePoint run_size(int nodes, int reps) {
+SizePoint run_size(int nodes, int reps, bench::ObsSession* obs,
+                   bool observed) {
   SizePoint point;
   point.nodes = nodes;
   const auto config = scaled_config(nodes);
@@ -126,9 +129,15 @@ SizePoint run_size(int nodes, int reps) {
   // the run is deterministic across repetitions.
   point.wall_s = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < reps; ++rep) {
+    // The observed rep carries the recording overhead; with the default
+    // reps the best-of minimum still comes from an uninstrumented rep.
+    auto rep_config = config;
+    if (obs != nullptr) {
+      obs->attach(rep_config.machine, observed && rep == 0);
+    }
     const auto start = std::chrono::steady_clock::now();
     const auto run =
-        core::run_batch(config, workload::BatchOrder::kInterleaved);
+        core::run_batch(rep_config, workload::BatchOrder::kInterleaved);
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
     point.wall_s = std::min(point.wall_s, wall.count());
@@ -170,7 +179,11 @@ void write_json(const std::string& path, const std::vector<SizePoint>& points) {
                "  --reps   repetitions per size, best wall time kept\n"
                "           (default 5; short runs are noise-prone)\n"
                "  --json   write a Google-Benchmark-format report for\n"
-               "           tools/perf_gate.py\n";
+               "           tools/perf_gate.py\n"
+            << obs::cli_help()
+            << "  (observability records the first rep of the largest\n"
+               "   size; best-of wall times still come from the\n"
+               "   uninstrumented reps when --reps > 1)\n";
   std::exit(code);
 }
 
@@ -180,7 +193,16 @@ int main(int argc, char** argv) {
   std::vector<int> sizes = {16, 64, 256, 1024};
   int reps = 5;
   std::string json_path;
+  obs::Options obs_options;
   for (int i = 1; i < argc; ++i) {
+    std::string obs_error;
+    if (obs::parse_cli_flag(argc, argv, i, obs_options, obs_error)) {
+      if (!obs_error.empty()) {
+        std::cerr << "fig_scaling: " << obs_error << "\n";
+        return 2;
+      }
+      continue;
+    }
     const std::string arg = argv[i];
     auto value = [&](const std::string& prefix) -> std::optional<std::string> {
       if (arg.rfind(prefix + "=", 0) == 0) return arg.substr(prefix.size() + 1);
@@ -217,15 +239,26 @@ int main(int argc, char** argv) {
     std::cerr << "fig_scaling: unknown flag '" << arg << "'\n";
     usage(2);
   }
+  if (!obs_options.slo.empty()) {
+    std::cerr << "fig_scaling: --slo only applies to the serving harness "
+                 "(serve_sustained)\n";
+    return 2;
+  }
 
   std::cout << "Scaling study: static policy, 16-node mesh partitions, "
                "matmul batch scaled\nwith the machine (12+4 jobs per 16 "
                "nodes -- constant per-node load).\n\n";
 
+  bench::ObsSession obs_session(obs_options);
+  // Observe the first occurrence of the largest size (the point whose
+  // timeline is worth looking at; also the most expensive to re-run).
+  const auto observed = static_cast<std::size_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
   std::vector<SizePoint> points;
-  for (const int n : sizes) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const int n = sizes[i];
     std::cout << "running " << n << " nodes..." << std::flush;
-    points.push_back(run_size(n, reps));
+    points.push_back(run_size(n, reps, &obs_session, i == observed));
     std::cout << " " << points.back().events << " events in "
               << core::fmt_seconds(points.back().wall_s) << " s\n";
   }
@@ -266,5 +299,5 @@ int main(int argc, char** argv) {
     write_json(json_path, points);
     std::cout << "\nwrote " << json_path << "\n";
   }
-  return 0;
+  return obs_session.flush(std::cerr);
 }

@@ -80,6 +80,11 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
       usage(argv[0], figure_flags, obs_flags, 2);
     }
   }
+  if (!options.obs.slo.empty()) {
+    std::cerr << argv[0] << ": --slo only applies to the serving harness "
+                            "(serve_sustained)\n";
+    std::exit(2);
+  }
   return options;
 }
 

@@ -12,6 +12,7 @@
 #include "core/experiment.h"
 #include "mem/mmu.h"
 #include "net/routing.h"
+#include "obs/job_trace.h"
 #include "obs/metrics.h"
 #include "sim/rng.h"
 #include "sim/simulation.h"
@@ -95,21 +96,26 @@ BENCHMARK(BM_SimulationEventChain)->Arg(10000);
 
 void BM_SimulationEventChainNullObs(benchmark::State& state) {
   // The event chain above with the observability hooks a fully instrumented
-  // component pays when NO hub is attached: null-handle counter bumps, each
-  // a single predictable branch. Three per event bounds the real density --
-  // the wiring feeds gauges/distributions through end-of-run probes and the
-  // sampler, so hot event paths only ever carry bump-style counter hooks
-  // (net.parks, mem.alloc_waits), at most one each. perf_gate.py pairs this
-  // against BM_SimulationEventChain (--pair, 3% tolerance) so "zero overhead
-  // when disabled" stays an enforced property, not a slogan.
+  // component pays when NO hub is attached: null-handle counter bumps plus
+  // the schedulers' job-tracer pointer guard, each a single predictable
+  // branch. Three bumps and one tracer check per event bounds the real
+  // density -- the wiring feeds gauges/distributions through end-of-run
+  // probes and the sampler, so hot event paths only ever carry bump-style
+  // counter hooks (net.parks, mem.alloc_waits), at most one each, and the
+  // per-job lifecycle sites (admit, gang turn, completion) are one
+  // `if (job_tracer_)` apiece. perf_gate.py pairs this against
+  // BM_SimulationEventChain (--pair, 3% tolerance) so "zero overhead when
+  // disabled" stays an enforced property, not a slogan.
   const auto depth = static_cast<std::uint64_t>(state.range(0));
   // volatile loads keep the handles opaque: the compiler must emit the
   // null checks instead of folding the whole hook away, which is exactly
   // the code a disabled instrumented component executes.
   static obs::Counter* volatile null_counter = nullptr;
+  static obs::JobTracer* volatile null_tracer = nullptr;
   obs::Counter* parks = null_counter;
   obs::Counter* waits = null_counter;
   obs::Counter* switches = null_counter;
+  obs::JobTracer* tracer = null_tracer;
   for (auto _ : state) {
     sim::Simulation sim;
     std::uint64_t remaining = depth;
@@ -117,6 +123,7 @@ void BM_SimulationEventChainNullObs(benchmark::State& state) {
       obs::bump(parks);
       obs::bump(waits);
       obs::bump(switches);
+      if (tracer != nullptr) tracer->run_begin(remaining, sim.now());
       if (--remaining > 0) {
         sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
       }

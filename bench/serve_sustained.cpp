@@ -33,6 +33,9 @@ using namespace tmc;
 struct ServeOptions {
   std::uint64_t jobs = 1'000'000;
   std::uint64_t warmup = 10'000;
+  bool jobs_set = false;
+  bool warmup_set = false;
+  bool quick = false;
   double rate = 25.0;
   std::string process = "poisson";
   std::string policy = "all";
@@ -51,6 +54,8 @@ struct ServeOptions {
         "  --jobs N        arrivals to serve (default 1000000)\n"
         "  --warmup N      arrivals excluded from stats (default 10000,\n"
         "                  clamped to jobs/10)\n"
+        "  --quick         golden-test preset: jobs 4000, warmup 400\n"
+        "                  (explicit --jobs/--warmup still win)\n"
         "  --rate R        mean arrivals per simulated second (default 25)\n"
         "  --process KIND  poisson | mmpp | diurnal (default poisson)\n"
         "  --policy NAME   static | hybrid | adaptive | all (default all)\n"
@@ -83,8 +88,12 @@ ServeOptions parse(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") usage(0);
     if (const char* v = value("--jobs")) {
       opt.jobs = std::strtoull(v, nullptr, 10);
+      opt.jobs_set = true;
     } else if (const char* v2 = value("--warmup")) {
       opt.warmup = std::strtoull(v2, nullptr, 10);
+      opt.warmup_set = true;
+    } else if (arg == "--quick") {
+      opt.quick = true;
     } else if (const char* v3 = value("--rate")) {
       opt.rate = std::strtod(v3, nullptr);
     } else if (const char* v4 = value("--process")) {
@@ -112,6 +121,10 @@ ServeOptions parse(int argc, char** argv) {
       std::cerr << "serve_sustained: unknown flag '" << arg << "'\n";
       usage(2);
     }
+  }
+  if (opt.quick) {
+    if (!opt.jobs_set) opt.jobs = 4'000;
+    if (!opt.warmup_set) opt.warmup = 400;
   }
   if (opt.jobs == 0 || opt.rate <= 0.0 || opt.window_s <= 0.0 ||
       opt.threads < 0) {
@@ -202,6 +215,22 @@ std::string fmt_count(std::uint64_t n) { return std::to_string(n); }
 
 int main(int argc, char** argv) {
   const ServeOptions opt = parse(argc, argv);
+  // SLO targets must name tenant classes of the mix being served.
+  for (const obs::SloTarget& target : opt.obs.slo) {
+    bool known = false;
+    for (const workload::JobClass& cls : tenant_mix()) {
+      if (cls.name == target.job_class) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::cerr << "serve_sustained: --slo names unknown class '"
+                << target.job_class
+                << "' (classes: interactive, batch, analytics)\n";
+      usage(2);
+    }
+  }
   bench::ObsSession obs(opt.obs);
 
   struct PolicyChoice {
@@ -242,6 +271,7 @@ int main(int argc, char** argv) {
     config.max_backlog = opt.backlog;
     config.window_s = opt.window_s;
     config.seed = opt.seed;
+    config.slo_targets = opt.obs.slo;
     // RSS checkpoints: 20 per run, read by the wall-clock side only (the
     // deterministic table never sees them).
     config.checkpoint_every = std::max<std::uint64_t>(opt.jobs / 20, 1);
@@ -295,6 +325,28 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
   table.print(std::cout);
+
+  // --- per-class SLO attainment block (only when targets were given) ----
+  if (!opt.obs.slo.empty()) {
+    core::Table slo_table({"policy", "class", "target (s)", "objective %",
+                           "attainment %", "burn", "met", "measured"});
+    for (const PolicyRun& run : runs) {
+      const obs::SloTracker& slo = run.result.slo;
+      for (std::size_t t = 0; t < slo.size(); ++t) {
+        const auto& cls = slo.classes()[t];
+        slo_table.add_row(
+            {run.name, cls.target.job_class,
+             core::fmt_seconds(cls.target.target_s),
+             core::fmt_ratio(cls.target.objective * 100.0),
+             core::fmt_ratio(run.result.slo.attainment(t) * 100.0),
+             core::fmt_ratio(run.result.slo.budget_burn(t)),
+             fmt_count(cls.met), fmt_count(cls.completed)});
+      }
+    }
+    std::cout << "\nSLO attainment (measured completions; burn = miss rate "
+                 "over allowed miss rate):\n\n";
+    slo_table.print(std::cout);
+  }
 
   core::Table volume({"policy", "completed", "sim jobs/s", "peak live jobs",
                       "horizon (s)"});

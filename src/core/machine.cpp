@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/hub.h"
+#include "obs/job_trace.h"
 
 namespace tmc::core {
 
@@ -217,11 +218,13 @@ void Multicomputer::wire_observability() {
   const obs::NameId n_pending = names->intern("pending_events");
   const obs::NameId n_mailbox = names->intern("mailbox_pending");
 
+  obs::TrackId node_track_base = 0;
   for (int i = 0; i < cfg_.processors; ++i) {
     node::Transputer* cpu = &cpus_[static_cast<std::size_t>(i)];
     mem::Mmu* mmu = &mmus_[static_cast<std::size_t>(i)];
     const obs::TrackId track =
         names->add_track(obs::TrackKind::kNode, "node" + std::to_string(i));
+    if (i == 0) node_track_base = track;
     cpu->set_timeline(tl, track);
     sampler.add_channel(
         [cpu] { return static_cast<double>(cpu->ready_count()); }, track,
@@ -269,6 +272,16 @@ void Multicomputer::wire_observability() {
       machine_track, n_mailbox);
 
   trace_track_ = names->add_track(obs::TrackKind::kGlobal, "trace");
+
+  // --- per-job lifecycle spans and cross-node flow arrows -----------------
+  // Only when the timeline is *recording*: job spans and flow events are
+  // per-event data, far too voluminous for the registry/stream-only paths,
+  // and the JSONL stream has no use for them.
+  if (tl != nullptr) {
+    job_tracer_ = std::make_unique<obs::JobTracer>(*tl, cfg_.job_class_names);
+    scheduler_->set_job_tracer(job_tracer_.get());
+    comm_->set_timeline(tl, node_track_base);
+  }
 }
 
 void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {

@@ -29,6 +29,7 @@
 
 namespace tmc::obs {
 class Hub;
+class JobTracer;
 }
 
 namespace tmc::core {
@@ -63,6 +64,12 @@ struct MachineConfig {
   /// hub's interval sampler. Null (the default) is fully inert: components
   /// keep null handles and every recording site is one untaken branch.
   obs::Hub* obs = nullptr;
+
+  /// Tenant class names for the per-job timeline tracks (one kJob track per
+  /// class; empty = a single "jobs" track). The serving harness fills this
+  /// from its class mix; closed batches leave it empty. Only read when a
+  /// timeline is recording.
+  std::vector<std::string> job_class_names;
 
   /// Figure label of this configuration, e.g. "8L".
   [[nodiscard]] std::string label() const;
@@ -147,6 +154,9 @@ class Multicomputer {
   std::unique_ptr<node::CommSystem> comm_;
   std::vector<std::unique_ptr<sched::PartitionScheduler>> partition_scheds_;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Per-job lifecycle tracer, created only when a timeline is recording
+  /// (see wire_observability); the schedulers hold a pointer to it.
+  std::unique_ptr<obs::JobTracer> job_tracer_;
   /// Timeline track receiving legacy trace lines as annotations (valid only
   /// while cfg_.obs has a timeline; see enable_tracing).
   std::uint32_t trace_track_ = 0;

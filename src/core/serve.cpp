@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/hub.h"
 #include "sched/admission.h"
 
 namespace tmc::core {
@@ -33,6 +34,10 @@ ServeResult run_sustained(const ServeConfig& config) {
   // generous headroom past its expected horizon instead of making every
   // caller do the arithmetic.
   MachineConfig machine_config = config.machine;
+  machine_config.job_class_names.clear();
+  for (const workload::JobClass& cls : config.classes) {
+    machine_config.job_class_names.push_back(cls.name);
+  }
   const double mean_rate = config.process.mean_rate_per_s();
   if (mean_rate > 0.0) {
     const double expected_s =
@@ -57,6 +62,52 @@ ServeResult run_sustained(const ServeConfig& config) {
   }
   sim::WindowedRate completions(sim::SimTime::nanoseconds(
       static_cast<std::int64_t>(config.window_s * 1e9)));
+
+  // SLO accounting: `slo_of[class]` maps a tenant class to its target index
+  // (or -1, untracked). The tracker lives here -- not on the hub -- so the
+  // summary is identical for every run of a sweep, instrumented or not.
+  obs::SloTracker slo(config.slo_targets);
+  std::vector<int> slo_of(config.classes.size(), -1);
+  for (std::size_t t = 0; t < config.slo_targets.size(); ++t) {
+    bool found = false;
+    for (std::size_t c = 0; c < config.classes.size(); ++c) {
+      if (config.classes[c].name == config.slo_targets[t].job_class) {
+        slo_of[c] = static_cast<int>(t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("slo target names unknown class '" +
+                                  config.slo_targets[t].job_class + "'");
+    }
+  }
+
+  // With a hub attached (and its sampler armed), the SLO state also streams:
+  // one kGlobal track per target carrying attainment, budget burn and the
+  // streaming p99 stretch. Channels read the tracker, which outlives the
+  // run (the sampler drops its readers at finish_run).
+  if (obs::Hub* hub = machine_config.obs;
+      hub != nullptr && slo.size() > 0 &&
+      (hub->timeline() != nullptr || hub->metrics_stream() != nullptr)) {
+    obs::Timeline& names = hub->track_registry();
+    obs::Sampler& sampler = hub->sampler();
+    const obs::NameId n_attainment = names.intern("attainment");
+    const obs::NameId n_burn = names.intern("budget_burn");
+    const obs::NameId n_stretch = names.intern("stretch_p99");
+    for (std::size_t t = 0; t < slo.size(); ++t) {
+      const obs::TrackId track = names.add_track(
+          obs::TrackKind::kGlobal,
+          "slo:" + slo.classes()[t].target.job_class);
+      sampler.add_channel([&slo, t] { return slo.attainment(t); }, track,
+                          n_attainment);
+      sampler.add_channel([&slo, t] { return slo.budget_burn(t); }, track,
+                          n_burn);
+      sampler.add_channel(
+          [&slo, t] { return slo.classes()[t].stretch_q.p99.value(); }, track,
+          n_stretch);
+    }
+  }
 
   // Live-job arena: slot i holds the job with id i+1. Ids of retired jobs
   // are recycled (free_ids) so the arena -- and the comm system's per-job
@@ -93,6 +144,11 @@ ServeResult run_sustained(const ServeConfig& config) {
       result.response_s.add(response_s);
       result.stretch.add(stretch);
       result.response_q.add(response_s);
+      const int target = slo_of[static_cast<std::size_t>(
+          meta[slot].job_class)];
+      if (target >= 0) {
+        slo.record(static_cast<std::size_t>(target), response_s, stretch);
+      }
     }
     retirable.push_back(job.id());
     if (config.checkpoint_every != 0 && config.checkpoint &&
@@ -166,6 +222,9 @@ ServeResult run_sustained(const ServeConfig& config) {
     result.classes[i].shed = admission.shed_in_class(i);
   }
   assert(result.completed == result.admitted);
+  // Safe to move now: run_to_completion already dropped the sampler readers
+  // pointing at the local tracker (finish_run).
+  result.slo = std::move(slo);
   result.machine = machine.stats();
   return result;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/machine.h"
+#include "obs/slo.h"
 #include "sim/stats.h"
 #include "sim/streaming_stats.h"
 #include "workload/arrivals.h"
@@ -56,6 +57,12 @@ struct ServeConfig {
   /// Invoke `checkpoint` every this many completions (0 = never).
   std::uint64_t checkpoint_every = 0;
   std::function<void(const ServeCheckpoint&)> checkpoint;
+  /// Per-class response-time targets (each must name a class in `classes`;
+  /// empty = no SLO accounting). Tracked for every run regardless of
+  /// instrumentation, so sweep summaries stay identical policy to policy;
+  /// with a hub attached the tracker additionally feeds sampler channels
+  /// (slo:<class> attainment / budget_burn / stretch_p99).
+  std::vector<obs::SloTarget> slo_targets;
 };
 
 /// Per-class streaming accounting. Everything here is O(1) memory (the
@@ -93,6 +100,9 @@ struct ServeResult {
   double horizon_s = 0.0;        // simulated clock when the system drained
   /// High-water mark of allocated Job objects (flat-memory evidence).
   std::size_t peak_live_jobs = 0;
+  /// SLO accounting over measured completions (empty unless slo_targets
+  /// were configured); one entry per target, in target order.
+  obs::SloTracker slo;
   MachineStats machine;
 };
 

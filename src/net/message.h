@@ -35,6 +35,10 @@ struct Message {
   std::uint32_t job = 0;
   int tag = 0;
   std::size_t bytes = 0;
+  /// Timeline flow id riding along for causal tracing: the send emits a
+  /// flow-start under this id, the mailbox deposit the matching finish.
+  /// 0 (tracing off) means no flow events are recorded for this message.
+  std::uint64_t flow = 0;
 };
 
 }  // namespace tmc::net

@@ -110,6 +110,12 @@ void CommSystem::send_from(Process& src, const SendOp& op,
   msg.job = src.job();
   msg.tag = op.tag;
   msg.bytes = op.bytes;
+  if (timeline_ != nullptr) {
+    msg.flow = msg.id;
+    timeline_->flow_start(
+        node_track_base_ + static_cast<obs::TrackId>(msg.src_node),
+        name_send_, sim_.now(), msg.flow, static_cast<double>(msg.job));
+  }
   ++sends_;
   if (msg.src_node == msg.dst_node) ++self_sends_;
   network_.send(msg, std::move(payload));
@@ -150,6 +156,11 @@ void CommSystem::finish_delivery(std::uint32_t slot, std::uint32_t generation) {
   ++d.generation;
   d.next_free = delivery_free_;
   delivery_free_ = slot;
+  if (timeline_ != nullptr && msg.flow != 0) {
+    timeline_->flow_finish(
+        node_track_base_ + static_cast<obs::TrackId>(dst->node()),
+        name_recv_, sim_.now(), msg.flow, static_cast<double>(msg.job));
+  }
   cpus_[static_cast<std::size_t>(dst->node())]->deliver(*dst, msg,
                                                         std::move(buffer));
 }

@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "node/process.h"
 #include "node/transputer.h"
+#include "obs/timeline.h"
 #include "sim/simulation.h"
 
 namespace tmc::node {
@@ -63,6 +64,20 @@ class CommSystem {
   [[nodiscard]] bool job_active(JobId job) const {
     return std::find(suspended_jobs_.begin(), suspended_jobs_.end(), job) ==
            suspended_jobs_.end();
+  }
+
+  /// Optional timeline recorder (null = off): every send stamps its message
+  /// with a flow id and records a flow-start on the source node's track;
+  /// the mailbox deposit records the matching flow-finish on the
+  /// destination's, drawing the send->receive causality arrow in Perfetto.
+  /// `node_track_base` is node 0's TrackId (node tracks are contiguous).
+  void set_timeline(obs::Timeline* timeline, obs::TrackId node_track_base) {
+    timeline_ = timeline;
+    node_track_base_ = node_track_base;
+    if (timeline_ != nullptr) {
+      name_send_ = timeline_->intern("msg-send");
+      name_recv_ = timeline_->intern("msg-recv");
+    }
   }
 
   [[nodiscard]] std::uint64_t sends() const { return sends_; }
@@ -134,6 +149,10 @@ class CommSystem {
   std::vector<JobId> suspended_jobs_;
   std::vector<DeliverySlot> delivery_pool_;
   std::uint32_t delivery_free_ = kFreeListEnd;
+  obs::Timeline* timeline_ = nullptr;
+  obs::TrackId node_track_base_ = 0;
+  obs::NameId name_send_ = 0;
+  obs::NameId name_recv_ = 0;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t sends_ = 0;
   std::uint64_t self_sends_ = 0;

@@ -80,6 +80,8 @@ KindInfo kind_info(TrackKind kind) {
       return {3, "partitions"};
     case TrackKind::kGlobal:
       return {4, "machine"};
+    case TrackKind::kJob:
+      return {5, "jobs"};
   }
   return {4, "machine"};
 }
@@ -108,7 +110,7 @@ void ChromeTraceWriter::sep() {
 void ChromeTraceWriter::begin(const Timeline& timeline) {
   os_ << "{\"traceEvents\":[";
   // Metadata: name each process (track kind) and thread (track).
-  std::array<bool, 4> kind_seen{};
+  std::array<bool, 5> kind_seen{};
   const auto& tracks = timeline.tracks();
   for (std::size_t i = 0; i < tracks.size(); ++i) {
     const KindInfo info = kind_info(tracks[i].kind);
@@ -155,6 +157,30 @@ void ChromeTraceWriter::write_records(
             << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\""
             << json_escape(track.name) << ":" << name << "\",\"args\":{\""
             << name << "\":" << json_number(r.value) << "}}";
+        break;
+      case RecordKind::kAsyncBegin:
+      case RecordKind::kAsyncEnd:
+        // Async spans keyed by (cat, id): same-id begin/end pairs nest as a
+        // stack, so concurrent jobs share one class track without merging.
+        os_ << "{\"ph\":\"" << (r.kind == RecordKind::kAsyncBegin ? 'b' : 'e')
+            << "\",\"cat\":\"job\",\"id\":" << r.id
+            << ",\"pid\":" << info.pid << ",\"tid\":" << r.track + 1
+            << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\"" << name
+            << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
+        break;
+      case RecordKind::kFlowStart:
+        os_ << "{\"ph\":\"s\",\"cat\":\"flow\",\"id\":" << r.id
+            << ",\"pid\":" << info.pid << ",\"tid\":" << r.track + 1
+            << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\"" << name
+            << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
+        break;
+      case RecordKind::kFlowFinish:
+        // "bp":"e" binds the arrow head to the enclosing slice so Perfetto
+        // draws it into the receive span rather than the next event.
+        os_ << "{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"id\":" << r.id
+            << ",\"pid\":" << info.pid << ",\"tid\":" << r.track + 1
+            << ",\"ts\":" << trace_ts(r.start_ns) << ",\"name\":\"" << name
+            << "\",\"args\":{\"value\":" << json_number(r.value) << "}}";
         break;
     }
   }

@@ -88,6 +88,17 @@ bool parse_cli_flag(int argc, char** argv, int& i, Options& options,
     options.metrics_stream_path = value;
     return true;
   }
+  if (match_flag(arg, "--slo", has_value, value)) {
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error = "--slo requires class=latency targets";
+        return true;
+      }
+      value = argv[++i];
+    }
+    parse_slo_spec(value, options.slo, error);
+    return true;
+  }
   if (match_flag(arg, "--sample-interval", has_value, value)) {
     if (!has_value) {
       if (i + 1 >= argc) {
@@ -123,7 +134,12 @@ std::string cli_help() {
          "  --metrics-stream=PATH JSONL sampler stream (one line per tick,\n"
          "                        O(1) memory; works without --timeline)\n"
          "  --sample-interval MS  counter-sampling period for --timeline\n"
-         "                        and --metrics-stream (default 100)\n";
+         "                        and --metrics-stream (default 100)\n"
+         "  --slo CLASS=LAT[@PCT][,...]\n"
+         "                        per-class response-time targets for the\n"
+         "                        serving harness (ns/us/ms/s suffixes;\n"
+         "                        objective percent defaults to 99), e.g.\n"
+         "                        --slo interactive=50ms,batch=2s@95\n";
 }
 
 Hub::Hub(Options options) : options_(std::move(options)) {

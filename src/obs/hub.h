@@ -31,6 +31,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
+#include "obs/slo.h"
 #include "obs/timeline.h"
 #include "sim/time.h"
 
@@ -43,6 +44,9 @@ struct Options {
   std::size_t timeline_chunk = 0;  // 0 => buffer; N => drain every N records
   std::string metrics_stream_path;  // empty => JSONL sampler stream off
   sim::SimTime sample_interval = sim::SimTime::milliseconds(100);
+  /// Per-class latency targets (--slo). Consumed by serving-mode harnesses;
+  /// single-experiment drivers that take the shared flags ignore it.
+  std::vector<SloTarget> slo;
 
   [[nodiscard]] bool any() const {
     return metrics || !timeline_path.empty() || !metrics_stream_path.empty();

@@ -1,0 +1,94 @@
+#include "obs/job_trace.h"
+
+namespace tmc::obs {
+
+JobTracer::JobTracer(Timeline& timeline,
+                     const std::vector<std::string>& class_names)
+    : timeline_(timeline) {
+  if (class_names.empty()) {
+    class_tracks_.push_back(timeline_.add_track(TrackKind::kJob, "jobs"));
+  } else {
+    class_tracks_.reserve(class_names.size());
+    for (const std::string& name : class_names) {
+      class_tracks_.push_back(
+          timeline_.add_track(TrackKind::kJob, "class:" + name));
+    }
+  }
+  name_job_ = timeline_.intern("job");
+  name_wait_ = timeline_.intern("wait");
+  name_dispatch_ = timeline_.intern("dispatch");
+  name_run_ = timeline_.intern("run");
+  name_rotation_ = timeline_.intern("rotation");
+}
+
+JobTracer::Slot& JobTracer::slot_for(std::uint64_t id) {
+  const auto index = static_cast<std::size_t>(id - 1);
+  if (index >= slots_.size()) slots_.resize(index + 1);
+  return slots_[index];
+}
+
+void JobTracer::close_phase(Slot& slot, std::uint64_t id, sim::SimTime t) {
+  switch (slot.phase) {
+    case Phase::kIdle:
+      return;
+    case Phase::kWait:
+      timeline_.async_end(slot.track, name_wait_, t, id);
+      break;
+    case Phase::kDispatch:
+      timeline_.async_end(slot.track, name_dispatch_, t, id);
+      break;
+    case Phase::kRun:
+      timeline_.async_end(slot.track, name_run_, t, id);
+      break;
+    case Phase::kRotation:
+      timeline_.async_end(slot.track, name_rotation_, t, id);
+      break;
+  }
+  slot.phase = Phase::kIdle;
+}
+
+void JobTracer::arrival(std::uint64_t id, int job_class, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  auto index = static_cast<std::size_t>(job_class < 0 ? 0 : job_class);
+  if (index >= class_tracks_.size()) index = class_tracks_.size() - 1;
+  slot.track = class_tracks_[index];
+  slot.phase = Phase::kWait;
+  slot.live = true;
+  timeline_.async_begin(slot.track, name_job_, t, id,
+                        static_cast<double>(job_class));
+  timeline_.async_begin(slot.track, name_wait_, t, id);
+}
+
+void JobTracer::dispatch(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  close_phase(slot, id, t);
+  slot.phase = Phase::kDispatch;
+  timeline_.async_begin(slot.track, name_dispatch_, t, id);
+}
+
+void JobTracer::run_begin(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  close_phase(slot, id, t);
+  slot.phase = Phase::kRun;
+  timeline_.async_begin(slot.track, name_run_, t, id);
+}
+
+void JobTracer::run_end(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  close_phase(slot, id, t);
+  slot.phase = Phase::kRotation;
+  timeline_.async_begin(slot.track, name_rotation_, t, id);
+}
+
+void JobTracer::completion(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  close_phase(slot, id, t);
+  timeline_.async_end(slot.track, name_job_, t, id);
+  slot = Slot{};  // recycled ids start a fresh span group
+}
+
+}  // namespace tmc::obs

@@ -1,0 +1,84 @@
+// tmcsim -- per-job lifecycle tracer.
+//
+// Records each job's path through the system (arrival -> queue wait ->
+// gang dispatch -> service turns -> rotation gaps -> completion) as async
+// span records on one timeline track per job class. Async begin/end pairs
+// share the job id, so concurrent jobs of one class render as separately
+// nested rows in Perfetto instead of merging into one slice stack.
+//
+// The span vocabulary forms an exact decomposition of response time:
+//
+//   job      arrival .. completion             (response time)
+//   wait     arrival .. admission              (super-scheduler queue)
+//   dispatch admission .. first service turn   (placement / gang parking)
+//   run      each gang turn (or the whole execution under space-sharing)
+//   rotation each descheduled gap between gang turns
+//
+// wait + dispatch + sum(run) + sum(rotation) == job, which is what
+// tools/obs_report.py folds into the per-class breakdown table.
+//
+// Ownership mirrors every other obs hook: the machine creates a JobTracer
+// only when a timeline is recording, and the schedulers hold a null pointer
+// otherwise, so each emission site is one predictable branch when disabled.
+// Job ids are recycled by the sustained-serving arena; per-id state is slot
+// indexed and reset at arrival, so a recycled id simply opens a new,
+// temporally disjoint async span group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "sim/time.h"
+
+namespace tmc::obs {
+
+class JobTracer {
+ public:
+  /// One kJob track per class name ("class:<name>"); an empty vector gets a
+  /// single "jobs" track (closed batches have no tenant classes).
+  JobTracer(Timeline& timeline, const std::vector<std::string>& class_names);
+
+  /// Job entered the system; `job_class` indexes the constructor's class
+  /// list (out-of-range clamps to the last track).
+  void arrival(std::uint64_t id, int job_class, sim::SimTime t);
+  /// Super scheduler handed the job to a partition (mark_dispatch).
+  void dispatch(std::uint64_t id, sim::SimTime t);
+  /// A service turn starts: gang turn begins, or (space-sharing) the
+  /// processes are placed and runnable.
+  void run_begin(std::uint64_t id, sim::SimTime t);
+  /// The gang turn ended with the job still incomplete: a rotation gap opens.
+  void run_end(std::uint64_t id, sim::SimTime t);
+  /// Last process exited; closes whatever phase span is open, then the job.
+  void completion(std::uint64_t id, sim::SimTime t);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,      // no span group open for this id
+    kWait,
+    kDispatch,
+    kRun,
+    kRotation,
+  };
+  struct Slot {
+    Phase phase = Phase::kIdle;
+    TrackId track = 0;
+    bool live = false;  // between arrival and completion
+  };
+
+  /// Closes the currently open phase span (if any) at `t`.
+  void close_phase(Slot& slot, std::uint64_t id, sim::SimTime t);
+  Slot& slot_for(std::uint64_t id);
+
+  Timeline& timeline_;
+  std::vector<TrackId> class_tracks_;
+  std::vector<Slot> slots_;  // indexed by job id - 1 (ids are dense, >= 1)
+  NameId name_job_ = 0;
+  NameId name_wait_ = 0;
+  NameId name_dispatch_ = 0;
+  NameId name_run_ = 0;
+  NameId name_rotation_ = 0;
+};
+
+}  // namespace tmc::obs

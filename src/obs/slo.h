@@ -1,0 +1,90 @@
+// tmcsim -- per-class service-level-objective tracking.
+//
+// A sustained serving run declares latency targets per tenant class
+// ("interactive answers within 50 ms, 99% of the time") and this tracker
+// streams how the run is doing against them: attainment (fraction of
+// completions meeting the target), error-budget burn (miss rate over the
+// allowed miss rate -- >1 means the objective is being violated), and P²
+// stretch/slowdown quantiles (response / service demand, the fairness
+// metric of the dynamic-scheduling literature). Everything is O(1) memory
+// per class and deterministic, so the serving golden tables can pin the
+// summary block byte-exactly.
+//
+// The tracker is independent of the Hub: core::run_sustained owns one per
+// run whenever targets are configured (the summary must be identical for
+// every policy in a sweep, instrumented or not) and additionally registers
+// sampler channels over it when a hub is attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/streaming_stats.h"
+
+namespace tmc::obs {
+
+struct SloTarget {
+  std::string job_class;    // tenant class name, e.g. "interactive"
+  double target_s = 0.0;    // response-time target in seconds
+  double objective = 0.99;  // required attainment fraction, in (0, 1)
+};
+
+/// Parses a --slo spec: comma-separated `class=latency[@percent]` entries,
+/// latency with an optional ns/us/ms/s suffix (bare numbers are seconds)
+/// and the objective as a percentage (default 99). Examples:
+/// "interactive=50ms,batch=2s", "interactive=50ms@99.9".
+/// On failure fills `error` and returns false.
+bool parse_slo_spec(std::string_view spec, std::vector<SloTarget>& out,
+                    std::string& error);
+
+class SloTracker {
+ public:
+  struct ClassState {
+    SloTarget target;
+    std::uint64_t completed = 0;
+    std::uint64_t met = 0;
+    sim::QuantileTrio stretch_q;  // streaming p50/p95/p99 slowdown
+  };
+
+  SloTracker() = default;  // no targets: size() == 0, nothing tracked
+  explicit SloTracker(std::vector<SloTarget> targets);
+
+  /// Index of the state tracking `job_class`, or -1 when untracked.
+  [[nodiscard]] int index_of(std::string_view job_class) const;
+
+  /// Accounts one measured completion against target `index`.
+  void record(std::size_t index, double response_s, double stretch) {
+    ClassState& cls = classes_[index];
+    ++cls.completed;
+    if (response_s <= cls.target.target_s) ++cls.met;
+    cls.stretch_q.add(stretch);
+  }
+
+  /// Fraction of completions within target (1 until the first completion).
+  [[nodiscard]] double attainment(std::size_t index) const {
+    const ClassState& cls = classes_[index];
+    if (cls.completed == 0) return 1.0;
+    return static_cast<double>(cls.met) / static_cast<double>(cls.completed);
+  }
+
+  /// Error-budget burn: observed miss rate over the allowed miss rate
+  /// (1 - objective). Below 1 the class is within budget; above 1 the
+  /// objective is being violated at that multiple.
+  [[nodiscard]] double budget_burn(std::size_t index) const {
+    const ClassState& cls = classes_[index];
+    const double allowed = 1.0 - cls.target.objective;
+    return (1.0 - attainment(index)) / allowed;
+  }
+
+  [[nodiscard]] const std::vector<ClassState>& classes() const {
+    return classes_;
+  }
+  [[nodiscard]] std::size_t size() const { return classes_.size(); }
+
+ private:
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace tmc::obs

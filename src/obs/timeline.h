@@ -22,15 +22,25 @@
 
 namespace tmc::obs {
 
-enum class TrackKind : std::uint8_t { kNode, kLink, kPartition, kGlobal };
+enum class TrackKind : std::uint8_t {
+  kNode,
+  kLink,
+  kPartition,
+  kGlobal,
+  kJob,  // one track per job class; concurrent jobs nest as async spans
+};
 
 using TrackId = std::uint32_t;
 using NameId = std::uint32_t;
 
 enum class RecordKind : std::uint8_t {
-  kSpan,     // [start, start+dur): CPU charge, link transfer
-  kInstant,  // point event: gang switch, quantum expiry
-  kSample,   // counter-track value at `start` (sampler output)
+  kSpan,        // [start, start+dur): CPU charge, link transfer
+  kInstant,     // point event: gang switch, quantum expiry
+  kSample,      // counter-track value at `start` (sampler output)
+  kAsyncBegin,  // open an id-keyed span on a job track (Chrome ph "b")
+  kAsyncEnd,    // close the innermost open span for that id (ph "e")
+  kFlowStart,   // flow arrow tail: message leaves a node (ph "s")
+  kFlowFinish,  // flow arrow head: message arrives (ph "f")
 };
 
 struct TimelineRecord {
@@ -40,6 +50,7 @@ struct TimelineRecord {
   NameId name = 0;
   RecordKind kind = RecordKind::kInstant;
   double value = 0.0;  // sample value; span/instant auxiliary arg (e.g. pid)
+  std::uint64_t id = 0;  // async span group / flow pairing id
 };
 
 class Timeline {
@@ -68,6 +79,37 @@ class Timeline {
   void sample(TrackId track, NameId name, sim::SimTime at, double value) {
     records_.push_back(
         {at.ns(), 0, track, name, RecordKind::kSample, value});
+    maybe_flush();
+  }
+
+  /// Async (id-keyed) spans: begin/end pairs with the same id on the same
+  /// track nest like a per-id stack, so many concurrent jobs can share one
+  /// class track and still render as separate nested rows in Perfetto.
+  void async_begin(TrackId track, NameId name, sim::SimTime at,
+                   std::uint64_t id, double value = 0.0) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kAsyncBegin, value, id});
+    maybe_flush();
+  }
+  void async_end(TrackId track, NameId name, sim::SimTime at,
+                 std::uint64_t id, double value = 0.0) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kAsyncEnd, value, id});
+    maybe_flush();
+  }
+
+  /// Flow arrows: a start on the sending track and a finish with the same
+  /// id on the receiving track draw a causality arrow across tracks.
+  void flow_start(TrackId track, NameId name, sim::SimTime at,
+                  std::uint64_t id, double value = 0.0) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kFlowStart, value, id});
+    maybe_flush();
+  }
+  void flow_finish(TrackId track, NameId name, sim::SimTime at,
+                   std::uint64_t id, double value = 0.0) {
+    records_.push_back(
+        {at.ns(), 0, track, name, RecordKind::kFlowFinish, value, id});
     maybe_flush();
   }
 

@@ -20,6 +20,9 @@ AdaptiveScheduler::AdaptiveScheduler(sim::Simulation& sim,
 
 void AdaptiveScheduler::submit(Job& job) {
   job.mark_arrival(sim_.now());
+  if (job_tracer_ != nullptr) {
+    job_tracer_->arrival(job.id(), job.spec().job_class, sim_.now());
+  }
   ++submitted_;
   queue_.push_back(&job);
   pump();
@@ -55,6 +58,7 @@ void AdaptiveScheduler::pump() {
         sim_, std::move(partition), cpus_, comm_, local, params_);
     scheduler->set_completion_handler(
         [this](PartitionScheduler&, Job& done) { on_job_complete(done); });
+    scheduler->set_job_tracer(job_tracer_);
 
     alloc_sizes_.add(static_cast<double>(block->size));
     Running& entry = running_[job->id()];

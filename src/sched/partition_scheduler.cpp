@@ -45,6 +45,7 @@ void PartitionScheduler::admit(Job& job) {
     timeline_->instant(track_, name_admit_, sim_.now(),
                        static_cast<double>(job.id()));
   }
+  if (job_tracer_ != nullptr) job_tracer_->dispatch(job.id(), sim_.now());
 
   auto programs = job.spec().builder(job, partition_.size());
   if (programs.empty()) {
@@ -88,6 +89,11 @@ void PartitionScheduler::admit(Job& job) {
     cpu->make_ready(*process, &dispatch_batch_);
   }
   sim_.schedule_batch(sim::SimTime::zero(), dispatch_batch_);
+  // Space-sharing runs the job from placement to completion: its single
+  // service span opens here. Gang mode opens one per turn instead.
+  if (!gang && job_tracer_ != nullptr) {
+    job_tracer_->run_begin(job.id(), sim_.now());
+  }
   if (gang) {
     gang_ring_.push_back(&job);
     if (gang_current_ == nullptr) {
@@ -121,6 +127,7 @@ void PartitionScheduler::gang_set_active(Job& job, bool active) {
 
 void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
   gang_current_ = &job;
+  if (job_tracer_ != nullptr) job_tracer_->run_begin(job.id(), sim_.now());
   if (charge_switch) {
     ++gang_switches_;
     if (timeline_ != nullptr) {
@@ -144,7 +151,12 @@ void PartitionScheduler::gang_start_turn(Job& job, bool charge_switch) {
 
 void PartitionScheduler::gang_end_turn() {
   gang_timer_ = sim::kNoEvent;
-  if (gang_current_ != nullptr) gang_set_active(*gang_current_, false);
+  if (gang_current_ != nullptr) {
+    gang_set_active(*gang_current_, false);
+    if (job_tracer_ != nullptr) {
+      job_tracer_->run_end(gang_current_->id(), sim_.now());
+    }
+  }
   gang_current_ = nullptr;
   if (gang_ring_.empty()) return;
   gang_index_ = (gang_index_ + 1) % gang_ring_.size();
@@ -200,6 +212,7 @@ void PartitionScheduler::teardown(Job& job) {
     timeline_->instant(track_, name_complete_, sim_.now(),
                        static_cast<double>(job.id()));
   }
+  if (job_tracer_ != nullptr) job_tracer_->completion(job.id(), sim_.now());
   if (on_complete_) on_complete_(*this, job);
 }
 

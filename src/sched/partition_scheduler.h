@@ -16,6 +16,7 @@
 
 #include "node/comm.h"
 #include "node/transputer.h"
+#include "obs/job_trace.h"
 #include "obs/timeline.h"
 #include "sched/job.h"
 #include "sched/partition.h"
@@ -71,6 +72,12 @@ class PartitionScheduler {
     }
   }
 
+  /// Optional per-job lifecycle tracer (null = off): admissions open the
+  /// dispatch span, gang turns open/close run and rotation spans, teardown
+  /// closes the job. Shares the machine-wide tracer installed through
+  /// Scheduler::set_job_tracer.
+  void set_job_tracer(obs::JobTracer* tracer) { job_tracer_ = tracer; }
+
   /// Accepts a job for immediate execution in this partition. Under the
   /// time-sharing policies several jobs may be active at once.
   void admit(Job& job);
@@ -105,6 +112,7 @@ class PartitionScheduler {
   Params params_;
   CompletionHandler on_complete_;
   obs::Timeline* timeline_ = nullptr;
+  obs::JobTracer* job_tracer_ = nullptr;
   obs::TrackId track_ = 0;
   obs::NameId name_admit_ = 0;
   obs::NameId name_complete_ = 0;

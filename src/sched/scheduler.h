@@ -11,6 +11,10 @@
 
 #include "sched/job.h"
 
+namespace tmc::obs {
+class JobTracer;
+}
+
 namespace tmc::sched {
 
 class Scheduler {
@@ -33,8 +37,14 @@ class Scheduler {
     observer_ = std::move(observer);
   }
 
+  /// Optional per-job lifecycle tracer (null = off). The machine installs
+  /// one only when a timeline is recording; implementations forward it to
+  /// their partition schedulers, which emit the phase spans.
+  virtual void set_job_tracer(obs::JobTracer* tracer) { job_tracer_ = tracer; }
+
  protected:
   std::function<void(Job&)> observer_;
+  obs::JobTracer* job_tracer_ = nullptr;
 };
 
 }  // namespace tmc::sched

@@ -18,9 +18,19 @@ SuperScheduler::SuperScheduler(sim::Simulation& sim,
 
 void SuperScheduler::submit(Job& job) {
   job.mark_arrival(sim_.now());
+  if (job_tracer_ != nullptr) {
+    job_tracer_->arrival(job.id(), job.spec().job_class, sim_.now());
+  }
   ++submitted_;
   queue_.push_back(&job);
   pump();
+}
+
+void SuperScheduler::set_job_tracer(obs::JobTracer* tracer) {
+  job_tracer_ = tracer;
+  for (PartitionScheduler* ps : partitions_) {
+    ps->set_job_tracer(tracer);
+  }
 }
 
 PartitionScheduler* SuperScheduler::pick_partition() const {

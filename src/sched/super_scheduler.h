@@ -39,6 +39,10 @@ class SuperScheduler final : public Scheduler {
   [[nodiscard]] std::uint64_t submitted() const override { return submitted_; }
   [[nodiscard]] std::uint64_t completed() const override { return completed_; }
 
+  /// Forwards the tracer to every partition scheduler (they emit the
+  /// dispatch/run/rotation spans; this tier emits arrivals).
+  void set_job_tracer(obs::JobTracer* tracer) override;
+
  private:
   void pump();
   /// Dispatch target per policy, or nullptr if no partition can accept work.

@@ -142,6 +142,48 @@ TEST(RunSustained, ValidatesConfig) {
   config = small_config();
   config.classes.clear();
   EXPECT_THROW((void)run_sustained(config), std::invalid_argument);
+  config = small_config();
+  config.slo_targets = {{"analytics", 0.05, 0.99}};  // no such class
+  EXPECT_THROW((void)run_sustained(config), std::invalid_argument);
+}
+
+TEST(RunSustained, SloSummaryCountsMeasuredCompletions) {
+  ServeConfig config = small_config();
+  config.slo_targets = {{"interactive", 0.25, 0.99}, {"batch", 2.0, 0.95}};
+  const ServeResult r = run_sustained(config);
+  ASSERT_EQ(r.slo.size(), 2u);
+  for (std::size_t t = 0; t < r.slo.size(); ++t) {
+    const auto& cls = r.slo.classes()[t];
+    // SLO accounting covers exactly the measured (post-warmup) completions
+    // of the targeted class.
+    const int c = t == 0 ? 0 : 1;
+    EXPECT_EQ(cls.completed, r.classes[static_cast<std::size_t>(c)].measured);
+    EXPECT_LE(cls.met, cls.completed);
+    EXPECT_GE(r.slo.attainment(t), 0.0);
+    EXPECT_LE(r.slo.attainment(t), 1.0);
+    EXPECT_GE(r.slo.budget_burn(t), 0.0);
+    // The tracker's stretch quantiles stream the same samples as the class
+    // stats; the p50s must agree (both are P^2 over the identical stream).
+    EXPECT_DOUBLE_EQ(
+        cls.stretch_q.p50.value(),
+        r.classes[static_cast<std::size_t>(c)].stretch_q.p50.value());
+  }
+}
+
+TEST(RunSustained, SloSummaryIdenticalWithAndWithoutTargets) {
+  // Adding SLO targets must not disturb the simulation: every other
+  // statistic stays bit-identical.
+  const ServeResult plain = run_sustained(small_config());
+  ServeConfig config = small_config();
+  config.slo_targets = {{"interactive", 0.25, 0.99}};
+  const ServeResult tracked = run_sustained(config);
+  EXPECT_EQ(plain.machine.events, tracked.machine.events);
+  EXPECT_DOUBLE_EQ(plain.horizon_s, tracked.horizon_s);
+  EXPECT_DOUBLE_EQ(plain.response_s.mean(), tracked.response_s.mean());
+  EXPECT_EQ(plain.completed, tracked.completed);
+  EXPECT_EQ(plain.slo.size(), 0u);
+  ASSERT_EQ(tracked.slo.size(), 1u);
+  EXPECT_GT(tracked.slo.classes()[0].completed, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+# Job-tracing pipeline regression, invoked by ctest:
+#
+#   cmake -DBENCH=<serve_sustained> -DPYTHON=<python3> -DTOOLS=<tools dir>
+#         -DWORK=<scratch dir> -DGOLDEN=<expected report>
+#         -P run_obs_report.cmake
+#
+# Drives the full consumer chain the README documents: record a job-traced
+# timeline from a quick serving run, validate the flow/span contracts with
+# check_obs_json.py --flows, fold it into the per-class response breakdown
+# with obs_report.py, and byte-diff the table against the checked-in golden.
+# The simulation is deterministic, the trace is deterministic, so the
+# report is too; regenerate the golden with the same three commands.
+foreach(var BENCH PYTHON TOOLS WORK GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_obs_report.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(timeline "${WORK}/obs_report_timeline.json")
+set(report "${WORK}/obs_report_actual.txt")
+
+execute_process(
+  COMMAND "${BENCH}" --quick --threads 1 --policy hybrid
+          --slo interactive=250ms,batch=2s@95 "--timeline=${timeline}"
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve_sustained --timeline exited with ${rc}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${TOOLS}/check_obs_json.py" --flows "${timeline}"
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_obs_json.py --flows rejected the trace (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${TOOLS}/obs_report.py" "${timeline}" --out "${report}"
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs_report.py failed (${rc}) -- the per-job spans "
+                      "no longer decompose response time")
+endif()
+
+file(READ "${GOLDEN}" expected)
+file(READ "${report}" actual)
+if(NOT actual STREQUAL expected)
+  file(WRITE "${GOLDEN}.actual" "${actual}")
+  message(FATAL_ERROR
+    "obs_report breakdown drifted from the golden; fresh output written "
+    "to ${GOLDEN}.actual -- diff and re-commit only if intended")
+endif()
+
+file(REMOVE "${timeline}")

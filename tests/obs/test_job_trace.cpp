@@ -1,0 +1,183 @@
+// Unit: the per-job lifecycle tracer's async span discipline.
+//
+// Every begin must pair with an end of the same name and id, phases must
+// nest inside the "job" envelope, and the phase durations must decompose
+// the envelope exactly -- that identity is what tools/obs_report.py audits
+// on real traces, so it is pinned here at the source.
+#include "obs/job_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace tmc::obs {
+namespace {
+
+using sim::SimTime;
+
+SimTime us(std::int64_t n) { return SimTime::microseconds(n); }
+
+struct Ev {
+  RecordKind kind;
+  std::string name;
+  std::uint64_t id;
+  std::int64_t t_us;
+};
+
+std::vector<Ev> async_events(const Timeline& tl) {
+  std::vector<Ev> out;
+  for (const auto& r : tl.records()) {
+    if (r.kind != RecordKind::kAsyncBegin && r.kind != RecordKind::kAsyncEnd) {
+      continue;
+    }
+    out.push_back({r.kind, std::string(tl.name(r.name)), r.id,
+                   r.start_ns / 1000});
+  }
+  return out;
+}
+
+TEST(JobTracer, GangLifecycleDecomposesResponseExactly) {
+  Timeline tl;
+  JobTracer tracer(tl, {"interactive"});
+
+  tracer.arrival(1, 0, us(0));      // job + wait open
+  tracer.dispatch(1, us(10));       // wait -> dispatch
+  tracer.run_begin(1, us(15));      // dispatch -> run (first gang turn)
+  tracer.run_end(1, us(40));        // run -> rotation
+  tracer.run_begin(1, us(60));      // rotation -> run
+  tracer.completion(1, us(75));     // closes run, closes job
+
+  const auto ev = async_events(tl);
+  const std::vector<Ev> want = {
+      {RecordKind::kAsyncBegin, "job", 1, 0},
+      {RecordKind::kAsyncBegin, "wait", 1, 0},
+      {RecordKind::kAsyncEnd, "wait", 1, 10},
+      {RecordKind::kAsyncBegin, "dispatch", 1, 10},
+      {RecordKind::kAsyncEnd, "dispatch", 1, 15},
+      {RecordKind::kAsyncBegin, "run", 1, 15},
+      {RecordKind::kAsyncEnd, "run", 1, 40},
+      {RecordKind::kAsyncBegin, "rotation", 1, 40},
+      {RecordKind::kAsyncEnd, "rotation", 1, 60},
+      {RecordKind::kAsyncBegin, "run", 1, 60},
+      {RecordKind::kAsyncEnd, "run", 1, 75},
+      {RecordKind::kAsyncEnd, "job", 1, 75},
+  };
+  ASSERT_EQ(ev.size(), want.size());
+  std::int64_t wait = 0, dispatch = 0, run = 0, rotation = 0;
+  std::int64_t open_at = 0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(ev[i].kind, want[i].kind) << "event " << i;
+    EXPECT_EQ(ev[i].name, want[i].name) << "event " << i;
+    EXPECT_EQ(ev[i].id, want[i].id) << "event " << i;
+    EXPECT_EQ(ev[i].t_us, want[i].t_us) << "event " << i;
+    if (ev[i].kind == RecordKind::kAsyncBegin) {
+      open_at = ev[i].t_us;
+    } else if (ev[i].name == "wait") {
+      wait += ev[i].t_us - open_at;
+    } else if (ev[i].name == "dispatch") {
+      dispatch += ev[i].t_us - open_at;
+    } else if (ev[i].name == "run") {
+      run += ev[i].t_us - open_at;
+    } else if (ev[i].name == "rotation") {
+      rotation += ev[i].t_us - open_at;
+    }
+  }
+  // The decomposition identity obs_report.py relies on.
+  EXPECT_EQ(wait + dispatch + run + rotation, 75);
+  EXPECT_EQ(wait, 10);
+  EXPECT_EQ(dispatch, 5);
+  EXPECT_EQ(run, 40);
+  EXPECT_EQ(rotation, 20);
+}
+
+TEST(JobTracer, CompletionClosesWhateverPhaseIsOpen) {
+  Timeline tl;
+  JobTracer tracer(tl, {});
+  // Completing straight out of a rotation gap (job never re-ran).
+  tracer.arrival(1, 0, us(0));
+  tracer.dispatch(1, us(1));
+  tracer.run_begin(1, us(2));
+  tracer.run_end(1, us(3));
+  tracer.completion(1, us(4));
+  const auto ev = async_events(tl);
+  ASSERT_GE(ev.size(), 2u);
+  EXPECT_EQ(ev[ev.size() - 2].name, "rotation");
+  EXPECT_EQ(ev[ev.size() - 2].kind, RecordKind::kAsyncEnd);
+  EXPECT_EQ(ev.back().name, "job");
+  // Every begin paired with an end.
+  int depth = 0;
+  for (const auto& e : ev) {
+    depth += e.kind == RecordKind::kAsyncBegin ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JobTracer, RecycledIdOpensAFreshGroup) {
+  Timeline tl;
+  JobTracer tracer(tl, {"a", "b"});
+  tracer.arrival(1, 0, us(0));
+  tracer.dispatch(1, us(1));
+  tracer.run_begin(1, us(2));
+  tracer.completion(1, us(5));
+  // Same id, different class: the serving arena recycles slot 1.
+  tracer.arrival(1, 1, us(10));
+  tracer.dispatch(1, us(11));
+  tracer.run_begin(1, us(12));
+  tracer.completion(1, us(20));
+
+  const auto ev = async_events(tl);
+  // Two disjoint "job" envelopes on the same id.
+  std::vector<std::int64_t> job_edges;
+  for (const auto& e : ev) {
+    if (e.name == "job") job_edges.push_back(e.t_us);
+  }
+  ASSERT_EQ(job_edges.size(), 4u);
+  EXPECT_EQ(job_edges[0], 0);
+  EXPECT_EQ(job_edges[1], 5);
+  EXPECT_EQ(job_edges[2], 10);
+  EXPECT_EQ(job_edges[3], 20);
+
+  // The second life landed on class b's track, the first on class a's.
+  std::vector<TrackId> job_tracks;
+  for (const auto& r : tl.records()) {
+    if (r.kind == RecordKind::kAsyncBegin &&
+        std::string(tl.name(r.name)) == "job") {
+      job_tracks.push_back(r.track);
+    }
+  }
+  ASSERT_EQ(job_tracks.size(), 2u);
+  EXPECT_NE(job_tracks[0], job_tracks[1]);
+}
+
+TEST(JobTracer, EventsForUnknownIdsAreDropped) {
+  Timeline tl;
+  JobTracer tracer(tl, {});
+  // Lifecycle events for a job that never arrived (e.g. a pre-submitted
+  // batch job under a harness that only traces serving) must be ignored,
+  // not crash or emit unbalanced records.
+  tracer.dispatch(7, us(1));
+  tracer.run_begin(7, us(2));
+  tracer.run_end(7, us(3));
+  tracer.completion(7, us(4));
+  EXPECT_TRUE(async_events(tl).empty());
+}
+
+TEST(JobTracer, OutOfRangeClassClampsToLastTrack) {
+  Timeline tl;
+  JobTracer tracer(tl, {"only"});
+  tracer.arrival(1, 5, us(0));  // class index past the list
+  tracer.completion(1, us(1));
+  const auto& records = tl.records();
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_EQ(r.track, records.front().track);
+  }
+}
+
+}  // namespace
+}  // namespace tmc::obs

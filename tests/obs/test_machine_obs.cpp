@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -138,6 +139,69 @@ TEST(MachineObs, TimelineHasPerComponentTracksAndRecords) {
   }
   EXPECT_TRUE(saw_span);    // CPU charges / link transfers
   EXPECT_TRUE(saw_sample);  // interval sampler output
+}
+
+TEST(MachineObs, JobSpansAndFlowsRecordWhenTimelineArmed) {
+  obs::Hub hub(full_options());
+  auto config = tiny_config();
+  config.machine.job_class_names = {"small", "large"};
+  config.machine.obs = &hub;
+  (void)run_batch(config, workload::BatchOrder::kInterleaved);
+
+  const obs::Timeline& tl = *hub.timeline();
+  int job_tracks = 0;
+  for (const auto& track : tl.tracks()) {
+    job_tracks += track.kind == obs::TrackKind::kJob;
+  }
+  EXPECT_EQ(job_tracks, 2);  // one per declared class
+
+  // Async job spans balance begin/end; message flows pair start/finish
+  // with matching ids (the cross-node arrows in Perfetto).
+  int async_depth = 0;
+  std::size_t async_pairs = 0;
+  std::vector<std::uint64_t> flow_open;
+  std::size_t flow_pairs = 0;
+  for (const auto& r : tl.records()) {
+    switch (r.kind) {
+      case obs::RecordKind::kAsyncBegin:
+        ++async_depth;
+        break;
+      case obs::RecordKind::kAsyncEnd:
+        --async_depth;
+        ASSERT_GE(async_depth, 0);
+        ++async_pairs;
+        break;
+      case obs::RecordKind::kFlowStart:
+        flow_open.push_back(r.id);
+        break;
+      case obs::RecordKind::kFlowFinish: {
+        const auto it =
+            std::find(flow_open.begin(), flow_open.end(), r.id);
+        ASSERT_NE(it, flow_open.end()) << "flow finish without start";
+        flow_open.erase(it);
+        ++flow_pairs;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(async_depth, 0);
+  EXPECT_GT(async_pairs, 0u);
+  EXPECT_GT(flow_pairs, 0u);
+  EXPECT_TRUE(flow_open.empty());
+}
+
+TEST(MachineObs, NoJobTrackerWithoutTimeline) {
+  // Metrics alone must not create the per-job layer (it exists only to
+  // feed timeline tracks).
+  obs::Options options;
+  options.metrics = true;
+  obs::Hub hub(options);
+  auto config = tiny_config();
+  config.machine.obs = &hub;
+  (void)run_batch(config, workload::BatchOrder::kInterleaved);
+  EXPECT_EQ(hub.timeline(), nullptr);
 }
 
 TEST(MachineObs, TraceLinesLandOnTimelineAsAnnotations) {

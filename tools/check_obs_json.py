@@ -11,11 +11,18 @@ contracts consumers actually rely on:
 
   timeline JSON (--timeline=out.json)
       Chrome trace_event object form loadable by Perfetto: process/thread
-      metadata first, every event one of M/X/i/C with the fields that phase
-      requires, spans with non-negative durations, and -- the point of the
-      exercise -- per-node tracks plus at least one utilization counter.
-      Chunked output (--timeline-chunk) is byte-identical to buffered, so
-      the same checker covers both.
+      metadata first, every event one of M/X/i/C/b/e/s/f with the fields
+      that phase requires, spans with non-negative durations, and -- the
+      point of the exercise -- per-node tracks plus at least one
+      utilization counter. Chunked output (--timeline-chunk) is
+      byte-identical to buffered, so the same checker covers both.
+
+  job-tracing timeline (--flows=out.json)
+      Everything --timeline checks, plus the per-job causal layer: a
+      'jobs' process with per-class tracks, async b/e events that nest as
+      a well-formed stack per (pid, tid, id) and all close by end of
+      trace, and cross-node flow events where every 's' pairs with
+      exactly one 'f' of the same id, never earlier in time.
 
   metrics stream JSONL (--metrics-stream=out.jsonl)
       header line tagged "tmc-metrics-stream-v1" naming every channel, then
@@ -99,7 +106,7 @@ def check_metrics(path: str) -> None:
     print(f"check_obs_json: {path}: {len(metrics)} instruments ok")
 
 
-def check_timeline(path: str) -> None:
+def check_timeline(path: str, flows: bool = False) -> None:
     with open(path) as f:
         doc = json.load(f)
     events = doc.get("traceEvents")
@@ -109,7 +116,14 @@ def check_timeline(path: str) -> None:
     counters: set[str] = set()
     node_threads = 0
     link_threads = 0
+    job_threads = 0
     spans = 0
+    # Open async nesting stacks keyed by (pid, tid, id); Chrome pairs b/e
+    # events the same way, so a malformed stack here renders wrong there.
+    async_open: dict[tuple, list[str]] = {}
+    async_pairs = 0
+    flow_start_ts: dict[object, float] = {}
+    flow_pairs = 0
     for e in events:
         ph = e.get("ph")
         require(is_finite_number(e.get("pid")), path, f"event without pid: {e}")
@@ -124,6 +138,8 @@ def check_timeline(path: str) -> None:
                     node_threads += 1
                 elif name.startswith("link"):
                     link_threads += 1
+                elif name.startswith("class:") or name == "jobs":
+                    job_threads += 1
         elif ph == "X":
             require(is_finite_number(e.get("ts")), path, f"span without ts: {e}")
             require(is_finite_number(e.get("dur")) and e["dur"] >= 0, path,
@@ -136,6 +152,43 @@ def check_timeline(path: str) -> None:
         elif ph == "i":
             require(e.get("s") in ("t", "p", "g"), path,
                     f"instant with bad scope: {e}")
+        elif ph in ("b", "e"):
+            require(is_finite_number(e.get("ts")), path,
+                    f"async event without ts: {e}")
+            require(e.get("cat"), path, f"async event without cat: {e}")
+            require("id" in e, path, f"async event without id: {e}")
+            key = (e["pid"], e.get("tid"), e["id"])
+            if ph == "b":
+                async_open.setdefault(key, []).append(e.get("name", ""))
+            else:
+                stack = async_open.get(key)
+                require(bool(stack), path,
+                        f"async end with no matching begin: {e}")
+                require(stack[-1] == e.get("name", ""), path,
+                        f"async end {e.get('name')!r} does not close "
+                        f"innermost open span {stack[-1]!r} (id {e['id']})")
+                stack.pop()
+                async_pairs += 1
+        elif ph in ("s", "f"):
+            require(is_finite_number(e.get("ts")), path,
+                    f"flow event without ts: {e}")
+            require(e.get("cat"), path, f"flow event without cat: {e}")
+            require("id" in e, path, f"flow event without id: {e}")
+            if ph == "s":
+                require(e["id"] not in flow_start_ts, path,
+                        f"duplicate flow start id {e['id']}")
+                flow_start_ts[e["id"]] = e["ts"]
+            else:
+                require(e.get("bp") == "e", path,
+                        f"flow finish without bp='e' (arrow would bind to "
+                        f"the wrong span): {e}")
+                start = flow_start_ts.pop(e["id"], None)
+                require(start is not None, path,
+                        f"flow finish with no open start (id {e['id']})")
+                require(e["ts"] >= start, path,
+                        f"flow finish at ts {e['ts']} precedes its start "
+                        f"at {start} (id {e['id']})")
+                flow_pairs += 1
         else:
             fail(path, f"unknown event phase {ph!r}: {e}")
     require("nodes" in processes, path,
@@ -148,9 +201,25 @@ def check_timeline(path: str) -> None:
         require(any("utilization" in c for c in counters), path,
                 f"{link_threads} link tracks but no utilization counter "
                 f"series (saw {sorted(counters)[:8]}...)")
+    leaked = {k: v for k, v in async_open.items() if v}
+    require(not leaked, path,
+            f"{len(leaked)} async spans still open at end of trace "
+            f"(first: {sorted(leaked.items())[:1]})")
+    if flows:
+        require("jobs" in processes, path,
+                f"no 'jobs' process track (saw {sorted(processes)}) -- "
+                f"was the run traced with job classes?")
+        require(job_threads > 0, path, "no per-job-class thread metadata")
+        require(async_pairs > 0, path, "no async job spans (b/e) at all")
+        require(not flow_start_ts, path,
+                f"{len(flow_start_ts)} flow starts never finished "
+                f"(first ids: {sorted(flow_start_ts)[:4]})")
+        require(flow_pairs > 0, path, "no cross-node flow (s/f) pairs")
     print(f"check_obs_json: {path}: {len(events)} events, {node_threads} node "
           f"tracks, {link_threads} link tracks, {spans} spans, "
-          f"{len(counters)} counter series ok")
+          f"{len(counters)} counter series, {async_pairs} job spans, "
+          f"{flow_pairs} flow pairs ok"
+          + (" (flows)" if flows else ""))
 
 
 def check_stream(path: str) -> None:
@@ -204,16 +273,23 @@ def main() -> int:
                         help="tmc-metrics-v1 JSON file (repeatable)")
     parser.add_argument("--timeline", action="append", default=[],
                         help="Chrome trace_event JSON file (repeatable)")
+    parser.add_argument("--flows", action="append", default=[],
+                        help="trace_event JSON with the per-job layer: also "
+                             "require job-class tracks, async span pairing "
+                             "and matched s/f flow events (repeatable)")
     parser.add_argument("--stream", action="append", default=[],
                         help="tmc-metrics-stream-v1 JSONL file (repeatable)")
     args = parser.parse_args()
-    if not args.metrics and not args.timeline and not args.stream:
-        parser.error(
-            "nothing to check: pass --metrics, --timeline, and/or --stream")
+    if not args.metrics and not args.timeline and not args.flows \
+            and not args.stream:
+        parser.error("nothing to check: pass --metrics, --timeline, "
+                     "--flows, and/or --stream")
     for path in args.metrics:
         check_metrics(path)
     for path in args.timeline:
         check_timeline(path)
+    for path in args.flows:
+        check_timeline(path, flows=True)
     for path in args.stream:
         check_stream(path)
     return 0

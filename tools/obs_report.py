@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Fold a tmc job-traced timeline into a per-class response breakdown.
+
+The per-job layer (serve_sustained --timeline with job tracing on) emits one
+async span group per job on its class track: a "job" envelope spanning
+arrival to completion, with "wait" (arrival to admission), "dispatch"
+(admission to first run), "run" (each scheduled turn) and "rotation" (gaps
+while descheduled by the gang rotation) nested inside it. This script pairs
+those b/e events back into intervals, groups them into job instances
+(recycled ids open temporally disjoint groups on the same track), and prints
+the per-class decomposition of mean response time:
+
+    response = wait + dispatch + service (sum of runs) + rotation
+
+The identity is checked per job against the "job" envelope duration; any
+residual beyond float-parsing noise means the tracer dropped or misfiled a
+phase, and the script exits 1. That makes the table trustworthy: every
+column is accounted-for simulated time, not a best-effort estimate.
+
+Usage:
+    python3 tools/obs_report.py timeline.json [--out report.txt]
+
+Exit 0 and a stable, golden-diffable table on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Phase names the job tracer emits inside each "job" envelope, in the order
+# the columns are printed. "run" is reported as "service".
+PHASES = ("wait", "dispatch", "run", "rotation")
+COLUMNS = ("wait", "dispatch", "service", "rotation")
+
+# Timestamps are microseconds with exact sub-us decimals; parsing them into
+# doubles loses at most ~1 ulp per value. A microsecond of slack per job is
+# orders of magnitude above that noise and far below any real phase.
+RECONCILE_TOL_US = 1.0
+
+
+def fail(message: str) -> None:
+    sys.exit(f"obs_report: {message}")
+
+
+class JobInstance:
+    """One job's envelope plus its accumulated per-phase time (us)."""
+
+    __slots__ = ("start", "phase_us")
+
+    def __init__(self, start: float) -> None:
+        self.start = start
+        self.phase_us = dict.fromkeys(PHASES, 0.0)
+
+
+def load_jobs(path: str):
+    """Returns {class_name: [(response_us, {phase: us}), ...]}."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    # The jobs process id comes from metadata, not a hardcoded constant, so
+    # the report keeps working if track kinds are ever renumbered.
+    jobs_pid = None
+    class_of_tid: dict[object, str] = {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        if e.get("name") == "process_name" \
+                and e.get("args", {}).get("name") == "jobs":
+            jobs_pid = e.get("pid")
+    if jobs_pid is None:
+        fail(f"{path}: no 'jobs' process -- run with --timeline and a "
+             f"job-classed workload")
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name" \
+                and e.get("pid") == jobs_pid:
+            name = e.get("args", {}).get("name", "")
+            class_of_tid[e.get("tid")] = name.removeprefix("class:")
+
+    # Pair b/e events into intervals per (tid, id). Events appear in
+    # emission order, so a per-key stack reconstructs the nesting exactly;
+    # a closing "job" finalizes the current instance on that key (recycled
+    # ids then open a fresh one).
+    per_class: dict[str, list] = {c: [] for c in class_of_tid.values()}
+    open_spans: dict[tuple, list] = {}
+    current: dict[tuple, JobInstance] = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("b", "e") or e.get("pid") != jobs_pid:
+            continue
+        key = (e.get("tid"), e.get("id"))
+        name = e.get("name", "")
+        if ph == "b":
+            if name == "job":
+                if key in current:
+                    fail(f"{path}: nested 'job' envelope on track/id {key}")
+                current[key] = JobInstance(e["ts"])
+            open_spans.setdefault(key, []).append((name, e["ts"]))
+        else:
+            stack = open_spans.get(key)
+            if not stack or stack[-1][0] != name:
+                fail(f"{path}: async end {name!r} without matching begin "
+                     f"on track/id {key}")
+            _, start = stack.pop()
+            inst = current.get(key)
+            if inst is None:
+                fail(f"{path}: phase {name!r} outside a 'job' envelope "
+                     f"on track/id {key}")
+            if name == "job":
+                response_us = e["ts"] - inst.start
+                total = sum(inst.phase_us.values())
+                if abs(total - response_us) > RECONCILE_TOL_US:
+                    fail(f"{path}: job on track/id {key} does not "
+                         f"reconcile: phases sum to {total:.3f} us, "
+                         f"envelope is {response_us:.3f} us")
+                cls = class_of_tid.get(key[0], "?")
+                per_class.setdefault(cls, []).append(
+                    (response_us, inst.phase_us))
+                del current[key]
+            elif name in PHASES:
+                inst.phase_us[name] += e["ts"] - start
+            else:
+                fail(f"{path}: unknown job phase {name!r}")
+    leaked = [k for k, v in open_spans.items() if v]
+    if leaked:
+        fail(f"{path}: {len(leaked)} spans still open at end of trace "
+             f"(first: {sorted(leaked)[:1]})")
+    return per_class
+
+
+def render(per_class) -> str:
+    headers = ["class", "jobs", *[f"{c} (ms)" for c in COLUMNS],
+               "response (ms)"]
+    rows = [headers]
+    for cls in sorted(per_class):
+        jobs = per_class[cls]
+        if not jobs:
+            continue
+        n = len(jobs)
+        means = [sum(j[1][p] for j in jobs) / n / 1e3 for p in PHASES]
+        response = sum(j[0] for j in jobs) / n / 1e3
+        rows.append([cls, str(n), *[f"{m:.3f}" for m in means],
+                     f"{response:.3f}"])
+    if len(rows) == 1:
+        fail("no completed jobs in trace")
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    out = ["obs_report: per-class mean response decomposition "
+           "(wait + dispatch + service + rotation = response)", ""]
+    for r in rows:
+        out.append("  ".join(
+            c.ljust(w) if i == 0 else c.rjust(w)
+            for i, (c, w) in enumerate(zip(r, widths))).rstrip())
+    total = sum(len(v) for v in per_class.values())
+    out.append("")
+    out.append(f"{total} jobs reconciled within {RECONCILE_TOL_US:g} us")
+    return "\n".join(out) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("timeline", help="Chrome trace_event JSON with the "
+                                         "per-job tracing layer")
+    parser.add_argument("--out", help="write the table here instead of "
+                                      "stdout")
+    args = parser.parse_args()
+    table = render(load_jobs(args.timeline))
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(table)
+    else:
+        sys.stdout.write(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
