@@ -37,7 +37,8 @@ core::OpenArrivalConfig make_config(sched::PolicyKind kind,
 
 int main(int argc, char** argv) {
   using namespace tmc;
-  const auto options = bench::parse_ablation_options(argc, argv);
+  const auto options =
+      bench::parse_ablation_options(argc, argv, /*fault_flags=*/true);
   bench::ObsSession obs(options.obs);
   std::cout << "Ablation A10: open Poisson arrivals, matmul mix (75% small / "
                "25% large),\nmean response over 96 measured jobs (16 warm-up) "
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
       // The three seeded replications of one stream run in parallel;
       // a nullopt replication means the stream outran the policy.
       auto config = make_config(kinds[k], rate, /*seed=*/1);
+      config.machine.faults = options.faults;
       obs.attach(config.machine, first_cell);
       first_cell = false;
       const auto replications =

@@ -1,0 +1,130 @@
+// Ablation A12: scheduling policy under failures.
+//
+// The paper compares its policies on perfectly reliable hardware; a real
+// multicomputer crashes. This bench serves a sustained two-class stream
+// through the static, hybrid and adaptive policies while sweeping the
+// per-node MTBF from "reliable" down to one failure per node-minute
+// (exponential repair, heartbeat detection, per-job restart budgets), and
+// reports goodput, losses and the response statistics of the jobs that
+// survived. The headline is the ordering inversion: the policy ranking on
+// reliable hardware does not survive short MTBFs, because a crash's blast
+// radius (how many co-resident jobs one dead node kills) differs by policy.
+//
+// All fault randomness is seeded per machine (fixed --fault-seed), so the
+// table is bit-identical at any --threads, and is a ctest golden.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/serve.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
+
+namespace {
+
+using namespace tmc;
+
+/// Two-class mix: short interactive jobs and heavier batch work, enough to
+/// make the policies disagree without the full 3-class serving mix.
+std::vector<workload::JobClass> mix() {
+  workload::JobClass small;
+  small.name = "small";
+  small.weight = 0.75;
+  small.service.kind = workload::ServiceModel::Kind::kExponential;
+  small.service.mean_s = 0.08;
+  workload::JobClass large;
+  large.name = "large";
+  large.weight = 0.25;
+  large.service.kind = workload::ServiceModel::Kind::kWeibull;
+  large.service.mean_s = 0.5;
+  large.service.shape = 0.7;
+  return {small, large};
+}
+
+struct Point {
+  const char* policy;
+  sched::PolicyKind kind;
+  double mtbf_s;  // per-node mean time between failures; 0 = reliable
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options =
+      bench::parse_ablation_options(argc, argv, /*fault_flags=*/true);
+  std::cout << "Ablation A12: scheduling policies under node failures\n"
+               "(16-node mesh, partition size 4, 3000 jobs at 25/s, "
+               "exponential repair mttr=2s,\nheartbeat 0.25s, restart budget "
+               "3; losses excluded from response stats)\n";
+
+  const struct {
+    const char* name;
+    sched::PolicyKind kind;
+  } policies[] = {{"static", sched::PolicyKind::kStatic},
+                  {"hybrid", sched::PolicyKind::kHybrid},
+                  {"adaptive", sched::PolicyKind::kAdaptiveStatic}};
+  const double mtbfs[] = {0.0, 1000.0, 250.0, 60.0};
+
+  std::vector<Point> points;
+  for (const auto& policy : policies) {
+    for (const double mtbf : mtbfs) {
+      points.push_back({policy.name, policy.kind, mtbf});
+    }
+  }
+
+  core::SweepRunner runner(options.threads);
+  std::size_t dots = 0;
+  struct Cell {
+    core::ServeResult result;
+  };
+  const auto cells = runner.map(
+      points.size(),
+      [&](std::size_t i) {
+        const Point& pt = points[i];
+        core::ServeConfig config;
+        config.machine.topology = net::TopologyKind::kMesh;
+        config.machine.policy.kind = pt.kind;
+        config.machine.policy.partition_size = 4;
+        // Base the fault knobs on the CLI config so --fault-mttr and
+        // friends tune the sweep, but the node rate is the swept variable
+        // and the seed stays fixed per machine for golden stability.
+        config.machine.faults = options.faults;
+        config.machine.faults.node_rate = pt.mtbf_s > 0.0 ? 1.0 / pt.mtbf_s
+                                                          : 0.0;
+        config.process.rate_per_s = 25.0;
+        config.classes = mix();
+        config.total_jobs = 3'000;
+        config.warmup_jobs = 300;
+        config.seed = 1;
+        return Cell{core::run_sustained(config)};
+      },
+      [&](std::size_t done, std::size_t) {
+        for (; dots < done; ++dots) std::cout << "." << std::flush;
+      });
+  std::cout << "\n";
+
+  core::Table table({"policy", "mtbf/node (s)", "admitted", "ok", "lost",
+                     "shed", "restarts", "crashes", "mrt (s)", "p99 (s)"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    const core::ServeResult& r = cells[i].result;
+    table.add_row(
+        {pt.policy, pt.mtbf_s > 0.0 ? core::fmt_ratio(pt.mtbf_s) : "inf",
+         std::to_string(r.admitted),
+         std::to_string(r.completed - r.jobs_lost),
+         std::to_string(r.jobs_lost), std::to_string(r.shed),
+         std::to_string(r.machine.faults.job_restarts),
+         std::to_string(r.machine.faults.crashes),
+         core::fmt_seconds(r.response_s.mean()),
+         core::fmt_seconds(r.response_q.p99.value())});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: on reliable hardware the response ordering "
+               "matches A10; as MTBF\nshrinks the ranking INVERTS -- policies "
+               "that co-locate more jobs per node pay a\nlarger blast radius "
+               "per crash (more restarts and losses), while fixed partitions\n"
+               "contain each failure, so the reliable-hardware winner is not "
+               "the faulty-hardware\nwinner.\n";
+  return 0;
+}

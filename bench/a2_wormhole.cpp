@@ -19,11 +19,13 @@ namespace {
 using namespace tmc;
 
 double run_point(net::TopologyKind topology, bool wormhole,
-                 bench::ObsSession& obs, bool representative) {
+                 const fault::FaultConfig& faults, bench::ObsSession& obs,
+                 bool representative) {
   auto config =
       core::figure_point(workload::App::kMatMul, sched::SoftwareArch::kFixed,
                          sched::PolicyKind::kTimeSharing, 16, topology);
   config.machine.wormhole = wormhole;
+  config.machine.faults = faults;
   obs.attach(config.machine, representative);
   return core::run_experiment(config).mean_response_s;
 }
@@ -31,7 +33,8 @@ double run_point(net::TopologyKind topology, bool wormhole,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto options = bench::parse_ablation_options(argc, argv);
+  const auto options =
+      bench::parse_ablation_options(argc, argv, /*fault_flags=*/true);
   bench::ObsSession obs(options.obs);
   std::cout << "Ablation A2: store-and-forward vs wormhole routing\n"
                "(matmul batch, fixed architecture, pure time-sharing on one "
@@ -47,7 +50,8 @@ int main(int argc, char** argv) {
       [&](std::size_t i) {
         // The observed run is the wormhole mesh (the ablation's headline
         // configuration): the last sweep point.
-        return run_point(topologies[i / 2], /*wormhole=*/i % 2 == 1, obs,
+        return run_point(topologies[i / 2], /*wormhole=*/i % 2 == 1,
+                         options.faults, obs,
                          /*representative=*/i == topologies.size() * 2 - 1);
       },
       [&](std::size_t done, std::size_t) {

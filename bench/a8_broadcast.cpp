@@ -36,7 +36,8 @@ core::ExperimentConfig config_for(sched::PolicyKind kind, int partition,
 int main(int argc, char** argv) {
   using namespace tmc;
   using Broadcast = workload::MatMulParams::Broadcast;
-  const auto options = bench::parse_ablation_options(argc, argv);
+  const auto options =
+      bench::parse_ablation_options(argc, argv, /*fault_flags=*/true);
   bench::ObsSession obs(options.obs);
   std::cout << "Ablation A8: point-to-point vs binomial-tree work "
                "distribution\n(matmul batch, adaptive architecture, mesh "
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
       [&](std::size_t i) {
         const auto& pt = points[i];
         auto config = config_for(pt.kind, pt.partition, pt.bcast);
+        config.machine.faults = options.faults;
         obs.attach(config.machine, /*representative=*/i == 0);
         return core::run_experiment(config).mean_response_s;
       },

@@ -203,6 +203,16 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    fault::FaultConfig rejected_faults;
+    bool fault_seen = false;
+    if (fault::parse_cli_flag(argc, argv, i, rejected_faults, fault_seen,
+                              obs_error) ||
+        fault_seen) {
+      std::cerr << "fig_scaling: fault-injection flags only apply to benches "
+                   "wired for them (fig3-6, a2, a8, a10, a12_faults, "
+                   "serve_sustained)\n";
+      return 2;
+    }
     const std::string arg = argv[i];
     auto value = [&](const std::string& prefix) -> std::optional<std::string> {
       if (arg.rfind(prefix + "=", 0) == 0) return arg.substr(prefix.size() + 1);

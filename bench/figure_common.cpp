@@ -12,11 +12,12 @@ namespace tmc::bench {
 namespace {
 
 [[noreturn]] void usage(const char* argv0, bool figure_flags, bool obs_flags,
-                        int exit_code) {
+                        bool fault_flags, int exit_code) {
   auto& os = exit_code == 0 ? std::cout : std::cerr;
   os << "usage: " << argv0 << " [--threads N]";
   if (figure_flags) os << " [--csv] [--with-16h] [--quick]";
   if (obs_flags) os << " [--metrics[=PATH]] [--timeline=PATH]";
+  if (fault_flags) os << " [--fault-rate R]";
   os << " [--help]\n"
      << "  --threads N  farm sweep points over N worker threads\n"
      << "               (0 = hardware thread count; output is identical\n"
@@ -29,12 +30,13 @@ namespace {
        << "               partition sizes 1/4/16) for regression tests\n";
   }
   if (obs_flags) os << obs::cli_help();
+  if (fault_flags) os << fault::cli_help();
   std::exit(exit_code);
 }
 
 int parse_thread_value(const char* argv0, bool figure_flags, bool obs_flags,
-                       const char* value) {
-  if (value == nullptr) usage(argv0, figure_flags, obs_flags, 2);
+                       bool fault_flags, const char* value) {
+  if (value == nullptr) usage(argv0, figure_flags, obs_flags, fault_flags, 2);
   char* end = nullptr;
   const long parsed = std::strtol(value, &end, 10);
   if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) {
@@ -46,16 +48,28 @@ int parse_thread_value(const char* argv0, bool figure_flags, bool obs_flags,
 }
 
 /// Shared strict parser: `figure_flags` enables --csv/--with-16h,
-/// `obs_flags` the shared observability flags.
+/// `obs_flags` the shared observability flags, `fault_flags` the --fault-*
+/// family (parsed either way so unsupporting benches reject them with a
+/// targeted message rather than "unknown option").
 FigureOptions parse_options(int argc, char** argv, bool figure_flags,
-                            bool obs_flags) {
+                            bool obs_flags, bool fault_flags) {
   FigureOptions options;
+  bool faults_seen = false;
   for (int i = 1; i < argc; ++i) {
     std::string obs_error;
     if (obs_flags &&
         obs::parse_cli_flag(argc, argv, i, options.obs, obs_error)) {
       if (!obs_error.empty()) {
         std::cerr << argv[0] << ": " << obs_error << "\n";
+        std::exit(2);
+      }
+      continue;
+    }
+    std::string fault_error;
+    if (fault::parse_cli_flag(argc, argv, i, options.faults, faults_seen,
+                              fault_error)) {
+      if (!fault_error.empty()) {
+        std::cerr << argv[0] << ": " << fault_error << "\n";
         std::exit(2);
       }
       continue;
@@ -69,20 +83,26 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
       options.partition_sizes = {1, 4, 16};
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       options.threads = parse_thread_value(
-          argv[0], figure_flags, obs_flags,
+          argv[0], figure_flags, obs_flags, fault_flags,
           i + 1 < argc ? argv[i + 1] : nullptr);
       ++i;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      usage(argv[0], figure_flags, obs_flags, 0);
+      usage(argv[0], figure_flags, obs_flags, fault_flags, 0);
     } else {
       std::cerr << argv[0] << ": unknown option '" << argv[i] << "'\n";
-      usage(argv[0], figure_flags, obs_flags, 2);
+      usage(argv[0], figure_flags, obs_flags, fault_flags, 2);
     }
   }
   if (!options.obs.slo.empty()) {
     std::cerr << argv[0] << ": --slo only applies to the serving harness "
                             "(serve_sustained)\n";
+    std::exit(2);
+  }
+  if (faults_seen && !fault_flags) {
+    std::cerr << argv[0] << ": fault-injection flags only apply to benches "
+                            "wired for them (fig3-6, a2, a8, a10, a12_faults, "
+                            "serve_sustained)\n";
     std::exit(2);
   }
   return options;
@@ -95,18 +115,21 @@ constexpr net::TopologyKind kAllTopologies[] = {
 }  // namespace
 
 FigureOptions parse_figure_options(int argc, char** argv) {
-  return parse_options(argc, argv, /*figure_flags=*/true, /*obs_flags=*/true);
+  return parse_options(argc, argv, /*figure_flags=*/true, /*obs_flags=*/true,
+                       /*fault_flags=*/true);
 }
 
 int parse_threads_only(int argc, char** argv) {
-  return parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/false)
+  return parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/false,
+                       /*fault_flags=*/false)
       .threads;
 }
 
-AblationOptions parse_ablation_options(int argc, char** argv) {
-  const FigureOptions parsed =
-      parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/true);
-  return AblationOptions{parsed.threads, parsed.obs};
+AblationOptions parse_ablation_options(int argc, char** argv,
+                                       bool fault_flags) {
+  const FigureOptions parsed = parse_options(
+      argc, argv, /*figure_flags=*/false, /*obs_flags=*/true, fault_flags);
+  return AblationOptions{parsed.threads, parsed.obs, parsed.faults};
 }
 
 std::vector<FigureRow> run_figure_sweep(workload::App app,
@@ -160,6 +183,7 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
         auto static_config = core::figure_point(
             app, arch, sched::PolicyKind::kStatic, p, topology);
         apply_quick(static_config);
+        static_config.machine.faults = options.faults;
         // Representative run for --metrics/--timeline: the last sweep point
         // (largest partition, last topology) -- p=1 machines have no links,
         // so the first point would leave the link instruments empty.
@@ -176,6 +200,7 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
                                        : sched::PolicyKind::kHybrid;
         auto ts_config = core::figure_point(app, arch, ts_policy, p, topology);
         apply_quick(ts_config);
+        ts_config.machine.faults = options.faults;
         const auto ts_result = core::run_experiment(ts_config);
         row.ts_mrt = ts_result.mean_response_s;
         return row;

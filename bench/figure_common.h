@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "fault/fault.h"
 #include "obs/hub.h"
 
 namespace tmc::bench {
@@ -33,6 +34,9 @@ struct FigureOptions {
   std::vector<int> partition_sizes{1, 2, 4, 8, 16};
   /// Shared observability flags (--metrics / --timeline / --sample-interval).
   obs::Options obs;
+  /// Fault-injection knobs (--fault-rate etc.; all zero = reliable machine,
+  /// byte-identical to a run without the flags).
+  fault::FaultConfig faults{};
 };
 
 /// Parses --csv / --with-16h / --quick / --threads N plus the shared
@@ -49,8 +53,12 @@ struct FigureOptions {
 struct AblationOptions {
   int threads = 1;
   obs::Options obs;
+  fault::FaultConfig faults{};
 };
-[[nodiscard]] AblationOptions parse_ablation_options(int argc, char** argv);
+/// `fault_flags` admits the --fault-* family; benches that leave it false
+/// reject those flags with a targeted diagnostic (exit 2), matching --slo.
+[[nodiscard]] AblationOptions parse_ablation_options(int argc, char** argv,
+                                                     bool fault_flags = false);
 
 /// Owns the optional hub for one bench invocation. A sweep runs many
 /// simulations (often in parallel); exactly one -- the representative point

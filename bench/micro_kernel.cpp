@@ -11,6 +11,7 @@
 
 #include "core/experiment.h"
 #include "mem/mmu.h"
+#include "net/network.h"
 #include "net/routing.h"
 #include "obs/job_trace.h"
 #include "obs/metrics.h"
@@ -135,6 +136,41 @@ void BM_SimulationEventChainNullObs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
 }
 BENCHMARK(BM_SimulationEventChainNullObs)->Arg(10000);
+
+void BM_SimulationEventChainNullFault(benchmark::State& state) {
+  // The event chain with the fault-plane hooks a reliable machine pays:
+  // every hot path the fault subsystem touches (message injection, link
+  // traversal, delivery liveness) guards on one FaultPlane pointer that is
+  // null when FaultConfig::enabled() is false, so the disabled cost is
+  // three predictable not-taken branches per event -- the densest any real
+  // event gets. perf_gate.py pairs this against BM_SimulationEventChain
+  // (--pair, 3% tolerance) so fault injection stays free when off.
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  // volatile load keeps the handle opaque: the compiler must emit the null
+  // checks instead of folding them away, exactly like a component whose
+  // fault_ member was never set.
+  static net::FaultPlane* volatile null_fault = nullptr;
+  net::FaultPlane* fault = null_fault;
+  std::uint64_t guards = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t remaining = depth;
+    std::function<void()> chain = [&] {
+      if (fault != nullptr && !fault->node_alive(0)) ++guards;    // injection
+      if (fault != nullptr && !fault->link_usable(0)) ++guards;   // traversal
+      if (fault != nullptr && !fault->node_alive(1)) ++guards;    // delivery
+      if (--remaining > 0) {
+        sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+      }
+    };
+    sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+    benchmark::DoNotOptimize(guards);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_SimulationEventChainNullFault)->Arg(10000);
 
 void BM_UniqueFunctionInlineRoundTrip(benchmark::State& state) {
   // A 32-byte capture fits the small-buffer storage: construct, move (the

@@ -46,6 +46,7 @@ struct ServeOptions {
   std::string json_path;
   bool rss_check = false;
   obs::Options obs;
+  fault::FaultConfig faults;
 };
 
 [[noreturn]] void usage(int code) {
@@ -68,7 +69,7 @@ struct ServeOptions {
         "  --json PATH     write a Google-Benchmark-shaped report\n"
         "  --rss-check     fail (exit 1) unless resident memory is flat\n"
         "                  from 25% of the run to the end (needs --threads 1)\n"
-     << obs::cli_help();
+     << obs::cli_help() << fault::cli_help();
   std::exit(code);
 }
 
@@ -113,6 +114,12 @@ ServeOptions parse(int argc, char** argv) {
     } else if (arg == "--rss-check") {
       opt.rss_check = true;
     } else if (obs::parse_cli_flag(argc, argv, i, opt.obs, obs_error)) {
+      if (!obs_error.empty()) {
+        std::cerr << "serve_sustained: " << obs_error << "\n";
+        usage(2);
+      }
+    } else if (bool seen = false; fault::parse_cli_flag(
+                   argc, argv, i, opt.faults, seen, obs_error)) {
       if (!obs_error.empty()) {
         std::cerr << "serve_sustained: " << obs_error << "\n";
         usage(2);
@@ -272,6 +279,7 @@ int main(int argc, char** argv) {
     config.window_s = opt.window_s;
     config.seed = opt.seed;
     config.slo_targets = opt.obs.slo;
+    config.machine.faults = opt.faults;
     // RSS checkpoints: 20 per run, read by the wall-clock side only (the
     // deterministic table never sees them).
     config.checkpoint_every = std::max<std::uint64_t>(opt.jobs / 20, 1);
@@ -346,6 +354,25 @@ int main(int argc, char** argv) {
     std::cout << "\nSLO attainment (measured completions; burn = miss rate "
                  "over allowed miss rate):\n\n";
     slo_table.print(std::cout);
+  }
+
+  // --- fault episode block (only with fault injection on) ---------------
+  if (opt.faults.enabled()) {
+    core::Table fault_table({"policy", "crashes", "repairs", "mtbf (s)",
+                             "mttr (s)", "retries", "msgs lost", "restarts",
+                             "jobs lost"});
+    for (const PolicyRun& run : runs) {
+      const fault::FaultStats& f = run.result.machine.faults;
+      fault_table.add_row(
+          {run.name, fmt_count(f.crashes), fmt_count(f.repairs),
+           core::fmt_seconds(f.mtbf_observed_s),
+           core::fmt_seconds(f.mttr_observed_s), fmt_count(f.retries),
+           fmt_count(f.messages_lost), fmt_count(f.job_restarts),
+           fmt_count(run.result.jobs_lost)});
+    }
+    std::cout << "\nFault episodes (jobs lost = restart budget exhausted; "
+                 "losses are excluded\nfrom the response statistics above):\n\n";
+    fault_table.print(std::cout);
   }
 
   core::Table volume({"policy", "completed", "sim jobs/s", "peak live jobs",

@@ -77,6 +77,46 @@ Multicomputer::Multicomputer(MachineConfig config)
         std::make_unique<sched::SuperScheduler>(sim_, ps_ptrs, cfg_.policy);
   }
 
+  if (cfg_.faults.enabled()) {
+    fault_mgr_ =
+        std::make_unique<fault::FaultManager>(sim_, topo_, cfg_.faults);
+    network_->set_fault_plane(fault_mgr_.get());
+    comm_->enable_faults(
+        fault_mgr_.get(), cfg_.faults.retry_budget,
+        sim::SimTime::nanoseconds(
+            static_cast<std::int64_t>(cfg_.faults.retry_backoff_s * 1e9)),
+        [fm = fault_mgr_.get()] { return fm->jitter(); },
+        [this](sched::JobId job) {
+          // Deferred one event: the retry budget can exhaust deep inside a
+          // delivery stack, and the abort tears that very stack's objects
+          // down. on_job_comm_failure tolerates an already-gone job.
+          sim_.schedule(sim::SimTime::zero(), [this, job] {
+            scheduler_->on_job_comm_failure(job);
+          });
+        });
+    scheduler_->enable_fault_mode(cfg_.faults.restart_budget);
+    fault::FaultCallbacks cb;
+    cb.node_crash = [this](net::NodeId n) {
+      cpus_[static_cast<std::size_t>(n)].crash();
+    };
+    cb.node_repair = [this](net::NodeId n) {
+      cpus_[static_cast<std::size_t>(n)].restore();
+      network_->kick();  // traffic stalled behind the dead router moves again
+    };
+    cb.node_detected = [this](net::NodeId n, bool down) {
+      if (down) {
+        scheduler_->on_node_down(n);
+      } else {
+        scheduler_->on_node_up(n);
+      }
+    };
+    cb.link_changed = [this](net::LinkId, bool up) {
+      if (up) network_->kick();
+    };
+    fault_mgr_->set_callbacks(std::move(cb));
+    fault_mgr_->start();
+  }
+
   if (cfg_.obs != nullptr) wire_observability();
 }
 
@@ -115,6 +155,35 @@ void Multicomputer::wire_observability() {
               [ps] { return static_cast<double>(ps->jobs_completed()); });
     reg.probe(prefix + ".gang_switches",
               [ps] { return static_cast<double>(ps->gang_switches()); });
+  }
+
+  // --- fault subsystem ----------------------------------------------------
+  if (fault_mgr_ != nullptr) {
+    fault::FaultManager* fm = fault_mgr_.get();
+    reg.probe("fault.crashes",
+              [fm] { return static_cast<double>(fm->stats().crashes); });
+    reg.probe("fault.repairs",
+              [fm] { return static_cast<double>(fm->stats().repairs); });
+    reg.probe("fault.link_downs",
+              [fm] { return static_cast<double>(fm->stats().link_downs); });
+    reg.probe("fault.drops",
+              [fm] { return static_cast<double>(fm->stats().drops); });
+    reg.probe("fault.alive_nodes",
+              [fm] { return static_cast<double>(fm->alive_nodes()); });
+    reg.probe("fault.mtbf_observed_s",
+              [fm] { return fm->stats().mtbf_observed_s; });
+    reg.probe("fault.mttr_observed_s",
+              [fm] { return fm->stats().mttr_observed_s; });
+    reg.probe("fault.retries",
+              [this] { return static_cast<double>(comm_->retries()); });
+    reg.probe("fault.messages_lost",
+              [this] { return static_cast<double>(comm_->messages_lost()); });
+    reg.probe("fault.job_restarts", [this] {
+      return static_cast<double>(scheduler_->job_restarts());
+    });
+    reg.probe("fault.jobs_failed", [this] {
+      return static_cast<double>(scheduler_->jobs_failed());
+    });
   }
 
   // --- communication system ---------------------------------------------
@@ -273,6 +342,12 @@ void Multicomputer::wire_observability() {
 
   trace_track_ = names->add_track(obs::TrackKind::kGlobal, "trace");
 
+  if (fault_mgr_ != nullptr) {
+    const obs::TrackId fault_track =
+        names->add_track(obs::TrackKind::kGlobal, "faults");
+    fault_mgr_->set_timeline(tl, fault_track);
+  }
+
   // --- per-job lifecycle spans and cross-node flow arrows -----------------
   // Only when the timeline is *recording*: job spans and flow events are
   // per-event data, far too voluminous for the registry/stream-only paths,
@@ -342,28 +417,50 @@ std::uint64_t Multicomputer::run_to_completion() {
       cfg_.obs != nullptr && cfg_.obs->sampler().active()
           ? &cfg_.obs->sampler()
           : nullptr;
+  // The fault processes rearm themselves forever, so a faulty machine never
+  // goes idle on its own: once every job is complete and only fault-process
+  // bookkeeping remains in the queue, the run is over. Stale resend events
+  // (if any) outnumber the fault bookkeeping and drain first, keeping the
+  // stop instant deterministic.
+  const auto fault_only_left = [this] {
+    return fault_mgr_ != nullptr && scheduler_->all_done() &&
+           sim_.pending_events() <= fault_mgr_->pending_events();
+  };
   if (sampler != nullptr) {
     // Same loop with sample instants interleaved: the sampler records every
     // channel at each interval tick strictly before the next event fires,
     // and never schedules events itself, so the event sequence -- and with
     // it every golden table -- is identical to the unsampled loop below.
     while (!sim_.idle() && sim_.next_event_time() <= cfg_.max_sim_time) {
+      if (fault_only_left()) break;
       sampler->advance_to(sim_.next_event_time());
       if (!sim_.step()) break;
       ++fired;
     }
   } else {
-    while (sim_.step_until(cfg_.max_sim_time)) {
+    while (!fault_only_left() && sim_.step_until(cfg_.max_sim_time)) {
       ++fired;
     }
   }
   if (cfg_.obs != nullptr) cfg_.obs->finish_run(sim_.now());
   if (!scheduler_->all_done()) {
     const char* why = sim_.idle() ? "modelled deadlock" : "watchdog expired";
-    throw std::runtime_error(
+    std::string detail =
         std::string("simulation ended with unfinished jobs (") + why +
         "): " + std::to_string(scheduler_->completed()) + "/" +
-        std::to_string(scheduler_->submitted()) + " complete");
+        std::to_string(scheduler_->submitted()) + " complete, " +
+        std::to_string(scheduler_->queued_jobs()) + " queued, t=" +
+        std::to_string(sim_.now().to_seconds()) + "s, " +
+        std::to_string(sim_.pending_events()) + " pending events, " +
+        std::to_string(network_->parked_messages()) + " parked messages";
+    std::uint64_t mem_waiters = 0;
+    for (const auto& mmu : mmus_) mem_waiters += mmu.pending_requests();
+    detail += ", " + std::to_string(mem_waiters) + " memory waiters";
+    if (fault_mgr_ != nullptr) {
+      detail += ", " + std::to_string(fault_mgr_->alive_nodes()) + "/" +
+                std::to_string(fault_mgr_->node_count()) + " nodes alive";
+    }
+    throw std::runtime_error(detail);
   }
   return fired;
 }
@@ -390,6 +487,13 @@ MachineStats Multicomputer::stats() {
   if (const auto* sf =
           dynamic_cast<const net::StoreForwardNetwork*>(network_.get())) {
     s.max_link_utilization = sf->max_link_utilization(sim_.now());
+  }
+  if (fault_mgr_ != nullptr) {
+    s.faults = fault_mgr_->stats();
+    s.faults.retries = comm_->retries();
+    s.faults.messages_lost = comm_->messages_lost();
+    s.faults.job_restarts = scheduler_->job_restarts();
+    s.faults.jobs_failed = scheduler_->jobs_failed();
   }
   return s;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/node_array.h"
+#include "fault/fault.h"
 #include "mem/mmu.h"
 #include "net/network.h"
 #include "net/topology.h"
@@ -57,6 +58,10 @@ struct MachineConfig {
   node::CommSystem::Params comm{};
   sched::PartitionScheduler::Params partition_sched{};
   sched::PolicyConfig policy{};
+  /// Fault-injection processes (all rates zero = perfectly reliable
+  /// hardware; the fault subsystem is then not even instantiated and every
+  /// hook is one untaken null-pointer branch).
+  fault::FaultConfig faults{};
 
   /// Optional observability hub (owned by the caller -- tmc_cli or a bench
   /// harness). When set, the constructor registers metric probes and
@@ -92,6 +97,10 @@ struct MachineStats {
   std::uint64_t context_switches = 0;
   std::uint64_t high_preemptions = 0;
   std::uint64_t quantum_expiries = 0;
+  /// Fault subsystem counters (all zero on reliable runs), merged from the
+  /// fault manager (crashes, repairs, MTBF/MTTR), the comm system (retries,
+  /// lost messages) and the scheduler (restarts, failed jobs).
+  fault::FaultStats faults{};
 };
 
 class Multicomputer {
@@ -111,6 +120,10 @@ class Multicomputer {
   }
   [[nodiscard]] node::CommSystem& comm() { return *comm_; }
   [[nodiscard]] net::Network& network() { return *network_; }
+  /// The fault manager, or nullptr on a reliable (fault-free) machine.
+  [[nodiscard]] fault::FaultManager* fault_manager() {
+    return fault_mgr_.get();
+  }
   [[nodiscard]] const net::Topology& topology() const { return topo_; }
   [[nodiscard]] node::Transputer& cpu(net::NodeId node) {
     return cpus_[static_cast<std::size_t>(node)];
@@ -154,6 +167,9 @@ class Multicomputer {
   std::unique_ptr<node::CommSystem> comm_;
   std::vector<std::unique_ptr<sched::PartitionScheduler>> partition_scheds_;
   std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Created only when cfg_.faults.enabled(); drives the failure/repair
+  /// processes and answers the transport's liveness queries.
+  std::unique_ptr<fault::FaultManager> fault_mgr_;
   /// Per-job lifecycle tracer, created only when a timeline is recording
   /// (see wire_observability); the schedulers hold a pointer to it.
   std::unique_ptr<obs::JobTracer> job_tracer_;

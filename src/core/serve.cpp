@@ -1,5 +1,6 @@
 #include "core/serve.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <stdexcept>
@@ -130,7 +131,16 @@ ServeResult run_sustained(const ServeConfig& config) {
     ++cls.completed;
     ++result.completed;
     completions.record(machine.sim().now());
-    if (meta[slot].measured) {
+    // A job that burned through its restart budget leaves as a loss: the
+    // slot retires normally (completed covers it, keeping the id arena and
+    // the completed == admitted invariant intact) but its "response time"
+    // describes abandonment, not service, so it never enters the statistics.
+    const bool failed = job.failed();
+    if (failed) {
+      ++cls.lost;
+      ++result.jobs_lost;
+    }
+    if (meta[slot].measured && !failed) {
       const double response_s = job.response_time().to_seconds();
       const double demand_s = job.spec().demand_estimate.to_seconds();
       const double stretch = response_s / demand_s;
@@ -186,6 +196,18 @@ ServeResult run_sustained(const ServeConfig& config) {
     // retirement just ran so it is current), not the scheduler's central
     // queue: time-shared policies park arrivals inside partitions, so the
     // central queue can stay empty while memory grows.
+    // Under faults, shed against *surviving* capacity: a machine that lost
+    // a quarter of its nodes can drain proportionally less backlog, and
+    // holding admission at the full-machine bound just converts the episode
+    // into an unbounded queue. Fault-free runs never enter this branch, so
+    // their admission decisions are bit-identical to before.
+    if (fault::FaultManager* fm = machine.fault_manager();
+        fm != nullptr && config.max_backlog != 0) {
+      const auto alive = static_cast<std::size_t>(fm->alive_nodes());
+      const auto total = static_cast<std::size_t>(fm->node_count());
+      admission.set_max_backlog(
+          std::max<std::size_t>(1, config.max_backlog * alive / total));
+    }
     if (admission.admit(live, arrival.job_class)) {
       sched::JobId id;
       if (free_ids.empty()) {

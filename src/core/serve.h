@@ -72,6 +72,11 @@ struct ClassServeStats {
   std::uint64_t offered = 0;
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
+  /// Completions that were fault aborts past their restart budget: the job
+  /// left the system without finishing its work. Counted inside
+  /// `completed` (the slot is retired either way) but excluded from the
+  /// response statistics, which only describe successful work.
+  std::uint64_t lost = 0;
   std::uint64_t measured = 0;  // completions contributing to stats below
   sim::OnlineStats response_s;        // mean response time (the paper's MRT)
   sim::OnlineStats stretch;           // response / service demand (fairness)
@@ -91,6 +96,9 @@ struct ServeResult {
   std::uint64_t admitted = 0;
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
+  /// Jobs that exhausted their restart budget under faults (summed over
+  /// classes; zero on reliable machines).
+  std::uint64_t jobs_lost = 0;
   std::uint64_t measured = 0;
   sim::OnlineStats response_s;   // all measured classes pooled
   sim::OnlineStats stretch;

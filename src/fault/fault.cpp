@@ -1,0 +1,377 @@
+#include "fault/fault.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+namespace tmc::fault {
+namespace {
+
+[[nodiscard]] sim::SimTime from_s(double seconds) {
+  return sim::SimTime::nanoseconds(static_cast<std::int64_t>(seconds * 1e9));
+}
+
+/// Splits "--flag=value" / "--flag value" style arguments (the obs layer's
+/// convention): returns true if `arg` names `flag`, with `value` filled and
+/// `has_value` set when the '=' form carried one inline.
+bool match_flag(std::string_view arg, std::string_view flag, bool& has_value,
+                std::string_view& value) {
+  if (arg == flag) {
+    has_value = false;
+    return true;
+  }
+  if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    has_value = true;
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+bool take_value(std::string_view flag, int argc, char** argv, int& i,
+                bool has_inline, std::string_view inline_value,
+                std::string& out, std::string& error) {
+  if (has_inline) {
+    out.assign(inline_value);
+    return true;
+  }
+  if (i + 1 >= argc) {
+    error = std::string(flag) + " requires a value";
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+bool parse_double(std::string_view flag, const std::string& text, double min,
+                  double* dst, std::string& error) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(v >= min)) {
+    error = std::string(flag) + ": expected a number >= " +
+            std::to_string(min) + ", got '" + text + "'";
+    return false;
+  }
+  *dst = v;
+  return true;
+}
+
+bool parse_int(std::string_view flag, const std::string& text, long min,
+               long* dst, std::string& error) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < min) {
+    error = std::string(flag) + ": expected an integer >= " +
+            std::to_string(min) + ", got '" + text + "'";
+    return false;
+  }
+  *dst = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_cli_flag(int argc, char** argv, int& i, FaultConfig& config,
+                    bool& seen, std::string& error) {
+  const std::string_view arg = argv[i];
+  bool has_inline = false;
+  std::string_view inline_value;
+  std::string text;
+
+  const auto value_of = [&](std::string_view flag) {
+    return take_value(flag, argc, argv, i, has_inline, inline_value, text,
+                      error);
+  };
+
+  if (match_flag(arg, "--fault-rate", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-rate")) {
+      parse_double("--fault-rate", text, 0.0, &config.node_rate, error);
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-dist", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-dist")) {
+      if (text == "poisson") {
+        config.node_dist = FaultDist::kPoisson;
+      } else if (text == "weibull") {
+        config.node_dist = FaultDist::kWeibull;
+      } else {
+        error = "--fault-dist: expected poisson or weibull, got '" + text +
+                "'";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-shape", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-shape")) {
+      parse_double("--fault-shape", text, 0.05, &config.node_weibull_shape,
+                   error);
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-mttr", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-mttr")) {
+      parse_double("--fault-mttr", text, 0.0, &config.node_mttr_s, error);
+      if (error.empty() && config.node_mttr_s <= 0.0) {
+        error = "--fault-mttr: repair time must be positive";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-link-rate", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-link-rate")) {
+      parse_double("--fault-link-rate", text, 0.0, &config.link_rate, error);
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-link-mttr", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-link-mttr")) {
+      parse_double("--fault-link-mttr", text, 0.0, &config.link_mttr_s,
+                   error);
+      if (error.empty() && config.link_mttr_s <= 0.0) {
+        error = "--fault-link-mttr: repair time must be positive";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-drop", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-drop")) {
+      parse_double("--fault-drop", text, 0.0, &config.drop_prob, error);
+      if (error.empty() && config.drop_prob >= 1.0) {
+        error = "--fault-drop: probability must be < 1";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--heartbeat", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--heartbeat")) {
+      parse_double("--heartbeat", text, 0.0, &config.heartbeat_s, error);
+      if (error.empty() && config.heartbeat_s <= 0.0) {
+        error = "--heartbeat: period must be positive";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--retry-budget", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--retry-budget")) {
+      long v = 0;
+      if (parse_int("--retry-budget", text, 0, &v, error)) {
+        config.retry_budget = static_cast<int>(v);
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--retry-backoff", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--retry-backoff")) {
+      parse_double("--retry-backoff", text, 0.0, &config.retry_backoff_s,
+                   error);
+      if (error.empty() && config.retry_backoff_s <= 0.0) {
+        error = "--retry-backoff: backoff must be positive";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-restart-budget", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-restart-budget")) {
+      long v = 0;
+      if (parse_int("--fault-restart-budget", text, 0, &v, error)) {
+        config.restart_budget = static_cast<int>(v);
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--fault-seed", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--fault-seed")) {
+      long v = 0;
+      if (parse_int("--fault-seed", text, 0, &v, error)) {
+        config.seed = static_cast<std::uint64_t>(v);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+const char* cli_help() {
+  return "  --fault-rate R          node crashes per node-second (0 = off)\n"
+         "  --fault-dist D          node TTF distribution: poisson|weibull\n"
+         "  --fault-shape K         Weibull shape for node TTF (default 0.7)\n"
+         "  --fault-mttr S          mean node repair time, seconds\n"
+         "  --fault-link-rate R     link down episodes per link-second\n"
+         "  --fault-link-mttr S     mean link repair time, seconds\n"
+         "  --fault-drop P          per-message drop probability\n"
+         "  --heartbeat S           failure-detection period, seconds\n"
+         "  --retry-budget N        resends per message before giving up\n"
+         "  --retry-backoff S       base resend backoff, seconds\n"
+         "  --fault-restart-budget N  restarts per job before it fails\n"
+         "  --fault-seed N          seed for the fault streams\n";
+}
+
+FaultManager::FaultManager(sim::Simulation& sim, const net::Topology& topo,
+                           FaultConfig config)
+    : sim_(sim), topo_(topo), cfg_(config) {
+  sim::Rng root(cfg_.seed);
+  node_rng_ = root.split();
+  link_rng_ = root.split();
+  drop_rng_ = root.split();
+  jitter_rng_ = root.split();
+  alive_.assign(static_cast<std::size_t>(topo_.node_count()), 1);
+  detected_.assign(static_cast<std::size_t>(topo_.node_count()), 1);
+  link_ok_.assign(static_cast<std::size_t>(topo_.link_count()), 1);
+  alive_count_ = topo_.node_count();
+}
+
+void FaultManager::set_timeline(obs::Timeline* timeline, obs::TrackId track) {
+  timeline_ = timeline;
+  track_ = track;
+  if (timeline_ != nullptr) {
+    name_node_down_ = timeline_->intern("node-down");
+    name_node_up_ = timeline_->intern("node-up");
+    name_link_down_ = timeline_->intern("link-down");
+    name_link_up_ = timeline_->intern("link-up");
+  }
+}
+
+void FaultManager::start() {
+  // Initial episodes in resource-id order; every later draw happens in
+  // event order, so the whole schedule is a pure function of the seed.
+  if (cfg_.node_rate > 0.0) {
+    for (net::NodeId n = 0; n < topo_.node_count(); ++n) arm_node(n);
+    pending_ += static_cast<std::size_t>(topo_.node_count());
+    sim_.schedule(from_s(cfg_.heartbeat_s), [this] { heartbeat(); });
+    pending_ += 1;
+  }
+  if (cfg_.link_rate > 0.0) {
+    for (net::LinkId l = 0; l < topo_.link_count(); ++l) arm_link(l);
+    pending_ += static_cast<std::size_t>(topo_.link_count());
+  }
+}
+
+bool FaultManager::link_usable(net::LinkId link) const {
+  if (link_ok_[static_cast<std::size_t>(link)] == 0) return false;
+  // A dead node takes its incident links with it: through-traffic stalls
+  // (and is re-kicked on repair) instead of transiting a crashed router.
+  const net::Topology::LinkEnds ends = topo_.link_ends(link);
+  return node_alive(ends.from) && node_alive(ends.to);
+}
+
+bool FaultManager::should_drop(const net::Message& msg) {
+  // System traffic (job 0) has no retry owner, so only job messages drop.
+  if (cfg_.drop_prob <= 0.0 || msg.job == 0) return false;
+  if (!drop_rng_.bernoulli(cfg_.drop_prob)) return false;
+  ++stats_.drops;
+  return true;
+}
+
+double FaultManager::draw_node_ttf() {
+  const double mtbf = 1.0 / cfg_.node_rate;
+  if (cfg_.node_dist == FaultDist::kWeibull) {
+    const double shape = cfg_.node_weibull_shape;
+    const double scale = mtbf / std::tgamma(1.0 + 1.0 / shape);
+    return node_rng_.weibull(shape, scale);
+  }
+  return node_rng_.exponential(mtbf);
+}
+
+void FaultManager::arm_node(net::NodeId node) {
+  const double ttf = draw_node_ttf();
+  sim_.schedule(from_s(ttf), [this, node, ttf] {
+    sum_ttf_s_ += ttf;
+    crash_node(node);
+  });
+}
+
+void FaultManager::crash_node(net::NodeId node) {
+  alive_[static_cast<std::size_t>(node)] = 0;
+  --alive_count_;
+  ++stats_.crashes;
+  if (timeline_ != nullptr) {
+    timeline_->instant(track_, name_node_down_, sim_.now(),
+                       static_cast<double>(node));
+  }
+  if (callbacks_.node_crash) callbacks_.node_crash(node);
+  const double repair = node_rng_.exponential(cfg_.node_mttr_s);
+  sim_.schedule(from_s(repair), [this, node, repair] {
+    sum_repair_s_ += repair;
+    repair_node(node);
+  });
+}
+
+void FaultManager::repair_node(net::NodeId node) {
+  alive_[static_cast<std::size_t>(node)] = 1;
+  ++alive_count_;
+  ++stats_.repairs;
+  if (timeline_ != nullptr) {
+    timeline_->instant(track_, name_node_up_, sim_.now(),
+                       static_cast<double>(node));
+  }
+  if (callbacks_.node_repair) callbacks_.node_repair(node);
+  arm_node(node);
+}
+
+void FaultManager::arm_link(net::LinkId link) {
+  const double ttf = link_rng_.exponential(1.0 / cfg_.link_rate);
+  sim_.schedule(from_s(ttf), [this, link] { flip_link(link); });
+}
+
+void FaultManager::flip_link(net::LinkId link) {
+  char& ok = link_ok_[static_cast<std::size_t>(link)];
+  ok = ok == 0 ? 1 : 0;
+  double next;
+  if (ok == 0) {
+    ++stats_.link_downs;
+    if (timeline_ != nullptr) {
+      timeline_->instant(track_, name_link_down_, sim_.now(),
+                         static_cast<double>(link));
+    }
+    if (callbacks_.link_changed) callbacks_.link_changed(link, false);
+    next = link_rng_.exponential(cfg_.link_mttr_s);
+  } else {
+    ++stats_.link_ups;
+    if (timeline_ != nullptr) {
+      timeline_->instant(track_, name_link_up_, sim_.now(),
+                         static_cast<double>(link));
+    }
+    if (callbacks_.link_changed) callbacks_.link_changed(link, true);
+    next = link_rng_.exponential(1.0 / cfg_.link_rate);
+  }
+  sim_.schedule(from_s(next), [this, link] { flip_link(link); });
+}
+
+void FaultManager::heartbeat() {
+  for (net::NodeId n = 0; n < topo_.node_count(); ++n) {
+    const auto idx = static_cast<std::size_t>(n);
+    if (detected_[idx] == alive_[idx]) continue;
+    detected_[idx] = alive_[idx];
+    if (callbacks_.node_detected) {
+      callbacks_.node_detected(n, alive_[idx] == 0);
+    }
+  }
+  sim_.schedule(from_s(cfg_.heartbeat_s), [this] { heartbeat(); });
+}
+
+FaultStats FaultManager::stats() const {
+  FaultStats s = stats_;
+  if (s.crashes > 0) {
+    s.mtbf_observed_s = sum_ttf_s_ / static_cast<double>(s.crashes);
+  }
+  if (s.repairs > 0) {
+    s.mttr_observed_s = sum_repair_s_ / static_cast<double>(s.repairs);
+  }
+  return s;
+}
+
+}  // namespace tmc::fault

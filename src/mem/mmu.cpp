@@ -74,7 +74,7 @@ void Mmu::release_range(std::size_t offset, std::size_t size) {
 }
 
 std::uint32_t Mmu::acquire_grant(std::size_t offset, std::size_t bytes,
-                                 Grant on_grant) {
+                                 Grant on_grant, const void* owner) {
   std::uint32_t slot;
   if (grant_free_ != kFreeListEnd) {
     slot = grant_free_;
@@ -90,6 +90,7 @@ std::uint32_t Mmu::acquire_grant(std::size_t offset, std::size_t bytes,
   g.offset = offset;
   g.bytes = bytes;
   g.on_grant = std::move(on_grant);
+  g.owner = owner;
   g.live = true;
   return slot;
 }
@@ -114,9 +115,11 @@ void Mmu::fire_grant(std::uint32_t slot, std::uint32_t generation) {
   cb(Block(this, offset, bytes));
 }
 
-void Mmu::deliver(std::size_t offset, std::size_t bytes, Grant on_grant) {
+void Mmu::deliver(std::size_t offset, std::size_t bytes, Grant on_grant,
+                  const void* owner) {
   ++alloc_count_;
-  const std::uint32_t slot = acquire_grant(offset, bytes, std::move(on_grant));
+  const std::uint32_t slot =
+      acquire_grant(offset, bytes, std::move(on_grant), owner);
   auto fire = [this, slot, generation = grants_[slot].generation] {
     fire_grant(slot, generation);
   };
@@ -127,7 +130,7 @@ void Mmu::deliver(std::size_t offset, std::size_t bytes, Grant on_grant) {
   }
 }
 
-void Mmu::request(std::size_t bytes, Grant on_grant) {
+void Mmu::request(std::size_t bytes, Grant on_grant, const void* owner) {
   if (bytes == 0 || bytes > capacity_) {
     throw std::invalid_argument("Mmu request of " + std::to_string(bytes) +
                                 " bytes cannot be satisfied (capacity " +
@@ -138,7 +141,7 @@ void Mmu::request(std::size_t bytes, Grant on_grant) {
   // pump() does not fit anyway).
   if (queue_.empty() || discipline_ == MmuDiscipline::kFirstFit) {
     if (auto offset = carve(bytes)) {
-      deliver(*offset, bytes, std::move(on_grant));
+      deliver(*offset, bytes, std::move(on_grant), owner);
       return;
     }
   }
@@ -149,7 +152,7 @@ void Mmu::request(std::size_t bytes, Grant on_grant) {
               "blocked request " << bytes << "B (free " << bytes_free()
                                  << "B, queued " << queue_.size() + 1 << ")");
   }
-  queue_.push_back(Pending{bytes, std::move(on_grant), sim_.now()});
+  queue_.push_back(Pending{bytes, std::move(on_grant), sim_.now(), owner});
 }
 
 std::optional<Block> Mmu::try_alloc(std::size_t bytes) {
@@ -180,7 +183,7 @@ void Mmu::pump() {
       queue_.pop_front();
       total_block_time_ += sim_.now() - head.enqueued;
       obs::observe(grant_latency_, (sim_.now() - head.enqueued).to_seconds());
-      deliver(*offset, head.bytes, std::move(head.on_grant));
+      deliver(*offset, head.bytes, std::move(head.on_grant), head.owner);
     }
   } else {
     // First-fit scan: grant anything that fits, oldest first.
@@ -195,7 +198,8 @@ void Mmu::pump() {
       total_block_time_ += sim_.now() - granted.enqueued;
       obs::observe(grant_latency_,
                    (sim_.now() - granted.enqueued).to_seconds());
-      deliver(*offset, granted.bytes, std::move(granted.on_grant));
+      deliver(*offset, granted.bytes, std::move(granted.on_grant),
+              granted.owner);
     }
   }
   pump_batching_ = false;
@@ -223,6 +227,36 @@ std::size_t Mmu::discard_pending() {
     ++n;
   }
   return n;
+}
+
+std::size_t Mmu::cancel_owner(const void* owner) {
+  if (owner == nullptr) return 0;
+  std::size_t n = 0;
+  // Collect doomed callbacks and destroy them only after the scans: a
+  // callback's destructor may release Blocks, which re-enters pump() and
+  // would invalidate the iterators below.
+  std::vector<Grant> doomed;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->owner == owner) {
+      doomed.push_back(std::move(it->on_grant));
+      it = queue_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  for (std::size_t slot = 0; slot < grants_.size(); ++slot) {
+    GrantSlot& g = grants_[slot];
+    if (!g.live || g.owner != owner) continue;
+    const std::size_t offset = g.offset;
+    const std::size_t bytes = g.bytes;
+    doomed.push_back(std::move(g.on_grant));
+    retire_grant(static_cast<std::uint32_t>(slot));
+    release_range(offset, bytes);
+    ++n;
+  }
+  if (n > 0) pump();
+  return n;  // `doomed` destructs here; nested pumps are safe now.
 }
 
 std::size_t Mmu::largest_free_range() const {

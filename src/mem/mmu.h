@@ -110,7 +110,9 @@ class Mmu {
   /// Requests `bytes` (> 0, <= capacity); `on_grant` receives the Block when
   /// the allocation succeeds (possibly after blocking on memory pressure).
   /// Throws std::invalid_argument if the request can never be satisfied.
-  void request(std::size_t bytes, Grant on_grant);
+  /// `owner` optionally tags the request for cancel_owner (fault mode: a
+  /// crashed node must be able to retract a dead process's pending request).
+  void request(std::size_t bytes, Grant on_grant, const void* owner = nullptr);
 
   /// Immediate allocation attempt that never blocks or queues.
   [[nodiscard]] std::optional<Block> try_alloc(std::size_t bytes);
@@ -119,6 +121,12 @@ class Mmu {
   /// allocations without running their callbacks (teardown aid: grant
   /// callbacks may own Blocks of other MMUs). Returns the number discarded.
   std::size_t discard_pending();
+
+  /// Retracts every request tagged with `owner`: queued requests are dropped
+  /// and granted-but-undelivered allocations are returned to the arena, all
+  /// without running their callbacks. Freed memory is pumped to waiters.
+  /// Returns the number retracted. No-op for a null owner.
+  std::size_t cancel_owner(const void* owner);
 
   /// Optional trace sink (category kMemory); owner must outlive us.
   /// `label` names this node in trace lines.
@@ -165,6 +173,7 @@ class Mmu {
     std::size_t bytes;
     Grant on_grant;
     sim::SimTime enqueued;
+    const void* owner = nullptr;
   };
   /// A granted-but-not-yet-delivered allocation parked in the grant pool.
   /// The event scheduled by deliver() captures only {this, slot, generation}
@@ -175,6 +184,7 @@ class Mmu {
     std::size_t offset = 0;
     std::size_t bytes = 0;
     Grant on_grant;
+    const void* owner = nullptr;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kFreeListEnd;
     bool live = false;
@@ -188,9 +198,10 @@ class Mmu {
   /// rounds (the first-fit scan a broadcast's buffer releases trigger) are
   /// committed through one EventQueue bulk insert.
   void pump();
-  void deliver(std::size_t offset, std::size_t bytes, Grant on_grant);
+  void deliver(std::size_t offset, std::size_t bytes, Grant on_grant,
+               const void* owner);
   std::uint32_t acquire_grant(std::size_t offset, std::size_t bytes,
-                              Grant on_grant);
+                              Grant on_grant, const void* owner);
   void fire_grant(std::uint32_t slot, std::uint32_t generation);
   void retire_grant(std::uint32_t slot);
 

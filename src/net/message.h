@@ -39,6 +39,13 @@ struct Message {
   /// flow-start under this id, the mailbox deposit the matching finish.
   /// 0 (tracing off) means no flow events are recorded for this message.
   std::uint64_t flow = 0;
+  /// Job incarnation at send time (fault mode only; 0 otherwise). A job
+  /// abort bumps the comm system's incarnation counter, so deliveries and
+  /// queued resends addressed to an earlier life of the job are discarded
+  /// instead of reaching its restarted processes.
+  std::uint32_t incarnation = 0;
+  /// Fault-mode resend attempts already made for this logical message.
+  std::uint16_t attempts = 0;
 };
 
 }  // namespace tmc::net

@@ -39,7 +39,11 @@ StoreForwardNetwork::StoreForwardNetwork(sim::Simulation& sim,
 }
 
 void StoreForwardNetwork::send(Message msg, mem::Block payload) {
-  assert(payload.valid() && "sender must provide the source buffer");
+  // Fault-mode resends carry no staged source buffer (the staging copy is
+  // not re-modelled on retransmit); reliable runs always provide one.
+  assert((payload.valid() || fault_ != nullptr) &&
+         "sender must provide the source buffer");
+  if (drop_at_injection(msg)) return;
   ++messages_;
   payload_bytes_ += msg.bytes;
   if (tracer_ != nullptr) {
@@ -108,6 +112,14 @@ void StoreForwardNetwork::forward(Message msg, NodeId at, mem::Block held,
   // One adjacency scan yields both the next node and the directed link.
   const Topology::Neighbor hop = routing_.next_hop_link(at, msg.dst_node);
   const NodeId next = hop.node;
+  if (fault_ != nullptr && !fault_->link_usable(hop.link)) {
+    // The next link (or the router behind it) is down: stall here holding
+    // this node's buffer until a repair kicks the parked set.
+    record_park(sim_.now(), msg);
+    parked_.push_back(Parked{msg, at, std::move(held), fragment_bytes,
+                             std::move(source_hold)});
+    return;
+  }
 
   // Store-and-forward: the whole unit must be buffered at the next node
   // before it can leave this one. Under memory pressure this request blocks
@@ -240,7 +252,8 @@ void WormholeNetwork::release_worm(std::uint32_t index) {
 }
 
 void WormholeNetwork::send(Message msg, mem::Block payload) {
-  assert(payload.valid());
+  assert(payload.valid() || fault_ != nullptr);
+  if (drop_at_injection(msg)) return;
   ++messages_;
   payload_bytes_ += msg.bytes;
   launch(msg, std::move(payload));
@@ -272,6 +285,20 @@ void WormholeNetwork::launch(Message msg, mem::Block payload) {
     record_park(sim_.now(), msg);
     parked_.push_back(Pending{msg, std::move(payload)});
     return;
+  }
+  if (fault_ != nullptr) {
+    // A circuit cannot form across a downed link (or dead router): park
+    // until a repair kicks the parked set. Once established, a circuit
+    // completes even if a link on it fails mid-flight (the flits already
+    // occupy the path) -- the documented approximation.
+    routing_.link_path(msg.src_node, msg.dst_node, path_scratch_);
+    for (const LinkId id : path_scratch_) {
+      if (!fault_->link_usable(id)) {
+        record_park(sim_.now(), msg);
+        parked_.push_back(Pending{msg, std::move(payload)});
+        return;
+      }
+    }
   }
   // The worm slot is taken before the destination-buffer request so the
   // source payload has a stable home while the message waits on memory

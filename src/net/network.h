@@ -51,6 +51,21 @@ struct NetworkParams {
   std::size_t packet_bytes = 0;
 };
 
+/// Failure state of the machine as the transport sees it. Implemented by
+/// fault::FaultManager; null on every fault-free run, so each query site is
+/// one untaken branch. should_drop() may consume seeded randomness (it is
+/// called at most once per injected message, at the source).
+class FaultPlane {
+ public:
+  virtual ~FaultPlane() = default;
+  [[nodiscard]] virtual bool node_alive(NodeId node) const = 0;
+  /// False while the link (or either endpoint node) is down; traffic parks
+  /// and is re-kicked on repair.
+  [[nodiscard]] virtual bool link_usable(LinkId link) const = 0;
+  /// True if this freshly injected message should be lost.
+  virtual bool should_drop(const Message& msg) = 0;
+};
+
 /// Common interface of the transport engines.
 class Network {
  public:
@@ -101,6 +116,15 @@ class Network {
   /// frozen mid-route because their job's gang turn ended.
   void set_metrics(obs::Counter* park_events) { park_events_ = park_events; }
 
+  /// Invoked when a message is lost to a fault (dropped at injection or at
+  /// a dead destination); the comm layer owns the retry machinery.
+  using LossHook = std::function<void(const Message&)>;
+
+  /// Optional fault plane (null = reliable hardware; must outlive us).
+  void set_fault_plane(FaultPlane* plane) { fault_ = plane; }
+  [[nodiscard]] FaultPlane* fault_plane() const { return fault_; }
+  void set_loss_hook(LossHook hook) { loss_ = std::move(hook); }
+
   /// Re-attempts every parked message (called when a job's turn begins).
   virtual void kick() {}
 
@@ -123,8 +147,19 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_sent() const { return payload_bytes_; }
   [[nodiscard]] std::uint64_t total_hops() const { return hops_; }
   [[nodiscard]] std::uint64_t in_flight() const { return messages_ - delivered_; }
+  /// Messages currently parked (gate closed or a path link down); the
+  /// watchdog diagnostic reads this to name a stalled transport.
+  [[nodiscard]] virtual std::size_t parked_messages() const { return 0; }
 
  protected:
+  /// Drops `msg` at injection time if the fault plane says so, reporting
+  /// the loss to the comm layer. The payload is released by the caller
+  /// returning (RAII).
+  [[nodiscard]] bool drop_at_injection(const Message& msg) {
+    if (fault_ == nullptr || !fault_->should_drop(msg)) return false;
+    if (loss_) loss_(msg);
+    return true;
+  }
   /// Span for one link occupancy [start, start+dur); no-op with no timeline.
   void record_transfer(LinkId link, sim::SimTime start, sim::SimTime dur,
                        const Message& msg) {
@@ -151,6 +186,8 @@ class Network {
   obs::NameId name_xfer_ = 0;
   obs::NameId name_park_ = 0;
   obs::Counter* park_events_ = nullptr;
+  FaultPlane* fault_ = nullptr;
+  LossHook loss_;
   std::uint64_t messages_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t payload_bytes_ = 0;
@@ -176,7 +213,9 @@ class StoreForwardNetwork final : public Network {
   }
   /// Highest utilisation over all links at time `now`.
   [[nodiscard]] double max_link_utilization(sim::SimTime now) const;
-  [[nodiscard]] std::size_t parked_messages() const { return parked_.size(); }
+  [[nodiscard]] std::size_t parked_messages() const override {
+    return parked_.size();
+  }
 
  private:
   struct Parked {
@@ -256,7 +295,9 @@ class WormholeNetwork final : public Network {
   [[nodiscard]] std::uint64_t worm_pool_growths() const {
     return pool_growths_;
   }
-  [[nodiscard]] std::size_t parked_messages() const { return parked_.size(); }
+  [[nodiscard]] std::size_t parked_messages() const override {
+    return parked_.size();
+  }
 
  private:
   struct Pending {

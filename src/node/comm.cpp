@@ -94,10 +94,89 @@ void CommSystem::set_job_active(JobId job, bool active) {
   }
 }
 
+void CommSystem::enable_faults(net::FaultPlane* plane, int retry_budget,
+                               sim::SimTime retry_backoff,
+                               std::function<double()> jitter,
+                               std::function<void(JobId)> on_comm_failure) {
+  fault_ = plane;
+  retry_budget_ = retry_budget;
+  retry_backoff_ = retry_backoff;
+  jitter_ = std::move(jitter);
+  on_comm_failure_ = std::move(on_comm_failure);
+  network_.set_loss_hook(
+      [this](const net::Message& msg) { on_loss(msg); });
+}
+
+void CommSystem::abort_job(JobId job) {
+  if (incarnations_.size() <= job) incarnations_.resize(job + 1, 0);
+  ++incarnations_[job];
+  // The job may die mid-rotation with its traffic frozen: unfreeze so the
+  // now-stale messages drain out of the parked sets and die at delivery
+  // instead of pinning transit buffers forever.
+  set_job_active(job, true);
+  network_.kick();
+}
+
+void CommSystem::on_loss(const net::Message& msg) {
+  if (stale(msg)) {
+    ++stale_discards_;
+    return;
+  }
+  if (static_cast<int>(msg.attempts) >= retry_budget_) {
+    ++messages_lost_;
+    if (on_comm_failure_) on_comm_failure_(static_cast<JobId>(msg.job));
+    return;
+  }
+  ++retries_;
+  net::Message retry = msg;
+  retry.attempts = static_cast<std::uint16_t>(msg.attempts + 1);
+  // Exponential backoff, jittered from the fault library's seeded stream so
+  // replays stay bit-identical: backoff * 2^attempts * (1 + jitter).
+  const double scale =
+      static_cast<double>(std::uint64_t{1} << std::min<unsigned>(msg.attempts, 20));
+  const double spread = jitter_ ? jitter_() : 0.0;
+  const sim::SimTime delay = sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+      retry_backoff_.to_seconds() * scale * (1.0 + spread) * 1e9));
+  sim_.schedule(delay, [this, retry] { resend(retry); });
+}
+
+void CommSystem::resend(net::Message msg) {
+  if (stale(msg)) {
+    ++stale_discards_;
+    return;
+  }
+  if (fault_ != nullptr && !fault_->node_alive(msg.src_node)) {
+    // The retransmit daemon died with its node; the job abort that follows
+    // the crash owns recovery from here.
+    ++messages_lost_;
+    return;
+  }
+  msg.id = next_message_id_++;
+  if (timeline_ != nullptr) {
+    // A fresh flow id: the lost attempt's flow-start stays unpaired (the
+    // tooling counts those as fault-truncated flows).
+    msg.flow = msg.id;
+    timeline_->flow_start(
+        node_track_base_ + static_cast<obs::TrackId>(msg.src_node),
+        name_send_, sim_.now(), msg.flow, static_cast<double>(msg.job));
+  } else {
+    msg.flow = 0;
+  }
+  // The staging copy is not re-modelled: the retransmit daemon resends from
+  // the original transit buffer, so the payload rides as accounting only.
+  network_.send(msg, mem::Block{});
+}
+
 void CommSystem::send_from(Process& src, const SendOp& op,
                            mem::Block payload) {
   Process* dst = find(op.dst);
   if (dst == nullptr) {
+    if (fault_ != nullptr) {
+      // Mid-abort race: force-exiting a process whose charge just completed
+      // can fire one last send after its siblings were unregistered.
+      ++messages_lost_;
+      return;
+    }
     throw std::logic_error("send to unregistered endpoint " +
                            std::to_string(op.dst));
   }
@@ -110,6 +189,9 @@ void CommSystem::send_from(Process& src, const SendOp& op,
   msg.job = src.job();
   msg.tag = op.tag;
   msg.bytes = op.bytes;
+  if (fault_ != nullptr) {
+    msg.incarnation = incarnation(static_cast<JobId>(msg.job));
+  }
   if (timeline_ != nullptr) {
     msg.flow = msg.id;
     timeline_->flow_start(
@@ -156,6 +238,20 @@ void CommSystem::finish_delivery(std::uint32_t slot, std::uint32_t generation) {
   ++d.generation;
   d.next_free = delivery_free_;
   delivery_free_ = slot;
+  if (fault_ != nullptr) {
+    // The job can be aborted (or the node can die) during the deposit CPU
+    // charge: re-resolve the endpoint and re-check liveness before touching
+    // the cached process pointer.
+    if (stale(msg)) {
+      ++stale_discards_;
+      return;
+    }
+    if (find(msg.dst_endpoint) != dst ||
+        !fault_->node_alive(msg.dst_node)) {
+      on_loss(msg);
+      return;
+    }
+  }
   if (timeline_ != nullptr && msg.flow != 0) {
     timeline_->flow_finish(
         node_track_base_ + static_cast<obs::TrackId>(dst->node()),
@@ -167,7 +263,19 @@ void CommSystem::finish_delivery(std::uint32_t slot, std::uint32_t generation) {
 
 void CommSystem::on_delivery(const net::Message& msg, mem::Block buffer) {
   Process* dst = find(msg.dst_endpoint);
-  if (dst == nullptr) {
+  if (fault_ != nullptr) {
+    if (stale(msg)) {
+      ++stale_discards_;
+      return;  // `buffer` releases on return
+    }
+    if (dst == nullptr || !fault_->node_alive(msg.dst_node)) {
+      // Delivered into a crater: the destination died (or its job was torn
+      // down) while the message was in flight. Exactly one loss per
+      // message fires here, whatever the transport fragmented it into.
+      on_loss(msg);
+      return;
+    }
+  } else if (dst == nullptr) {
     throw std::logic_error("delivery to unregistered endpoint " +
                            std::to_string(msg.dst_endpoint));
   }

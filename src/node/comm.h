@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/mmu.h"
@@ -65,6 +66,30 @@ class CommSystem {
     return std::find(suspended_jobs_.begin(), suspended_jobs_.end(), job) ==
            suspended_jobs_.end();
   }
+
+  // --- fault mode ---------------------------------------------------------
+  /// Arms delivery timeouts and bounded retry (core layer wiring). The fault
+  /// plane answers liveness questions; a message lost to a fault is resent
+  /// up to `retry_budget` times with exponential backoff (`retry_backoff`
+  /// doubling per attempt, scaled by 1 + jitter() from a seeded stream)
+  /// before `on_comm_failure(job)` declares the job's communication broken.
+  void enable_faults(net::FaultPlane* plane, int retry_budget,
+                     sim::SimTime retry_backoff,
+                     std::function<double()> jitter,
+                     std::function<void(JobId)> on_comm_failure);
+
+  /// Fault-mode job teardown: bumps the job's incarnation so in-flight
+  /// messages and queued resends addressed to its old life die quietly at
+  /// delivery, unfreezes its traffic and kicks the parked sets loose.
+  void abort_job(JobId job);
+
+  /// Resends attempted after a fault-induced loss.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Messages abandoned after exhausting the retry budget (or orphaned by a
+  /// dead source).
+  [[nodiscard]] std::uint64_t messages_lost() const { return messages_lost_; }
+  /// Deliveries/resends discarded because their job was restarted.
+  [[nodiscard]] std::uint64_t stale_discards() const { return stale_discards_; }
 
   /// Optional timeline recorder (null = off): every send stamps its message
   /// with a flow id and records a flow-start on the source node's track;
@@ -123,6 +148,16 @@ class CommSystem {
   std::uint32_t acquire_delivery(const net::Message& msg, mem::Block buffer,
                                  Process* dst);
   void finish_delivery(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] std::uint32_t incarnation(JobId job) const {
+    return job < incarnations_.size() ? incarnations_[job] : 0;
+  }
+  [[nodiscard]] bool stale(const net::Message& msg) const {
+    return fault_ != nullptr &&
+           msg.incarnation != incarnation(static_cast<JobId>(msg.job));
+  }
+  /// Loss reaction: schedule a backoff resend or declare comm failure.
+  void on_loss(const net::Message& msg);
+  void resend(net::Message msg);
 
   sim::Simulation& sim_;
   net::Network& network_;
@@ -149,6 +184,17 @@ class CommSystem {
   std::vector<JobId> suspended_jobs_;
   std::vector<DeliverySlot> delivery_pool_;
   std::uint32_t delivery_free_ = kFreeListEnd;
+  net::FaultPlane* fault_ = nullptr;
+  int retry_budget_ = 0;
+  sim::SimTime retry_backoff_;
+  std::function<double()> jitter_;
+  std::function<void(JobId)> on_comm_failure_;
+  /// Per-job incarnation counters (dense job ids; grown only by abort_job,
+  /// absent entries read as incarnation 0).
+  std::vector<std::uint32_t> incarnations_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  std::uint64_t stale_discards_ = 0;
   obs::Timeline* timeline_ = nullptr;
   obs::TrackId node_track_base_ = 0;
   obs::NameId name_send_ = 0;

@@ -162,8 +162,51 @@ void Transputer::request_dispatch(sim::EventBatch* batch) {
   }
 }
 
+void Transputer::crash() { crashed_ = true; }
+
+void Transputer::restore() {
+  crashed_ = false;
+  request_dispatch();
+}
+
+void Transputer::force_exit(Process& p) {
+  assert(p.node() == node_ && "process bound to a different node");
+  switch (p.state_) {
+    case ProcessState::kRunning: {
+      Process& interrupted = interrupt_low_charge();
+      assert(&interrupted == &p);
+      (void)interrupted;
+      request_dispatch();
+      break;
+    }
+    case ProcessState::kReady:
+      low_queue_.erase_value(&p);
+      break;
+    case ProcessState::kBlockedMem:
+      // Retract the staged-buffer / allocation request parked in the MMU so
+      // its callback never fires into a destroyed process.
+      mmu_.cancel_owner(&p);
+      break;
+    default:
+      break;  // new, blocked-recv, suspended, done: nothing queued on the CPU
+  }
+  if (last_ran_ == &p) last_ran_ = nullptr;
+  p.state_ = ProcessState::kDone;
+  p.held_.clear();
+  p.send_buffer_.release();
+  if (p.staged_) {
+    p.staged_->buffer.release();
+    p.staged_.reset();
+  }
+  // on_exit_ deliberately NOT fired: the scheduler is unwinding the job.
+}
+
 void Transputer::dispatch() {
   if (charge_event_ != sim::kNoEvent) return;  // busy
+  if (crashed_) {
+    set_busy(false);
+    return;  // frozen: nothing starts until restore()
+  }
   if (!high_queue_.empty()) {
     current_high_ = std::move(high_queue_.front());
     high_queue_.pop_front();
@@ -215,6 +258,15 @@ void Transputer::dispatch() {
 void Transputer::continue_low() {
   assert(current_ != nullptr);
   Process& p = *current_;
+  if (crashed_) {
+    // The in-flight charge just drained on a crashed CPU: park the process
+    // (kReady keeps its op state intact for a restart-free repair) and
+    // freeze.
+    requeue(p);
+    current_ = nullptr;
+    set_busy(false);
+    return;
+  }
   // High-priority work enqueued during op side effects takes the CPU first.
   if (!high_queue_.empty()) {
     requeue(p);
@@ -242,15 +294,18 @@ void Transputer::continue_low() {
       p.state_ = ProcessState::kBlockedMem;
       current_ = nullptr;
       const std::size_t bytes = std::max<std::size_t>(1, send->bytes);
-      mmu_.request(bytes, [this, &p, payload_bytes = send->bytes](
-                              mem::Block block) {
-        p.send_buffer_ = std::move(block);
-        p.phase_ = Process::OpPhase::kCopy;
-        p.compute_remaining_ =
-            params_.send_setup +
-            params_.copy_per_byte * static_cast<std::int64_t>(payload_bytes);
-        make_ready(p);
-      });
+      mmu_.request(
+          bytes,
+          [this, &p, payload_bytes = send->bytes](mem::Block block) {
+            p.send_buffer_ = std::move(block);
+            p.phase_ = Process::OpPhase::kCopy;
+            p.compute_remaining_ =
+                params_.send_setup +
+                params_.copy_per_byte *
+                    static_cast<std::int64_t>(payload_bytes);
+            make_ready(p);
+          },
+          &p);
       dispatch();
       return;
     }
@@ -284,12 +339,15 @@ void Transputer::continue_low() {
   if (const auto* alloc = std::get_if<AllocOp>(&op)) {
     p.state_ = ProcessState::kBlockedMem;
     current_ = nullptr;
-    mmu_.request(alloc->bytes, [this, &p](mem::Block block) {
-      p.held_.push_back(std::move(block));
-      p.phase_ = Process::OpPhase::kInit;
-      ++p.pc_;
-      make_ready(p);
-    });
+    mmu_.request(
+        alloc->bytes,
+        [this, &p](mem::Block block) {
+          p.held_.push_back(std::move(block));
+          p.phase_ = Process::OpPhase::kInit;
+          ++p.pc_;
+          make_ready(p);
+        },
+        &p);
     dispatch();
     return;
   }

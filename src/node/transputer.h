@@ -114,6 +114,22 @@ class Transputer {
   /// Puts `p` back in circulation (enqueues it if it was parked ready).
   void resume(Process& p, sim::EventBatch* batch = nullptr);
 
+  // --- fault injection ----------------------------------------------------
+  /// Fail-stop freeze: the CPU stops starting new work. The at-most-one
+  /// in-flight charge completes and its side effects apply (the hardware's
+  /// pipeline drains); the current process then parks on the ready queue.
+  /// Queued work stays queued until restore(). Idempotent.
+  void crash();
+  /// Clears the crash; dispatching resumes with whatever is still queued.
+  void restore();
+  /// Scheduler-initiated teardown of `p` (job abort after a failure):
+  /// removes the process from every CPU structure -- ready queue, in-flight
+  /// charge, blocked MMU request -- releases its buffers and marks it done
+  /// WITHOUT firing its exit handler (the scheduler is unwinding the job
+  /// itself and must not see a completion).
+  void force_exit(Process& p);
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   // --- observability ------------------------------------------------------
   [[nodiscard]] std::size_t ready_count() const { return low_queue_.size(); }
   [[nodiscard]] bool busy() const { return charge_event_ != sim::kNoEvent; }
@@ -213,6 +229,7 @@ class Transputer {
 
   sim::EventId charge_event_ = sim::kNoEvent;
   bool pump_scheduled_ = false;
+  bool crashed_ = false;
   ChargeKind charge_kind_ = ChargeKind::kNone;
   sim::SimTime charge_started_;
   sim::SimTime charge_amount_;

@@ -19,6 +19,7 @@ JobTracer::JobTracer(Timeline& timeline,
   name_dispatch_ = timeline_.intern("dispatch");
   name_run_ = timeline_.intern("run");
   name_rotation_ = timeline_.intern("rotation");
+  name_retry_ = timeline_.intern("retry");
 }
 
 JobTracer::Slot& JobTracer::slot_for(std::uint64_t id) {
@@ -42,6 +43,9 @@ void JobTracer::close_phase(Slot& slot, std::uint64_t id, sim::SimTime t) {
       break;
     case Phase::kRotation:
       timeline_.async_end(slot.track, name_rotation_, t, id);
+      break;
+    case Phase::kRetry:
+      timeline_.async_end(slot.track, name_retry_, t, id);
       break;
   }
   slot.phase = Phase::kIdle;
@@ -81,6 +85,14 @@ void JobTracer::run_end(std::uint64_t id, sim::SimTime t) {
   close_phase(slot, id, t);
   slot.phase = Phase::kRotation;
   timeline_.async_begin(slot.track, name_rotation_, t, id);
+}
+
+void JobTracer::abort(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  close_phase(slot, id, t);
+  slot.phase = Phase::kRetry;
+  timeline_.async_begin(slot.track, name_retry_, t, id);
 }
 
 void JobTracer::completion(std::uint64_t id, sim::SimTime t) {

@@ -50,6 +50,12 @@ class JobTracer {
   void run_begin(std::uint64_t id, sim::SimTime t);
   /// The gang turn ended with the job still incomplete: a rotation gap opens.
   void run_end(std::uint64_t id, sim::SimTime t);
+  /// A failure tore the job down mid-flight: closes the open phase and opens
+  /// a retry span that lasts until the job is re-admitted (dispatch) or
+  /// permanently failed (completion). Part of the response-time
+  /// decomposition, so wait + dispatch + run + rotation + retry == job
+  /// still holds through fault episodes.
+  void abort(std::uint64_t id, sim::SimTime t);
   /// Last process exited; closes whatever phase span is open, then the job.
   void completion(std::uint64_t id, sim::SimTime t);
 
@@ -60,6 +66,7 @@ class JobTracer {
     kDispatch,
     kRun,
     kRotation,
+    kRetry,     // fault-aborted, waiting for restart or final failure
   };
   struct Slot {
     Phase phase = Phase::kIdle;
@@ -79,6 +86,7 @@ class JobTracer {
   NameId name_dispatch_ = 0;
   NameId name_run_ = 0;
   NameId name_rotation_ = 0;
+  NameId name_retry_ = 0;
 };
 
 }  // namespace tmc::obs

@@ -41,6 +41,12 @@ void AdaptiveScheduler::pump() {
   while (!queue_.empty()) {
     auto block = buddy_.allocate_at_most(target_size());
     if (!block) return;  // machine full: wait for a departure
+    if (dead_count_ > 0 && !block_usable(*block)) {
+      // The buddy handed back capacity spanning a dead node: park it in
+      // quarantine (returned on repair) and try the rest of the pool.
+      quarantined_.push_back(*block);
+      continue;
+    }
     Job* job = queue_.front();
     queue_.pop_front();
 
@@ -71,7 +77,7 @@ void AdaptiveScheduler::pump() {
 void AdaptiveScheduler::on_job_complete(Job& job) {
   const auto it = running_.find(job.id());
   assert(it != running_.end());
-  buddy_.free(it->second.block);
+  release_block(it->second.block);
   // Reclaim schedulers retired by *earlier* completions. Safe here:
   // teardown only runs as its own deferred event with this handler in tail
   // position, so a previously retired scheduler has no pending events and
@@ -82,6 +88,105 @@ void AdaptiveScheduler::on_job_complete(Job& job) {
   running_.erase(it);
   ++completed_;
   if (observer_) observer_(job);
+  pump();
+}
+
+void AdaptiveScheduler::enable_fault_mode(int restart_budget) {
+  restart_budget_ = restart_budget;
+  dead_nodes_.assign(cpus_.size(), 0);
+}
+
+bool AdaptiveScheduler::block_usable(const ProcessorBlock& block) const {
+  for (int i = 0; i < block.size; ++i) {
+    if (dead_nodes_[static_cast<std::size_t>(block.base + i)] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AdaptiveScheduler::release_block(const ProcessorBlock& block) {
+  if (dead_count_ == 0 || block_usable(block)) {
+    buddy_.free(block);
+  } else {
+    quarantined_.push_back(block);
+  }
+}
+
+void AdaptiveScheduler::handle_aborted(Job& job) {
+  if (job.restarts() < restart_budget_) {
+    job.count_restart();
+    ++job_restarts_;
+    // Restart ahead of new arrivals: the job already waited its turn once.
+    queue_.push_front(&job);
+    return;
+  }
+  ++jobs_failed_;
+  job.mark_failed();
+  job.mark_completion(sim_.now());
+  if (job_tracer_ != nullptr) job_tracer_->completion(job.id(), sim_.now());
+  ++completed_;
+  if (observer_) observer_(job);
+}
+
+void AdaptiveScheduler::abort_running(JobId id) {
+  const auto it = running_.find(id);
+  assert(it != running_.end());
+  Job* job = it->second.scheduler->find_resident(id);
+  if (job == nullptr) {
+    // The job's last process already exited; its deferred teardown owns the
+    // cleanup (and release_block keeps its dead-spanning block quarantined).
+    return;
+  }
+  it->second.scheduler->abort_job(*job);
+  release_block(it->second.block);
+  // Retire rather than destroy: on_job_complete reclaims retired schedulers
+  // at a point where no frame of theirs can be on the stack.
+  retired_.push_back(std::move(it->second.scheduler));
+  running_.erase(it);
+  handle_aborted(*job);
+}
+
+void AdaptiveScheduler::on_node_down(net::NodeId node) {
+  if (dead_nodes_.empty()) return;
+  char& flag = dead_nodes_[static_cast<std::size_t>(node)];
+  if (flag != 0) return;
+  flag = 1;
+  ++dead_count_;
+  // Buddy blocks are disjoint so at most one running job spans this node,
+  // but running_ is an unordered_map: collect and sort for a deterministic
+  // replay regardless.
+  affected_.clear();
+  for (const auto& [id, entry] : running_) {
+    const ProcessorBlock& b = entry.block;
+    if (node >= b.base && node < b.base + b.size) affected_.push_back(id);
+  }
+  std::sort(affected_.begin(), affected_.end());
+  for (const JobId id : affected_) abort_running(id);
+  pump();
+}
+
+void AdaptiveScheduler::on_node_up(net::NodeId node) {
+  if (dead_nodes_.empty()) return;
+  char& flag = dead_nodes_[static_cast<std::size_t>(node)];
+  if (flag == 0) return;
+  flag = 0;
+  --dead_count_;
+  // Return quarantined blocks whose nodes have all recovered.
+  for (auto it = quarantined_.begin(); it != quarantined_.end();) {
+    if (block_usable(*it)) {
+      buddy_.free(*it);
+      it = quarantined_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  pump();
+}
+
+void AdaptiveScheduler::on_job_comm_failure(JobId job) {
+  if (running_.find(job) == running_.end()) return;
+  abort_running(job);
   pump();
 }
 

@@ -49,6 +49,15 @@ class AdaptiveScheduler final : public Scheduler {
     return alloc_sizes_;
   }
 
+  // --- fault mode ---------------------------------------------------------
+  /// A dead node kills the job running on its buddy block; the block sits
+  /// in quarantine (capacity the allocator cannot hand out) until every one
+  /// of its nodes recovers.
+  void enable_fault_mode(int restart_budget) override;
+  void on_node_down(net::NodeId node) override;
+  void on_node_up(net::NodeId node) override;
+  void on_job_comm_failure(JobId job) override;
+
  private:
   struct Running {
     std::unique_ptr<PartitionScheduler> scheduler;
@@ -59,6 +68,15 @@ class AdaptiveScheduler final : public Scheduler {
   [[nodiscard]] int target_size() const;
   void pump();
   void on_job_complete(Job& job);
+  [[nodiscard]] bool block_usable(const ProcessorBlock& block) const;
+  /// Frees `block` to the buddy pool, or quarantines it while it spans a
+  /// dead node.
+  void release_block(const ProcessorBlock& block);
+  /// Aborts the running job `id` (no-op if its completion is already in
+  /// flight) and requeues or fails it.
+  void abort_running(JobId id);
+  /// Requeues (under budget) or permanently fails a fault-aborted job.
+  void handle_aborted(Job& job);
 
   sim::Simulation& sim_;
   std::vector<node::Transputer*> cpus_;
@@ -76,6 +94,15 @@ class AdaptiveScheduler final : public Scheduler {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   sim::OnlineStats alloc_sizes_;
+  int restart_budget_ = 0;
+  /// Per-node dead flags (empty = fault mode off) and the live dead count.
+  std::vector<char> dead_nodes_;
+  int dead_count_ = 0;
+  /// Buddy blocks withheld from the pool because they span a dead node.
+  std::vector<ProcessorBlock> quarantined_;
+  /// Scratch: job ids hit by a node death, sorted for deterministic replay
+  /// (running_ is an unordered_map).
+  std::vector<JobId> affected_;
 };
 
 }  // namespace tmc::sched

@@ -36,6 +36,11 @@ class AdmissionControl {
     return true;
   }
 
+  /// Retunes the backlog bound mid-run. The serving harness shrinks it in
+  /// proportion to surviving capacity during fault episodes so admission
+  /// tracks what the degraded machine can actually drain.
+  void set_max_backlog(std::size_t max_backlog) { max_backlog_ = max_backlog; }
+
   [[nodiscard]] std::size_t max_backlog() const { return max_backlog_; }
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }

@@ -112,8 +112,20 @@ class Job {
   }
 
   /// Snapshot taken at teardown, before the processes are destroyed.
-  void record_cpu(sim::SimTime t) { consumed_cpu_ = t; }
+  /// Accumulates: a job restarted after a failure keeps the CPU its first
+  /// life burned (work the machine really spent), and the single snapshot of
+  /// a fault-free job starts from zero either way.
+  void record_cpu(sim::SimTime t) { consumed_cpu_ += t; }
   [[nodiscard]] sim::SimTime consumed_cpu() const { return consumed_cpu_; }
+
+  // --- fault bookkeeping -------------------------------------------------
+  /// Fault-triggered restarts so far (schedulers check against the budget).
+  [[nodiscard]] int restarts() const { return restarts_; }
+  void count_restart() { ++restarts_; }
+  /// Marks the job as abandoned after exhausting its restart budget. Failed
+  /// jobs still get mark_completion so completion accounting stays closed.
+  void mark_failed() { failed_ = true; }
+  [[nodiscard]] bool failed() const { return failed_; }
 
  private:
   JobId id_;
@@ -123,6 +135,8 @@ class Job {
   sim::SimTime completion_;
   bool dispatched_ = false;
   bool completed_ = false;
+  bool failed_ = false;
+  int restarts_ = 0;
   sim::SimTime consumed_cpu_;
   std::vector<std::unique_ptr<node::Process>> processes_;
 };

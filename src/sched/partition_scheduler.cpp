@@ -53,7 +53,7 @@ void PartitionScheduler::admit(Job& job) {
                            " built no processes");
   }
   const int procs = static_cast<int>(programs.size());
-  live_processes_.emplace_back(job.id(), procs);
+  live_processes_.emplace_back(&job, procs);
 
   const sim::SimTime quantum =
       policy_.time_shared()
@@ -187,7 +187,7 @@ void PartitionScheduler::gang_leave(Job& job) {
 
 void PartitionScheduler::on_process_exit(Job& job) {
   auto it = live_processes_.begin();
-  while (it != live_processes_.end() && it->first != job.id()) ++it;
+  while (it != live_processes_.end() && it->first != &job) ++it;
   assert(it != live_processes_.end());
   if (--it->second > 0) return;
   live_processes_.erase(it);
@@ -214,6 +214,42 @@ void PartitionScheduler::teardown(Job& job) {
   }
   if (job_tracer_ != nullptr) job_tracer_->completion(job.id(), sim_.now());
   if (on_complete_) on_complete_(*this, job);
+}
+
+void PartitionScheduler::abort_job(Job& job) {
+  auto it = live_processes_.begin();
+  while (it != live_processes_.end() && it->first != &job) ++it;
+  assert(it != live_processes_.end() && "aborting a non-resident job");
+  live_processes_.erase(it);
+  gang_leave(job);
+  job.record_cpu(job.total_cpu_time());
+  for (auto& process : job.processes()) {
+    cpus_[static_cast<std::size_t>(process->node())]->force_exit(*process);
+    comm_.unregister_process(process->id());
+  }
+  job.processes().clear();
+  // Bump the incarnation last: force-exiting a mid-charge process can fire
+  // one final send, which must carry the dying incarnation so it is
+  // discarded at delivery rather than reaching a restarted life.
+  comm_.abort_job(job.id());
+  --active_;
+  if (job_tracer_ != nullptr) job_tracer_->abort(job.id(), sim_.now());
+  // No completion instant or handler: the job did not finish here.
+}
+
+void PartitionScheduler::abort_all(std::vector<Job*>& doomed) {
+  while (!live_processes_.empty()) {
+    Job& job = *live_processes_.back().first;
+    abort_job(job);
+    doomed.push_back(&job);
+  }
+}
+
+Job* PartitionScheduler::find_resident(JobId id) const {
+  for (const auto& entry : live_processes_) {
+    if (entry.first->id() == id) return entry.first;
+  }
+  return nullptr;
 }
 
 }  // namespace tmc::sched

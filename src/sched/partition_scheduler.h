@@ -82,6 +82,18 @@ class PartitionScheduler {
   /// time-sharing policies several jobs may be active at once.
   void admit(Job& job);
 
+  // --- fault path ---------------------------------------------------------
+  /// Tears `job` down without a completion: force-exits its processes off
+  /// the CPUs, retracts its in-flight communication (incarnation bump) and
+  /// releases its slot. The job must be resident; what happens to it next
+  /// (requeue or permanent failure) is the caller's decision.
+  void abort_job(Job& job);
+  /// Aborts every resident job (the partition lost a node), appending them
+  /// to `doomed` for the caller to requeue or fail.
+  void abort_all(std::vector<Job*>& doomed);
+  /// Resident job lookup (nullptr if the job does not run here).
+  [[nodiscard]] Job* find_resident(JobId id) const;
+
   [[nodiscard]] const Partition& partition() const { return partition_; }
   [[nodiscard]] int active_jobs() const { return active_; }
   [[nodiscard]] int peak_multiprogramming() const { return peak_mpl_; }
@@ -121,7 +133,7 @@ class PartitionScheduler {
   /// Outstanding process count per resident job. A partition hosts at most
   /// set_size jobs, so a flat array beats hashing (and never allocates once
   /// its capacity covers the multiprogramming level).
-  std::vector<std::pair<JobId, int>> live_processes_;
+  std::vector<std::pair<Job*, int>> live_processes_;
   /// Scratch for the admission/gang fan-outs: per-CPU dispatch pumps are
   /// accumulated here and committed with one Simulation::schedule_batch
   /// call. Reused across fan-outs, so it stops allocating once warm.

@@ -42,9 +42,31 @@ class Scheduler {
   /// their partition schedulers, which emit the phase spans.
   virtual void set_job_tracer(obs::JobTracer* tracer) { job_tracer_ = tracer; }
 
+  // --- fault mode ---------------------------------------------------------
+  // All no-ops by default so fault-free runs (and schedulers that predate
+  // the fault layer) are untouched. The machine wires these to the fault
+  // manager's heartbeat detector and the comm system's retry machinery.
+
+  /// Arms failure-aware scheduling: a job torn down by a failure is
+  /// restarted from its queue up to `restart_budget` times before being
+  /// declared failed (failed jobs still count as completed for all_done).
+  virtual void enable_fault_mode(int restart_budget) { (void)restart_budget; }
+  /// A heartbeat round detected `node` as newly dead / newly repaired.
+  virtual void on_node_down(net::NodeId node) { (void)node; }
+  virtual void on_node_up(net::NodeId node) { (void)node; }
+  /// The comm layer exhausted a message's retry budget for this job.
+  virtual void on_job_comm_failure(JobId job) { (void)job; }
+
+  /// Jobs whose restart budget ran out (they count as completed).
+  [[nodiscard]] std::uint64_t jobs_failed() const { return jobs_failed_; }
+  /// Fault-triggered restarts performed across all jobs.
+  [[nodiscard]] std::uint64_t job_restarts() const { return job_restarts_; }
+
  protected:
   std::function<void(Job&)> observer_;
   obs::JobTracer* job_tracer_ = nullptr;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t job_restarts_ = 0;
 };
 
 }  // namespace tmc::sched

@@ -43,11 +43,27 @@ class SuperScheduler final : public Scheduler {
   /// dispatch/run/rotation spans; this tier emits arrivals).
   void set_job_tracer(obs::JobTracer* tracer) override;
 
+  // --- fault mode ---------------------------------------------------------
+  /// A dead node degrades its whole partition: resident jobs are aborted
+  /// and requeued at the head of the FCFS queue (within the restart
+  /// budget); no new work is dealt there until every node recovers.
+  void enable_fault_mode(int restart_budget) override;
+  void on_node_down(net::NodeId node) override;
+  void on_node_up(net::NodeId node) override;
+  void on_job_comm_failure(JobId job) override;
+
  private:
   void pump();
   /// Dispatch target per policy, or nullptr if no partition can accept work.
   PartitionScheduler* pick_partition() const;
   void on_job_complete(Job& job);
+  /// Requeues (under budget) or permanently fails a fault-aborted job.
+  void handle_aborted(Job& job);
+  [[nodiscard]] bool degraded(std::size_t i) const {
+    return !dead_nodes_.empty() && dead_nodes_[i] > 0;
+  }
+  /// Partition index hosting `node`, or -1.
+  [[nodiscard]] int partition_of(net::NodeId node) const;
 
   sim::Simulation& sim_;
   std::vector<PartitionScheduler*> partitions_;
@@ -55,6 +71,13 @@ class SuperScheduler final : public Scheduler {
   std::deque<Job*> queue_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  int restart_budget_ = 0;
+  /// node id -> partition index (-1 outside any partition); built only when
+  /// fault mode is armed, so fault-free runs never touch it.
+  std::vector<int> node_partition_;
+  /// Currently-dead node count per partition (empty = fault mode off).
+  std::vector<int> dead_nodes_;
+  std::vector<Job*> doomed_;  // scratch for abort_all
 };
 
 }  // namespace tmc::sched

@@ -22,7 +22,11 @@ contracts consumers actually rely on:
       'jobs' process with per-class tracks, async b/e events that nest as
       a well-formed stack per (pid, tid, id) and all close by end of
       trace, and cross-node flow events where every 's' pairs with
-      exactly one 'f' of the same id, never earlier in time.
+      exactly one 'f' of the same id, never earlier in time. On traces
+      with fault instants (a run with --fault-rate > 0), flows whose
+      message died mid-flight legitimately never finish; those truncated
+      starts are counted and reported instead of failing the check, and
+      the fault instants themselves must alternate down/up per resource.
 
   metrics stream JSONL (--metrics-stream=out.jsonl)
       header line tagged "tmc-metrics-stream-v1" naming every channel, then
@@ -124,6 +128,8 @@ def check_timeline(path: str, flows: bool = False) -> None:
     async_pairs = 0
     flow_start_ts: dict[object, float] = {}
     flow_pairs = 0
+    fault_instants = 0
+    fault_state: dict[tuple, str] = {}
     for e in events:
         ph = e.get("ph")
         require(is_finite_number(e.get("pid")), path, f"event without pid: {e}")
@@ -152,6 +158,18 @@ def check_timeline(path: str, flows: bool = False) -> None:
         elif ph == "i":
             require(e.get("s") in ("t", "p", "g"), path,
                     f"instant with bad scope: {e}")
+            name = e.get("name", "")
+            if name in ("node-down", "node-up", "link-down", "link-up"):
+                kind, edge = name.split("-")
+                resource = (kind, e.get("args", {}).get("value"))
+                fault_instants += 1
+                # Each resource strictly alternates down/up, starting with
+                # down (everything is alive when the run starts).
+                last = fault_state.get(resource, "up")
+                require(last != edge, path,
+                        f"fault instant {name!r} for {resource} repeats "
+                        f"state {edge!r} without the opposite edge between")
+                fault_state[resource] = edge
         elif ph in ("b", "e"):
             require(is_finite_number(e.get("ts")), path,
                     f"async event without ts: {e}")
@@ -211,14 +229,22 @@ def check_timeline(path: str, flows: bool = False) -> None:
                 f"was the run traced with job classes?")
         require(job_threads > 0, path, "no per-job-class thread metadata")
         require(async_pairs > 0, path, "no async job spans (b/e) at all")
-        require(not flow_start_ts, path,
-                f"{len(flow_start_ts)} flow starts never finished "
-                f"(first ids: {sorted(flow_start_ts)[:4]})")
+        # A message that died mid-flight (dropped, or its destination
+        # crashed) opens a flow that can never finish. Only a trace that
+        # actually recorded fault episodes may contain such truncations;
+        # a reliable run with dangling starts is still a pairing bug.
+        if fault_instants == 0:
+            require(not flow_start_ts, path,
+                    f"{len(flow_start_ts)} flow starts never finished "
+                    f"(first ids: {sorted(flow_start_ts)[:4]})")
         require(flow_pairs > 0, path, "no cross-node flow (s/f) pairs")
+    truncated = len(flow_start_ts)
     print(f"check_obs_json: {path}: {len(events)} events, {node_threads} node "
           f"tracks, {link_threads} link tracks, {spans} spans, "
           f"{len(counters)} counter series, {async_pairs} job spans, "
           f"{flow_pairs} flow pairs ok"
+          + (f", {fault_instants} fault instants" if fault_instants else "")
+          + (f", {truncated} flows truncated by faults" if truncated else "")
           + (" (flows)" if flows else ""))
 
 

@@ -30,9 +30,12 @@ import json
 import sys
 
 # Phase names the job tracer emits inside each "job" envelope, in the order
-# the columns are printed. "run" is reported as "service".
-PHASES = ("wait", "dispatch", "run", "rotation")
-COLUMNS = ("wait", "dispatch", "service", "rotation")
+# the columns are printed. "run" is reported as "service". "retry" only
+# appears on fault-injected runs (time between a fault abort and the job's
+# restart or final failure); its column is emitted only when some job
+# actually spent time there, so fault-free reports are unchanged.
+PHASES = ("wait", "dispatch", "run", "rotation", "retry")
+COLUMNS = ("wait", "dispatch", "service", "rotation", "retry")
 
 # Timestamps are microseconds with exact sub-us decimals; parsing them into
 # doubles loses at most ~1 ulp per value. A microsecond of slack per job is
@@ -133,7 +136,11 @@ def load_jobs(path: str):
 
 
 def render(per_class) -> str:
-    headers = ["class", "jobs", *[f"{c} (ms)" for c in COLUMNS],
+    any_retry = any(j[1]["retry"] > 0.0
+                    for jobs in per_class.values() for j in jobs)
+    phases = PHASES if any_retry else PHASES[:-1]
+    columns = COLUMNS if any_retry else COLUMNS[:-1]
+    headers = ["class", "jobs", *[f"{c} (ms)" for c in columns],
                "response (ms)"]
     rows = [headers]
     for cls in sorted(per_class):
@@ -141,15 +148,16 @@ def render(per_class) -> str:
         if not jobs:
             continue
         n = len(jobs)
-        means = [sum(j[1][p] for j in jobs) / n / 1e3 for p in PHASES]
+        means = [sum(j[1][p] for j in jobs) / n / 1e3 for p in phases]
         response = sum(j[0] for j in jobs) / n / 1e3
         rows.append([cls, str(n), *[f"{m:.3f}" for m in means],
                      f"{response:.3f}"])
     if len(rows) == 1:
         fail("no completed jobs in trace")
     widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    decomposition = " + ".join(columns)
     out = ["obs_report: per-class mean response decomposition "
-           "(wait + dispatch + service + rotation = response)", ""]
+           f"({decomposition} = response)", ""]
     for r in rows:
         out.append("  ".join(
             c.ljust(w) if i == 0 else c.rjust(w)
