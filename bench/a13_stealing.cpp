@@ -1,0 +1,326 @@
+// Ablation A13: when does work stealing pay?
+//
+// The paper's two software architectures trade decomposition grain against
+// placement: fixed (16 processes regardless of partition) against adaptive
+// (one process per processor). The stealing architecture is a third point:
+// fixed placement, but the work inside each process is migratable and idle
+// workers buy tasklets over the network at the simulated steal price
+// (request + handler + grant payload, all through the real links).
+//
+// This bench pins both sides of the bargain:
+//
+//  * WIN -- imbalanced work. A skewed sort divide tree concentrates the
+//    quadratic leaf sorts on the low ranks; a heavy-tailed serving mix with
+//    straggler fork/join jobs does the same continuously. The fixed and
+//    adaptive architectures eat the imbalance; thieves drain it.
+//  * LOSE -- balanced work on thin networks. The matmul batch is already
+//    even, so stealing buys nothing and pays the polling, the per-tasklet
+//    result traffic and the handler preemptions -- visible on small ring
+//    partitions where every protocol byte contends with the broadcast.
+//
+// All strategy randomness is seeded per job (fixed --steal-seed), so every
+// table is bit-identical at any --threads, and a ctest golden.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/serve.h"
+#include "core/sweep_runner.h"
+#include "figure_common.h"
+
+namespace {
+
+using namespace tmc;
+
+constexpr double kSortSkew = 0.35;    // divide keeps 85% of each segment
+constexpr double kServeSkew = 0.6;    // rank 0 straggler share in serving
+
+struct BatchPoint {
+  const char* regime;
+  workload::App app;
+  double sort_skew;
+  int partition;
+  net::TopologyKind topology;
+  sched::SoftwareArch arch;
+  sched::PolicyKind policy;
+};
+
+core::ExperimentConfig batch_config(const BatchPoint& pt,
+                                    const sched::stealing::StealParams& steal) {
+  auto config =
+      core::figure_point(pt.app, pt.arch, pt.policy, pt.partition, pt.topology);
+  config.batch.small_count = 3;
+  config.batch.large_count = 1;
+  if (pt.app == workload::App::kMatMul) {
+    // Tiny matrices on purpose: at 12^2/24^2 the per-tasklet result
+    // messages and steal handler preemptions are the same order as the
+    // compute, so the protocol's price is visible instead of amortised.
+    config.batch.small_size = 12;
+    config.batch.large_size = 24;
+  } else {
+    config.batch.small_size = 3000;
+    config.batch.large_size = 7000;
+  }
+  config.batch.sort_skew = pt.sort_skew;
+  if (pt.arch == sched::SoftwareArch::kStealing) {
+    config.machine.stealing = steal;
+  }
+  return config;
+}
+
+std::vector<workload::JobClass> serve_mix(sched::SoftwareArch arch) {
+  workload::JobClass small;
+  small.name = "small";
+  small.weight = 0.7;
+  small.service.kind = workload::ServiceModel::Kind::kExponential;
+  small.service.mean_s = 0.08;
+  small.arch = arch;
+  workload::JobClass heavy;
+  heavy.name = "heavy";
+  heavy.weight = 0.3;
+  heavy.service.kind = workload::ServiceModel::Kind::kWeibull;
+  heavy.service.mean_s = 0.4;
+  heavy.service.shape = 0.7;
+  heavy.arch = arch;
+  heavy.skew = kServeSkew;  // built-in straggler: rank 0 carries the job
+  return {small, heavy};
+}
+
+core::ServeConfig serve_config(sched::SoftwareArch arch,
+                               const sched::stealing::StealParams& steal,
+                               const fault::FaultConfig& faults) {
+  core::ServeConfig config;
+  config.machine.topology = net::TopologyKind::kMesh;
+  config.machine.policy.kind = sched::PolicyKind::kStatic;
+  config.machine.policy.partition_size = 4;
+  config.machine.faults = faults;
+  if (arch == sched::SoftwareArch::kStealing) {
+    config.machine.stealing = steal;
+  }
+  config.process.rate_per_s = 20.0;
+  config.classes = serve_mix(arch);
+  config.total_jobs = 1'200;
+  config.warmup_jobs = 120;
+  config.seed = 1;
+  return config;
+}
+
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_ablation_options(argc, argv,
+                                               /*fault_flags=*/true,
+                                               /*steal_flags=*/true);
+  // Stealing on by default; an explicit --steal-rate (including 0) wins.
+  bool rate_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--steal-rate", 12) == 0) rate_given = true;
+  }
+  if (!rate_given) options.stealing.steal_rate = 10'000.0;
+
+  std::cout << "Ablation A13: the work-stealing architecture, priced by the "
+               "network\n(16 nodes; batch: 3+1 jobs; serving: 1200 jobs at "
+               "20/s on 4M static; steal rate "
+            << options.stealing.steal_rate << "/s)\n";
+
+  // --- section 1: architecture head-to-head, win and lose regimes --------
+  const struct {
+    const char* name;
+    sched::SoftwareArch arch;
+  } archs[] = {{"fixed", sched::SoftwareArch::kFixed},
+               {"adaptive", sched::SoftwareArch::kAdaptive},
+               {"stealing", sched::SoftwareArch::kStealing}};
+  const struct {
+    const char* name;
+    workload::App app;
+    double sort_skew;
+    int partition;
+    net::TopologyKind topology;
+  } regimes[] = {
+      {"skewed sort 8M", workload::App::kSort, kSortSkew, 8,
+       net::TopologyKind::kMesh},
+      {"tiny matmul 4R", workload::App::kMatMul, 0.0, 4,
+       net::TopologyKind::kRing},
+  };
+
+  std::vector<BatchPoint> points;
+  for (const auto& regime : regimes) {
+    for (const auto& arch : archs) {
+      for (const auto policy :
+           {sched::PolicyKind::kStatic, sched::PolicyKind::kHybrid}) {
+        points.push_back({regime.name, regime.app, regime.sort_skew,
+                          regime.partition, regime.topology, arch.arch,
+                          policy});
+      }
+    }
+  }
+
+  core::SweepRunner runner(options.threads);
+  std::size_t dots = 0;
+  const auto progress = [&](std::size_t done, std::size_t) {
+    for (; dots < done; ++dots) std::cout << "." << std::flush;
+  };
+
+  struct BatchCell {
+    double mrt_s = 0.0;
+    std::uint64_t grants = 0;
+    std::uint64_t migrated = 0;
+  };
+  const auto batch_cells = runner.map(
+      points.size(),
+      [&](std::size_t i) {
+        const auto result =
+            core::run_experiment(batch_config(points[i], options.stealing));
+        BatchCell cell;
+        cell.mrt_s = result.mean_response_s;
+        cell.grants = result.primary.machine.steals.grants;
+        cell.migrated = result.primary.machine.steals.tasks_migrated;
+        return cell;
+      },
+      progress);
+  std::cout << "\n";
+
+  core::banner(std::cout, "A13.1 -- architectures, win and lose regimes");
+  {
+    core::Table table({"regime", "arch", "policy", "MRT (s)", "steal grants",
+                       "tasks migrated"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& pt = points[i];
+      table.add_row({pt.regime, archs[(i / 2) % 3].name,
+                     pt.policy == sched::PolicyKind::kStatic ? "static"
+                                                             : "hybrid",
+                     core::fmt_seconds(batch_cells[i].mrt_s),
+                     fmt_count(batch_cells[i].grants),
+                     fmt_count(batch_cells[i].migrated)});
+    }
+    table.print(std::cout);
+  }
+
+  // --- section 2: steal strategy sweep on the win regime ------------------
+  struct Strategy {
+    sched::stealing::VictimPolicy victim;
+    sched::stealing::Granularity granularity;
+  };
+  std::vector<Strategy> strategies;
+  for (const auto victim : {sched::stealing::VictimPolicy::kRandom,
+                            sched::stealing::VictimPolicy::kNearest,
+                            sched::stealing::VictimPolicy::kLastVictim}) {
+    for (const auto granularity : {sched::stealing::Granularity::kSingleTask,
+                                   sched::stealing::Granularity::kHalfDeque}) {
+      strategies.push_back({victim, granularity});
+    }
+  }
+  dots = 0;
+  const auto strategy_cells = runner.map(
+      strategies.size(),
+      [&](std::size_t i) {
+        BatchPoint pt{"skewed sort 8M", workload::App::kSort,   kSortSkew, 8,
+                      net::TopologyKind::kMesh,
+                      sched::SoftwareArch::kStealing,
+                      sched::PolicyKind::kStatic};
+        sched::stealing::StealParams steal = options.stealing;
+        steal.victim = strategies[i].victim;
+        steal.granularity = strategies[i].granularity;
+        const auto result = core::run_experiment(batch_config(pt, steal));
+        BatchCell cell;
+        cell.mrt_s = result.mean_response_s;
+        cell.grants = result.primary.machine.steals.grants;
+        cell.migrated = result.primary.machine.steals.tasks_migrated;
+        return cell;
+      },
+      progress);
+  std::cout << "\n";
+
+  core::banner(std::cout, "A13.2 -- steal strategies (skewed sort, 8M static)");
+  {
+    core::Table table(
+        {"victim", "granularity", "MRT (s)", "grants", "tasks migrated"});
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+      table.add_row(
+          {std::string(sched::stealing::to_string(strategies[i].victim)),
+           std::string(sched::stealing::to_string(strategies[i].granularity)),
+           core::fmt_seconds(strategy_cells[i].mrt_s),
+           fmt_count(strategy_cells[i].grants),
+           fmt_count(strategy_cells[i].migrated)});
+    }
+    table.print(std::cout);
+  }
+
+  // --- section 3: sustained serving with a straggler class ----------------
+  dots = 0;
+  const auto serve_cells = runner.map(
+      3,
+      [&](std::size_t i) {
+        return core::run_sustained(
+            serve_config(archs[i].arch, options.stealing, options.faults));
+      },
+      progress);
+  std::cout << "\n";
+
+  core::banner(std::cout,
+               "A13.3 -- serving a heavy-tailed straggler mix (open arrivals)");
+  {
+    core::Table table({"arch", "admitted", "ok", "mrt (s)", "p99 (s)",
+                       "steal grants"});
+    for (std::size_t i = 0; i < 3; ++i) {
+      const core::ServeResult& r = serve_cells[i];
+      table.add_row({archs[i].name, fmt_count(r.admitted),
+                     fmt_count(r.completed - r.jobs_lost),
+                     core::fmt_seconds(r.response_s.mean()),
+                     core::fmt_seconds(r.response_q.p99.value()),
+                     fmt_count(r.machine.steals.grants)});
+    }
+    table.print(std::cout);
+  }
+
+  // --- section 4: stealing under faults -----------------------------------
+  // Fixed per-machine fault seed: the table is a golden like A12's, and a
+  // steal aimed at a crashed node rides the same retry/abort machinery as
+  // any application message.
+  dots = 0;
+  const auto faulty_cells = runner.map(
+      2,
+      [&](std::size_t i) {
+        const auto arch = i == 0 ? sched::SoftwareArch::kFixed
+                                 : sched::SoftwareArch::kStealing;
+        fault::FaultConfig faults = options.faults;
+        faults.node_rate = 1.0 / 250.0;
+        return core::run_sustained(
+            serve_config(arch, options.stealing, faults));
+      },
+      progress);
+  std::cout << "\n";
+
+  core::banner(std::cout, "A13.4 -- the same mix on faulty nodes (mtbf 250s)");
+  {
+    core::Table table({"arch", "ok", "lost", "restarts", "crashes", "mrt (s)",
+                       "steal grants"});
+    const char* names[] = {"fixed", "stealing"};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const core::ServeResult& r = faulty_cells[i];
+      table.add_row({names[i], fmt_count(r.completed - r.jobs_lost),
+                     fmt_count(r.jobs_lost),
+                     fmt_count(r.machine.faults.job_restarts),
+                     fmt_count(r.machine.faults.crashes),
+                     core::fmt_seconds(r.response_s.mean()),
+                     fmt_count(r.machine.steals.grants)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: A13.1 -- stealing beats fixed AND adaptive "
+               "on the skewed sort\n(thieves drain the big leaves) and loses "
+               "on the tiny ring matmul (protocol\noverhead with nothing "
+               "to rebalance). A13.2 -- half-deque grants need fewer\n"
+               "round-trips than single-task; nearest victims pay fewer hops "
+               "but re-hit the same\nneighbour. A13.3 -- the straggler class "
+               "drags fixed/adaptive p99; stealing\nflattens it. A13.4 -- "
+               "crashes hit both equally; steals aimed at dead nodes ride\n"
+               "the normal retry/abort path, so stealing keeps its edge "
+               "without losing more jobs.\n";
+  return 0;
+}

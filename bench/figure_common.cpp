@@ -12,12 +12,13 @@ namespace tmc::bench {
 namespace {
 
 [[noreturn]] void usage(const char* argv0, bool figure_flags, bool obs_flags,
-                        bool fault_flags, int exit_code) {
+                        bool fault_flags, bool steal_flags, int exit_code) {
   auto& os = exit_code == 0 ? std::cout : std::cerr;
   os << "usage: " << argv0 << " [--threads N]";
   if (figure_flags) os << " [--csv] [--with-16h] [--quick]";
   if (obs_flags) os << " [--metrics[=PATH]] [--timeline=PATH]";
   if (fault_flags) os << " [--fault-rate R]";
+  if (steal_flags) os << " [--steal-rate R]";
   os << " [--help]\n"
      << "  --threads N  farm sweep points over N worker threads\n"
      << "               (0 = hardware thread count; output is identical\n"
@@ -31,12 +32,15 @@ namespace {
   }
   if (obs_flags) os << obs::cli_help();
   if (fault_flags) os << fault::cli_help();
+  if (steal_flags) os << sched::stealing::cli_help();
   std::exit(exit_code);
 }
 
 int parse_thread_value(const char* argv0, bool figure_flags, bool obs_flags,
-                       bool fault_flags, const char* value) {
-  if (value == nullptr) usage(argv0, figure_flags, obs_flags, fault_flags, 2);
+                       bool fault_flags, bool steal_flags, const char* value) {
+  if (value == nullptr) {
+    usage(argv0, figure_flags, obs_flags, fault_flags, steal_flags, 2);
+  }
   char* end = nullptr;
   const long parsed = std::strtol(value, &end, 10);
   if (end == value || *end != '\0' || parsed < 0 || parsed > 4096) {
@@ -52,9 +56,11 @@ int parse_thread_value(const char* argv0, bool figure_flags, bool obs_flags,
 /// family (parsed either way so unsupporting benches reject them with a
 /// targeted message rather than "unknown option").
 FigureOptions parse_options(int argc, char** argv, bool figure_flags,
-                            bool obs_flags, bool fault_flags) {
+                            bool obs_flags, bool fault_flags,
+                            bool steal_flags) {
   FigureOptions options;
   bool faults_seen = false;
+  bool steal_seen = false;
   for (int i = 1; i < argc; ++i) {
     std::string obs_error;
     if (obs_flags &&
@@ -74,6 +80,15 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
       }
       continue;
     }
+    std::string steal_error;
+    if (sched::stealing::parse_cli_flag(argc, argv, i, options.stealing,
+                                        steal_seen, steal_error)) {
+      if (!steal_error.empty()) {
+        std::cerr << argv[0] << ": " << steal_error << "\n";
+        std::exit(2);
+      }
+      continue;
+    }
     if (figure_flags && std::strcmp(argv[i], "--csv") == 0) {
       options.csv = true;
     } else if (figure_flags && std::strcmp(argv[i], "--with-16h") == 0) {
@@ -83,15 +98,15 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
       options.partition_sizes = {1, 4, 16};
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       options.threads = parse_thread_value(
-          argv[0], figure_flags, obs_flags, fault_flags,
+          argv[0], figure_flags, obs_flags, fault_flags, steal_flags,
           i + 1 < argc ? argv[i + 1] : nullptr);
       ++i;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      usage(argv[0], figure_flags, obs_flags, fault_flags, 0);
+      usage(argv[0], figure_flags, obs_flags, fault_flags, steal_flags, 0);
     } else {
       std::cerr << argv[0] << ": unknown option '" << argv[i] << "'\n";
-      usage(argv[0], figure_flags, obs_flags, fault_flags, 2);
+      usage(argv[0], figure_flags, obs_flags, fault_flags, steal_flags, 2);
     }
   }
   if (!options.obs.slo.empty()) {
@@ -105,6 +120,13 @@ FigureOptions parse_options(int argc, char** argv, bool figure_flags,
                             "serve_sustained)\n";
     std::exit(2);
   }
+  if (steal_seen && !steal_flags) {
+    std::cerr << argv[0] << ": work-stealing flags only apply to benches "
+                            "wired for the stealing architecture "
+                            "(fig7_matmul_stealing, a13_stealing, "
+                            "serve_sustained)\n";
+    std::exit(2);
+  }
   return options;
 }
 
@@ -114,22 +136,24 @@ constexpr net::TopologyKind kAllTopologies[] = {
 
 }  // namespace
 
-FigureOptions parse_figure_options(int argc, char** argv) {
+FigureOptions parse_figure_options(int argc, char** argv, bool steal_flags) {
   return parse_options(argc, argv, /*figure_flags=*/true, /*obs_flags=*/true,
-                       /*fault_flags=*/true);
+                       /*fault_flags=*/true, steal_flags);
 }
 
 int parse_threads_only(int argc, char** argv) {
   return parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/false,
-                       /*fault_flags=*/false)
+                       /*fault_flags=*/false, /*steal_flags=*/false)
       .threads;
 }
 
-AblationOptions parse_ablation_options(int argc, char** argv,
-                                       bool fault_flags) {
-  const FigureOptions parsed = parse_options(
-      argc, argv, /*figure_flags=*/false, /*obs_flags=*/true, fault_flags);
-  return AblationOptions{parsed.threads, parsed.obs, parsed.faults};
+AblationOptions parse_ablation_options(int argc, char** argv, bool fault_flags,
+                                       bool steal_flags) {
+  const FigureOptions parsed =
+      parse_options(argc, argv, /*figure_flags=*/false, /*obs_flags=*/true,
+                    fault_flags, steal_flags);
+  return AblationOptions{parsed.threads, parsed.obs, parsed.faults,
+                         parsed.stealing};
 }
 
 std::vector<FigureRow> run_figure_sweep(workload::App app,
@@ -184,6 +208,7 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
             app, arch, sched::PolicyKind::kStatic, p, topology);
         apply_quick(static_config);
         static_config.machine.faults = options.faults;
+        static_config.machine.stealing = options.stealing;
         // Representative run for --metrics/--timeline: the last sweep point
         // (largest partition, last topology) -- p=1 machines have no links,
         // so the first point would leave the link instruments empty.
@@ -201,6 +226,7 @@ std::vector<FigureRow> run_figure_sweep(workload::App app,
         auto ts_config = core::figure_point(app, arch, ts_policy, p, topology);
         apply_quick(ts_config);
         ts_config.machine.faults = options.faults;
+        ts_config.machine.stealing = options.stealing;
         const auto ts_result = core::run_experiment(ts_config);
         row.ts_mrt = ts_result.mean_response_s;
         return row;

@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "fault/fault.h"
 #include "obs/hub.h"
+#include "sched/stealing/stealing.h"
 
 namespace tmc::bench {
 
@@ -37,12 +38,18 @@ struct FigureOptions {
   /// Fault-injection knobs (--fault-rate etc.; all zero = reliable machine,
   /// byte-identical to a run without the flags).
   fault::FaultConfig faults{};
+  /// Work-stealing knobs (--steal-rate etc.; rate zero = no engine, the
+  /// kStealing fallback scripts reproduce the fixed goldens byte for byte).
+  sched::stealing::StealParams stealing{};
 };
 
 /// Parses --csv / --with-16h / --quick / --threads N plus the shared
 /// observability flags (used by every figure bench binary). Unknown flags or
 /// bad values print a usage message and exit with code 2; --help exits 0.
-[[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv);
+/// `steal_flags` admits the --steal-* family; benches that leave it false
+/// reject those flags with a targeted diagnostic (mirrors --fault-*).
+[[nodiscard]] FigureOptions parse_figure_options(int argc, char** argv,
+                                                 bool steal_flags = false);
 
 /// Parser for the ablation benches, which take only --threads N (same
 /// validation and exit conventions as parse_figure_options).
@@ -54,11 +61,14 @@ struct AblationOptions {
   int threads = 1;
   obs::Options obs;
   fault::FaultConfig faults{};
+  sched::stealing::StealParams stealing{};
 };
-/// `fault_flags` admits the --fault-* family; benches that leave it false
-/// reject those flags with a targeted diagnostic (exit 2), matching --slo.
+/// `fault_flags` admits the --fault-* family and `steal_flags` the
+/// --steal-* family; benches that leave one false reject its flags with a
+/// targeted diagnostic (exit 2), matching --slo.
 [[nodiscard]] AblationOptions parse_ablation_options(int argc, char** argv,
-                                                     bool fault_flags = false);
+                                                     bool fault_flags = false,
+                                                     bool steal_flags = false);
 
 /// Owns the optional hub for one bench invocation. A sweep runs many
 /// simulations (often in parallel); exactly one -- the representative point

@@ -293,4 +293,62 @@ void BM_FullFigurePoint(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFigurePoint)->Unit(benchmark::kMillisecond);
 
+void BM_SimulationEventChainNullSteal(benchmark::State& state) {
+  // The event chain with the steal hook a non-stealing machine pays:
+  // CommSystem::finish_delivery guards on one std::function that is empty
+  // when no stealing engine was built, so the disabled cost is a single
+  // predictable not-taken branch per delivery. perf_gate.py pairs this
+  // against BM_SimulationEventChain (--pair, 3% tolerance) so the stealing
+  // subsystem stays free for every fixed/adaptive run.
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  // volatile flag keeps the emptiness opaque: the compiler must emit the
+  // check instead of folding the hook away, exactly like a CommSystem
+  // whose set_steal_hook was never called.
+  static volatile bool hook_installed = false;
+  std::function<bool(int)> hook;
+  if (hook_installed) hook = [](int) { return false; };
+  std::uint64_t consumed = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t remaining = depth;
+    std::function<void()> chain = [&] {
+      if (hook != nullptr && hook(static_cast<int>(remaining))) ++consumed;
+      if (--remaining > 0) {
+        sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+      }
+    };
+    sim.schedule(sim::SimTime::nanoseconds(1), [&] { chain(); });
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+    benchmark::DoNotOptimize(consumed);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_SimulationEventChainNullSteal)->Arg(10000);
+
+void BM_StealProtocol(benchmark::State& state) {
+  // The full steal protocol under load: a skewed sort batch on an 8-node
+  // mesh where the thieves do real work -- request, grant, migration
+  // payload and result return all traverse the simulated network. Items
+  // are steal requests resolved per second of wall clock, the throughput
+  // of the protocol machinery itself (deque ops, victim selection, flow
+  // bookkeeping, reply injection).
+  auto config = core::figure_point(
+      workload::App::kSort, sched::SoftwareArch::kStealing,
+      sched::PolicyKind::kStatic, 8, net::TopologyKind::kMesh);
+  config.batch.small_size = 256;
+  config.batch.large_size = 512;
+  config.batch.sort_skew = 0.3;
+  config.machine.stealing.steal_rate = 10'000.0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    const auto run =
+        core::run_batch(config, workload::BatchOrder::kInterleaved);
+    requests += run.machine.steals.requests;
+    benchmark::DoNotOptimize(run.mean_response_s());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+}
+BENCHMARK(BM_StealProtocol)->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -47,6 +47,7 @@ struct ServeOptions {
   bool rss_check = false;
   obs::Options obs;
   fault::FaultConfig faults;
+  sched::stealing::StealParams stealing;
 };
 
 [[noreturn]] void usage(int code) {
@@ -69,7 +70,7 @@ struct ServeOptions {
         "  --json PATH     write a Google-Benchmark-shaped report\n"
         "  --rss-check     fail (exit 1) unless resident memory is flat\n"
         "                  from 25% of the run to the end (needs --threads 1)\n"
-     << obs::cli_help() << fault::cli_help();
+     << obs::cli_help() << fault::cli_help() << sched::stealing::cli_help();
   std::exit(code);
 }
 
@@ -120,6 +121,12 @@ ServeOptions parse(int argc, char** argv) {
       }
     } else if (bool seen = false; fault::parse_cli_flag(
                    argc, argv, i, opt.faults, seen, obs_error)) {
+      if (!obs_error.empty()) {
+        std::cerr << "serve_sustained: " << obs_error << "\n";
+        usage(2);
+      }
+    } else if (bool sseen = false; sched::stealing::parse_cli_flag(
+                   argc, argv, i, opt.stealing, sseen, obs_error)) {
       if (!obs_error.empty()) {
         std::cerr << "serve_sustained: " << obs_error << "\n";
         usage(2);
@@ -273,6 +280,16 @@ int main(int argc, char** argv) {
     config.machine.policy.partition_size = 4;
     config.process = make_process(opt);
     config.classes = tenant_mix();
+    if (opt.stealing.enabled()) {
+      // A steal rate moves the heavy-tailed analytics stragglers -- the
+      // jobs with work worth rebalancing -- onto the stealing
+      // architecture; interactive/batch keep the adaptive scripts.
+      for (workload::JobClass& cls : config.classes) {
+        if (cls.name == "analytics") {
+          cls.arch = sched::SoftwareArch::kStealing;
+        }
+      }
+    }
     config.total_jobs = opt.jobs;
     config.warmup_jobs = opt.warmup;
     config.max_backlog = opt.backlog;
@@ -280,6 +297,7 @@ int main(int argc, char** argv) {
     config.seed = opt.seed;
     config.slo_targets = opt.obs.slo;
     config.machine.faults = opt.faults;
+    config.machine.stealing = opt.stealing;
     // RSS checkpoints: 20 per run, read by the wall-clock side only (the
     // deterministic table never sees them).
     config.checkpoint_every = std::max<std::uint64_t>(opt.jobs / 20, 1);

@@ -1,12 +1,18 @@
 // tmc_cli: run any single experiment from the command line.
 //
-//   tmc_cli [--app matmul|sort] [--arch fixed|adaptive]
+//   tmc_cli [--app matmul|sort] [--arch fixed|adaptive|stealing]
 //           [--policy static|ts|hybrid|adaptive] [--partition N]
 //           [--topology linear|ring|mesh|hypercube|torus|tree] [--quantum MS]
 //           [--memory MB] [--packet BYTES] [--wormhole] [--rotate-placement]
 //           [--no-gang] [--set-size N] [--order interleaved|sjf|ljf]
 //           [--csv] [--jobs] [--threads N]
 //           [--metrics[=PATH]] [--timeline=PATH] [--sample-interval MS]
+//           [--steal-rate R] [--steal-victim V] [--steal-granularity G]
+//           [--steal-chunk C] [--steal-chunks N] [--steal-seed N]
+//
+// --arch stealing runs the work-stealing architecture (DESIGN.md §11); the
+// --steal-* knobs require it and the rate defaults to 10000/s there
+// (--steal-rate 0 builds no engine and falls back to the fixed scripts).
 //
 // --metrics dumps the structured metrics registry at end of run (stderr by
 // default; PATH ending in .csv selects CSV, anything else JSON).
@@ -31,6 +37,7 @@
 #include "core/report.h"
 #include "core/sweep_runner.h"
 #include "obs/hub.h"
+#include "sched/stealing/stealing.h"
 
 namespace {
 
@@ -40,7 +47,8 @@ using namespace tmc;
   std::cerr << "tmc_cli: " << msg
             << "\nrun with the options listed at the top of examples/tmc_cli.cpp\n"
             << "observability flags:\n"
-            << obs::cli_help();
+            << obs::cli_help() << "work-stealing flags (--arch stealing):\n"
+            << sched::stealing::cli_help();
   std::exit(2);
 }
 
@@ -67,11 +75,23 @@ int main(int argc, char** argv) {
 
   core::ExperimentConfig config;
   obs::Options obs_options;
+  bool steal_seen = false;
+  bool steal_rate_seen = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string obs_error;
     if (obs::parse_cli_flag(argc, argv, i, obs_options, obs_error)) {
       if (!obs_error.empty()) usage(obs_error.c_str());
+      continue;
+    }
+    if (bool seen = false; sched::stealing::parse_cli_flag(
+            argc, argv, i, config.machine.stealing, seen, obs_error)) {
+      if (!obs_error.empty()) usage(obs_error.c_str());
+      steal_seen = true;
+      if (std::strncmp(argv[i], "--steal-rate", 12) == 0 ||
+          (i > 0 && std::strncmp(argv[i - 1], "--steal-rate", 12) == 0)) {
+        steal_rate_seen = true;
+      }
       continue;
     }
     const std::string opt = argv[i];
@@ -84,6 +104,7 @@ int main(int argc, char** argv) {
       const std::string v = next_value(argc, argv, i);
       if (v == "fixed") arch = sched::SoftwareArch::kFixed;
       else if (v == "adaptive") arch = sched::SoftwareArch::kAdaptive;
+      else if (v == "stealing") arch = sched::SoftwareArch::kStealing;
       else usage("unknown arch");
     } else if (opt == "--policy") {
       const std::string v = next_value(argc, argv, i);
@@ -144,6 +165,13 @@ int main(int argc, char** argv) {
     } else {
       usage(("unknown option " + opt).c_str());
     }
+  }
+
+  if (steal_seen && arch != sched::SoftwareArch::kStealing) {
+    usage("--steal-* flags require --arch stealing");
+  }
+  if (arch == sched::SoftwareArch::kStealing && !steal_rate_seen) {
+    config.machine.stealing.steal_rate = 10000.0;
   }
 
   // Fill in the workload/policy selection on top of the tuned knobs.

@@ -61,6 +61,11 @@ Multicomputer::Multicomputer(MachineConfig config)
   comm_ = std::make_unique<node::CommSystem>(sim_, *network_, cpu_ptrs,
                                              cfg_.comm);
 
+  if (cfg_.stealing.enabled()) {
+    steal_engine_ = std::make_unique<sched::stealing::Engine>(
+        sim_, *comm_, network_->routing(), cpu_ptrs, cfg_.stealing);
+  }
+
   if (cfg_.policy.kind == sched::PolicyKind::kAdaptiveStatic) {
     scheduler_ = std::make_unique<sched::AdaptiveScheduler>(
         sim_, cpu_ptrs, *comm_, cfg_.policy, cfg_.partition_sched);
@@ -183,6 +188,23 @@ void Multicomputer::wire_observability() {
     });
     reg.probe("fault.jobs_failed", [this] {
       return static_cast<double>(scheduler_->jobs_failed());
+    });
+  }
+
+  // --- work-stealing runtime ----------------------------------------------
+  if (steal_engine_ != nullptr) {
+    sched::stealing::Engine* eng = steal_engine_.get();
+    reg.probe("steal.requests",
+              [eng] { return static_cast<double>(eng->stats().requests); });
+    reg.probe("steal.grants",
+              [eng] { return static_cast<double>(eng->stats().grants); });
+    reg.probe("steal.denials",
+              [eng] { return static_cast<double>(eng->stats().denials); });
+    reg.probe("steal.tasks_migrated", [eng] {
+      return static_cast<double>(eng->stats().tasks_migrated);
+    });
+    reg.probe("steal.bytes_migrated", [eng] {
+      return static_cast<double>(eng->stats().bytes_migrated);
     });
   }
 
@@ -356,7 +378,20 @@ void Multicomputer::wire_observability() {
     job_tracer_ = std::make_unique<obs::JobTracer>(*tl, cfg_.job_class_names);
     scheduler_->set_job_tracer(job_tracer_.get());
     comm_->set_timeline(tl, node_track_base);
+    if (steal_engine_ != nullptr) {
+      steal_engine_->set_timeline(tl, node_track_base);
+      steal_engine_->set_job_tracer(job_tracer_.get());
+    }
   }
+}
+
+void Multicomputer::submit(sched::Job& job) {
+  if (steal_engine_ != nullptr &&
+      job.spec().arch == sched::SoftwareArch::kStealing &&
+      job.spec().tasklet_builder) {
+    steal_engine_->adopt(job);
+  }
+  scheduler_->submit(job);
 }
 
 void Multicomputer::enable_tracing(unsigned mask, sim::Tracer::Sink sink) {
@@ -495,6 +530,7 @@ MachineStats Multicomputer::stats() {
     s.faults.job_restarts = scheduler_->job_restarts();
     s.faults.jobs_failed = scheduler_->jobs_failed();
   }
+  if (steal_engine_ != nullptr) s.steals = steal_engine_->stats();
   return s;
 }
 

@@ -24,6 +24,7 @@
 #include "sched/policy.h"
 #include "sched/adaptive_scheduler.h"
 #include "sched/scheduler.h"
+#include "sched/stealing/engine.h"
 #include "sched/super_scheduler.h"
 #include "sim/simulation.h"
 #include "sim/trace.h"
@@ -62,6 +63,10 @@ struct MachineConfig {
   /// hardware; the fault subsystem is then not even instantiated and every
   /// hook is one untaken null-pointer branch).
   fault::FaultConfig faults{};
+  /// Work-stealing runtime (steal_rate zero = no engine is instantiated;
+  /// kStealing jobs then run their fallback fixed-architecture scripts
+  /// byte-identically).
+  sched::stealing::StealParams stealing{};
 
   /// Optional observability hub (owned by the caller -- tmc_cli or a bench
   /// harness). When set, the constructor registers metric probes and
@@ -101,6 +106,8 @@ struct MachineStats {
   /// fault manager (crashes, repairs, MTBF/MTTR), the comm system (retries,
   /// lost messages) and the scheduler (restarts, failed jobs).
   fault::FaultStats faults{};
+  /// Steal-protocol counters (all zero without an engine).
+  sched::stealing::StealStats steals{};
 };
 
 class Multicomputer {
@@ -138,8 +145,15 @@ class Multicomputer {
     return *partition_scheds_[static_cast<std::size_t>(i)];
   }
 
-  /// Submits a job now (arrival = current simulated time).
-  void submit(sched::Job& job) { scheduler_->submit(job); }
+  /// Submits a job now (arrival = current simulated time). A kStealing job
+  /// with a decomposer is adopted by the steal engine first (when one
+  /// exists) so its program builder becomes the tasklet-driven one.
+  void submit(sched::Job& job);
+
+  /// The work-stealing engine, or nullptr when stealing is disabled.
+  [[nodiscard]] sched::stealing::Engine* steal_engine() {
+    return steal_engine_.get();
+  }
 
   /// Routes component traces (CPU dispatches, process exits, network sends
   /// and parks, memory blocking) matching `mask` to `sink`.
@@ -170,6 +184,8 @@ class Multicomputer {
   /// Created only when cfg_.faults.enabled(); drives the failure/repair
   /// processes and answers the transport's liveness queries.
   std::unique_ptr<fault::FaultManager> fault_mgr_;
+  /// Created only when cfg_.stealing.enabled(); owns the steal protocol.
+  std::unique_ptr<sched::stealing::Engine> steal_engine_;
   /// Per-job lifecycle tracer, created only when a timeline is recording
   /// (see wire_observability); the schedulers hold a pointer to it.
   std::unique_ptr<obs::JobTracer> job_tracer_;

@@ -141,6 +141,10 @@ class Network {
   [[nodiscard]] virtual const Link& link(LinkId id) const = 0;
   [[nodiscard]] virtual int link_count() const = 0;
 
+  /// The router pricing this network's shortest paths (both engines own
+  /// one; distance queries drive e.g. nearest-victim steal selection).
+  [[nodiscard]] virtual const Router& routing() const = 0;
+
   // --- statistics ------------------------------------------------------
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }

@@ -167,6 +167,11 @@ void CommSystem::resend(net::Message msg) {
   network_.send(msg, mem::Block{});
 }
 
+void CommSystem::inject(Process& src, net::EndpointId dst, int tag,
+                        std::size_t bytes) {
+  send_from(src, SendOp{dst, tag, bytes}, mem::Block{});
+}
+
 void CommSystem::send_from(Process& src, const SendOp& op,
                            mem::Block payload) {
   Process* dst = find(op.dst);
@@ -257,6 +262,12 @@ void CommSystem::finish_delivery(std::uint32_t slot, std::uint32_t generation) {
         node_track_base_ + static_cast<obs::TrackId>(dst->node()),
         name_recv_, sim_.now(), msg.flow, static_cast<double>(msg.job));
   }
+  // Steal-protocol messages are consumed at the destination node by the
+  // stealing runtime (which replies by injecting a grant/deny) instead of
+  // being deposited into a mailbox. They still paid the full transport and
+  // deposit costs above, and the fault re-checks already ran: a stale or
+  // crater-addressed steal message never reaches the hook.
+  if (steal_hook_ != nullptr && steal_hook_(msg)) return;
   cpus_[static_cast<std::size_t>(dst->node())]->deliver(*dst, msg,
                                                         std::move(buffer));
 }

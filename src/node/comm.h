@@ -105,6 +105,24 @@ class CommSystem {
     }
   }
 
+  /// Work-stealing runtime hook (core layer wiring): invoked once per
+  /// delivered message after the mailbox-deposit CPU charge and the fault
+  /// liveness/staleness re-checks, immediately before the mailbox deposit.
+  /// Returning true consumes the message (the steal protocol handled it at
+  /// the destination node); false deposits it normally. Null (the default)
+  /// is one untaken branch per delivery.
+  void set_steal_hook(std::function<bool(const net::Message&)> hook) {
+    steal_hook_ = std::move(hook);
+  }
+
+  /// Sends a message on behalf of `src` without `src` executing a SendOp.
+  /// The stealing runtime's grant/deny replies originate at the victim's
+  /// endpoint (its node, its incarnation, a real flow-start) but are
+  /// produced by the delivery interceptor, not the victim's script; like
+  /// fault resends the payload rides as accounting only -- transit and
+  /// delivery costs are still charged from `bytes`.
+  void inject(Process& src, net::EndpointId dst, int tag, std::size_t bytes);
+
   [[nodiscard]] std::uint64_t sends() const { return sends_; }
   [[nodiscard]] std::uint64_t self_sends() const { return self_sends_; }
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
@@ -195,6 +213,7 @@ class CommSystem {
   std::uint64_t retries_ = 0;
   std::uint64_t messages_lost_ = 0;
   std::uint64_t stale_discards_ = 0;
+  std::function<bool(const net::Message&)> steal_hook_;
   obs::Timeline* timeline_ = nullptr;
   obs::TrackId node_track_base_ = 0;
   obs::NameId name_send_ = 0;

@@ -55,6 +55,10 @@ class Process {
   /// instead of entering the ready queue.
   [[nodiscard]] bool gang_active() const { return gang_active_; }
   [[nodiscard]] const Program& program() const { return program_; }
+  /// Mutable script access for dynamic-control runtimes (see ControlOp):
+  /// callbacks running from `complete_op` append the process's next ops
+  /// here. Never reorder or erase ops at or before the current pc.
+  [[nodiscard]] Program& mutable_program() { return program_; }
   [[nodiscard]] Mailbox& mailbox() { return mailbox_; }
   [[nodiscard]] const Mailbox& mailbox() const { return mailbox_; }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "sim/time.h"
 
 namespace tmc::node {
+
+class Process;
 
 /// Matches any tag in a ReceiveOp.
 inline constexpr int kAnyTag = -1;
@@ -51,7 +54,24 @@ struct AllocOp {
 /// Terminates the process.
 struct ExitOp {};
 
-using Op = std::variant<ComputeOp, SendOp, ReceiveOp, AllocOp, ExitOp>;
+/// Burns `cost` of CPU (modelling a scheduler-decision code path), then
+/// invokes `action` to extend the script. This is the dynamic-control
+/// escape hatch used by the work-stealing runtime: the callback inspects
+/// runtime state (deques, in-flight steals) and appends the next ops.
+///
+/// Contract: `action` must leave at least one op after the ControlOp (the
+/// interpreter asserts the pc stays in range), and the script must still
+/// end in ExitOp. The action never fires on the preemption/abort path --
+/// a preempted zero-remaining ControlOp completes via a zero-length
+/// recharge at the next dispatch, so actions always run in normal op
+/// context and a force-exited process can never execute one.
+struct ControlOp {
+  sim::SimTime cost;
+  std::function<void(Process&)> action;
+};
+
+using Op =
+    std::variant<ComputeOp, SendOp, ReceiveOp, AllocOp, ControlOp, ExitOp>;
 
 /// A per-process script plus its static description.
 struct Program {
@@ -85,6 +105,10 @@ struct Program {
   }
   Program& exit() {
     ops.emplace_back(ExitOp{});
+    return *this;
+  }
+  Program& control(sim::SimTime cost, std::function<void(Process&)> action) {
+    ops.emplace_back(ControlOp{cost, std::move(action)});
     return *this;
   }
 

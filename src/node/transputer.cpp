@@ -336,6 +336,18 @@ void Transputer::continue_low() {
     return;
   }
 
+  if (const auto* ctl = std::get_if<ControlOp>(&op)) {
+    // Charged like a compute burst (preemptible, spans quanta); the action
+    // itself runs in complete_op once the cost is fully paid.
+    if (p.phase_ == Process::OpPhase::kInit) {
+      p.compute_remaining_ = ctl->cost;
+      p.phase_ = Process::OpPhase::kCopy;
+    }
+    plan_charge(ChargeKind::kOp,
+                std::min(p.compute_remaining_, quantum_left_));
+    return;
+  }
+
   if (const auto* alloc = std::get_if<AllocOp>(&op)) {
     p.state_ = ProcessState::kBlockedMem;
     current_ = nullptr;
@@ -463,7 +475,14 @@ Process& Transputer::interrupt_low_charge() {
     p.cpu_time_ += elapsed;
     p.compute_remaining_ -= elapsed;
     // The unfinished quantum is lost (T805 semantics); no need to track it.
-    if (p.compute_remaining_.is_zero()) complete_op(p);
+    // A ControlOp is never completed here: its action must not run on the
+    // interrupt path (a force_exit-driven abort would otherwise execute
+    // application logic mid-teardown). A zero-remaining ControlOp instead
+    // completes via a zero-length recharge at its next dispatch.
+    if (p.compute_remaining_.is_zero() &&
+        !std::holds_alternative<ControlOp>(p.program_.ops[p.pc_])) {
+      complete_op(p);
+    }
   } else {
     // The interrupted context switch must be paid again later.
     last_ran_ = nullptr;
@@ -487,6 +506,18 @@ void Transputer::complete_op(Process& p) {
     assert(p.staged_.has_value());
     p.staged_->buffer.release();
     p.staged_.reset();
+  } else if (const auto* ctl = std::get_if<ControlOp>(&op)) {
+    // Copy the callback first: it appends ops, which may reallocate the
+    // vector and invalidate `op`/`ctl`. Advance past the ControlOp before
+    // invoking so the action sees a consistent pc and may append the next
+    // ops (including an immediate ExitOp).
+    auto action = ctl->action;
+    p.phase_ = Process::OpPhase::kInit;
+    ++p.pc_;
+    if (action) action(p);
+    assert(p.pc_ < p.program_.ops.size() &&
+           "ControlOp action must leave a next op (script ends with ExitOp)");
+    return;
   }
   p.phase_ = Process::OpPhase::kInit;
   ++p.pc_;

@@ -20,6 +20,7 @@ JobTracer::JobTracer(Timeline& timeline,
   name_run_ = timeline_.intern("run");
   name_rotation_ = timeline_.intern("rotation");
   name_retry_ = timeline_.intern("retry");
+  name_steal_ = timeline_.intern("steal");
 }
 
 JobTracer::Slot& JobTracer::slot_for(std::uint64_t id) {
@@ -29,6 +30,13 @@ JobTracer::Slot& JobTracer::slot_for(std::uint64_t id) {
 }
 
 void JobTracer::close_phase(Slot& slot, std::uint64_t id, sim::SimTime t) {
+  // The steal overlay nests inside the phase span: close it first so the
+  // per-id async stack pops in order, and let the caller reopen it inside
+  // the next phase (reopen_steal).
+  if (slot.steal_open) {
+    timeline_.async_end(slot.track, name_steal_, t, id);
+    slot.steal_open = false;
+  }
   switch (slot.phase) {
     case Phase::kIdle:
       return;
@@ -63,12 +71,20 @@ void JobTracer::arrival(std::uint64_t id, int job_class, sim::SimTime t) {
   timeline_.async_begin(slot.track, name_wait_, t, id);
 }
 
+void JobTracer::reopen_steal(Slot& slot, std::uint64_t id, sim::SimTime t) {
+  if (slot.steal_depth > 0 && !slot.steal_open) {
+    timeline_.async_begin(slot.track, name_steal_, t, id);
+    slot.steal_open = true;
+  }
+}
+
 void JobTracer::dispatch(std::uint64_t id, sim::SimTime t) {
   Slot& slot = slot_for(id);
   if (!slot.live) return;
   close_phase(slot, id, t);
   slot.phase = Phase::kDispatch;
   timeline_.async_begin(slot.track, name_dispatch_, t, id);
+  reopen_steal(slot, id, t);
 }
 
 void JobTracer::run_begin(std::uint64_t id, sim::SimTime t) {
@@ -77,6 +93,7 @@ void JobTracer::run_begin(std::uint64_t id, sim::SimTime t) {
   close_phase(slot, id, t);
   slot.phase = Phase::kRun;
   timeline_.async_begin(slot.track, name_run_, t, id);
+  reopen_steal(slot, id, t);
 }
 
 void JobTracer::run_end(std::uint64_t id, sim::SimTime t) {
@@ -85,6 +102,7 @@ void JobTracer::run_end(std::uint64_t id, sim::SimTime t) {
   close_phase(slot, id, t);
   slot.phase = Phase::kRotation;
   timeline_.async_begin(slot.track, name_rotation_, t, id);
+  reopen_steal(slot, id, t);
 }
 
 void JobTracer::abort(std::uint64_t id, sim::SimTime t) {
@@ -93,6 +111,10 @@ void JobTracer::abort(std::uint64_t id, sim::SimTime t) {
   close_phase(slot, id, t);
   slot.phase = Phase::kRetry;
   timeline_.async_begin(slot.track, name_retry_, t, id);
+  // The abort force-exited every process, thieves included: any protocol
+  // still notionally in flight dies with the old life, so the overlay does
+  // not reopen. A restarted life starts stealing from scratch.
+  slot.steal_depth = 0;
 }
 
 void JobTracer::completion(std::uint64_t id, sim::SimTime t) {
@@ -101,6 +123,24 @@ void JobTracer::completion(std::uint64_t id, sim::SimTime t) {
   close_phase(slot, id, t);
   timeline_.async_end(slot.track, name_job_, t, id);
   slot = Slot{};  // recycled ids start a fresh span group
+}
+
+void JobTracer::steal_begin(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live) return;
+  if (++slot.steal_depth == 1) {
+    timeline_.async_begin(slot.track, name_steal_, t, id);
+    slot.steal_open = true;
+  }
+}
+
+void JobTracer::steal_end(std::uint64_t id, sim::SimTime t) {
+  Slot& slot = slot_for(id);
+  if (!slot.live || slot.steal_depth == 0) return;
+  if (--slot.steal_depth == 0 && slot.steal_open) {
+    timeline_.async_end(slot.track, name_steal_, t, id);
+    slot.steal_open = false;
+  }
 }
 
 }  // namespace tmc::obs

@@ -59,6 +59,17 @@ class JobTracer {
   /// Last process exited; closes whatever phase span is open, then the job.
   void completion(std::uint64_t id, sim::SimTime t);
 
+  /// Work-stealing overlay: a thief of this job entered the steal protocol
+  /// (victim selection to reply absorbed). Concurrent thieves nest by
+  /// depth-counting -- one "steal" span is open while any thief is mid-
+  /// protocol. The span is an *overlay inside* the run/rotation phases, not
+  /// a phase of its own: the response-time decomposition stays exact and
+  /// tools/obs_report.py reports the column separately (only when
+  /// non-zero). Phase transitions close and reopen the span so the per-id
+  /// async stack stays properly nested.
+  void steal_begin(std::uint64_t id, sim::SimTime t);
+  void steal_end(std::uint64_t id, sim::SimTime t);
+
  private:
   enum class Phase : std::uint8_t {
     kIdle,      // no span group open for this id
@@ -72,10 +83,18 @@ class JobTracer {
     Phase phase = Phase::kIdle;
     TrackId track = 0;
     bool live = false;  // between arrival and completion
+    /// Steal overlay: thieves currently mid-protocol, and whether the
+    /// "steal" span is open on the timeline (closed across phase
+    /// boundaries to keep the async stack nested, reopened after).
+    std::uint32_t steal_depth = 0;
+    bool steal_open = false;
   };
 
-  /// Closes the currently open phase span (if any) at `t`.
+  /// Closes the currently open phase span (if any) at `t`, closing an open
+  /// steal overlay span first (stack discipline).
   void close_phase(Slot& slot, std::uint64_t id, sim::SimTime t);
+  /// Reopens the steal overlay inside a freshly opened phase span.
+  void reopen_steal(Slot& slot, std::uint64_t id, sim::SimTime t);
   Slot& slot_for(std::uint64_t id);
 
   Timeline& timeline_;
@@ -87,6 +106,7 @@ class JobTracer {
   NameId name_run_ = 0;
   NameId name_rotation_ = 0;
   NameId name_retry_ = 0;
+  NameId name_steal_ = 0;
 };
 
 }  // namespace tmc::obs

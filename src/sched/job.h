@@ -14,6 +14,7 @@
 
 #include "node/process.h"
 #include "node/program.h"
+#include "sched/stealing/work.h"
 #include "sim/time.h"
 
 namespace tmc::sched {
@@ -27,10 +28,14 @@ using node::JobId;
          static_cast<net::EndpointId>(rank);
 }
 
-/// The software architectures of section 4.3.
+/// The software architectures of section 4.3, plus the work-stealing third
+/// architecture: like kFixed the process count is set at compile time, but
+/// work is decomposed into migratable tasklets and idle workers steal over
+/// the real (simulated) network instead of idling.
 enum class SoftwareArch {
   kFixed,     // process count fixed at compile time (16 in the paper)
   kAdaptive,  // process count = processors allocated, discovered at run time
+  kStealing,  // fixed processes + tasklet deques + network-priced stealing
 };
 
 [[nodiscard]] std::string_view to_string(SoftwareArch arch);
@@ -42,6 +47,15 @@ class Job;
 /// of the result is the script of rank i; rank 0 is the coordinator.
 using ProgramBuilder =
     std::function<std::vector<node::Program>(const Job&, int partition_size)>;
+
+namespace stealing {
+struct StealParams;
+/// Decomposes a kStealing job into per-worker tasklet deques once the
+/// partition size is known. Installed by the workload builders; invoked by
+/// the stealing Engine when it adopts the job at submission.
+using TaskletBuilder =
+    std::function<JobWork(const Job&, int partition_size, const StealParams&)>;
+}  // namespace stealing
 
 /// Static description of a job, fixed at submission.
 struct JobSpec {
@@ -57,6 +71,11 @@ struct JobSpec {
   /// orderings (smaller estimate = "small job").
   sim::SimTime demand_estimate;
   ProgramBuilder builder;
+  /// Tasklet decomposition for the work-stealing architecture; empty for
+  /// kFixed/kAdaptive. For kStealing jobs `builder` stays the fixed-
+  /// architecture script, so a machine without a stealing engine (steal
+  /// rate 0) degenerates byte-identically to the fixed architecture.
+  stealing::TaskletBuilder tasklet_builder;
 };
 
 /// A job instance moving through the system.
@@ -68,6 +87,13 @@ class Job {
 
   [[nodiscard]] JobId id() const { return id_; }
   [[nodiscard]] const JobSpec& spec() const { return spec_; }
+
+  /// Replaces the program builder in place. Used by the stealing Engine to
+  /// adopt a kStealing job at submission: the spec's fallback builder (the
+  /// fixed-architecture script) is swapped for the engine's tasklet-driven
+  /// build. Re-dispatches after a fault restart then rebuild through the
+  /// engine too.
+  void set_builder(ProgramBuilder b) { spec_.builder = std::move(b); }
 
   // --- lifecycle (written by the schedulers) ----------------------------
   void mark_arrival(sim::SimTime t) { arrival_ = t; }

@@ -11,6 +11,7 @@ std::string_view to_string(SoftwareArch arch) {
   switch (arch) {
     case SoftwareArch::kFixed: return "fixed";
     case SoftwareArch::kAdaptive: return "adaptive";
+    case SoftwareArch::kStealing: return "stealing";
   }
   return "?";
 }

@@ -1,0 +1,296 @@
+#include "sched/stealing/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "obs/job_trace.h"
+
+namespace tmc::sched::stealing {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the per-job seeds from dense job ids.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t job) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (job + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Engine::Engine(sim::Simulation& sim, node::CommSystem& comm,
+               const net::Router& router,
+               std::vector<node::Transputer*> cpus, StealParams params)
+    : sim_(sim),
+      comm_(comm),
+      router_(router),
+      cpus_(std::move(cpus)),
+      params_(params) {
+  comm_.set_steal_hook(
+      [this](const net::Message& msg) { return on_message(msg); });
+}
+
+void Engine::set_timeline(obs::Timeline* timeline,
+                          obs::TrackId node_track_base) {
+  timeline_ = timeline;
+  node_track_base_ = node_track_base;
+  if (timeline_ != nullptr) {
+    name_req_ = timeline_->intern("steal-req");
+    name_grant_ = timeline_->intern("steal-grant");
+    name_deny_ = timeline_->intern("steal-deny");
+  }
+}
+
+void Engine::adopt(Job& job) {
+  assert(job.spec().arch == SoftwareArch::kStealing);
+  assert(job.spec().tasklet_builder && "kStealing job without a decomposer");
+  job.set_builder([this](const Job& j, int partition_size) {
+    return build_programs(j, partition_size);
+  });
+}
+
+std::vector<node::Program> Engine::build_programs(const Job& job,
+                                                  int partition_size) {
+  JobWork work = job.spec().tasklet_builder(job, partition_size, params_);
+  const std::size_t procs = work.workers.size();
+  assert(procs >= 1 && "decomposer produced no workers");
+
+  // A fresh runtime per (re-)admission: a fault restart rebuilds cleanly,
+  // and the new epoch makes any deferred reply of the previous life a
+  // no-op.
+  Runtime rt;
+  rt.workers.resize(procs);
+  for (std::size_t i = 0; i < procs; ++i) {
+    rt.workers[i].deque = std::move(work.workers[i].deque);
+  }
+  rt.rng = sim::Rng(mix_seed(params_.seed, job.id()));
+  rt.finish_cost = work.finish_cost;
+  rt.active = static_cast<int>(procs);
+  rt.epoch = next_epoch_++;
+  runtimes_[job.id()] = std::move(rt);
+
+  const JobId id = job.id();
+  auto step = [this](node::Process& p) { control_step(p); };
+  std::vector<node::Program> programs(procs);
+  for (std::size_t r = 0; r < procs; ++r) {
+    node::Program& prog = programs[r];
+    const WorkerWork& w = work.workers[r];
+    if (w.alloc_bytes > 0) prog.alloc(w.alloc_bytes);
+    if (r == 0) {
+      if (!work.init_cost.is_zero()) prog.compute(work.init_cost);
+      for (std::size_t dst = 1; dst < procs; ++dst) {
+        prog.send(endpoint_of(id, static_cast<int>(dst)), kTagStealInit,
+                  work.workers[dst].init_bytes);
+      }
+    } else {
+      prog.receive(kTagStealInit);
+    }
+    prog.control(params_.control_cpu, step);
+  }
+  return programs;
+}
+
+void Engine::control_step(node::Process& p) {
+  const auto it = runtimes_.find(p.job());
+  if (it == runtimes_.end()) {
+    // Unreachable by the termination invariant (a live control step implies
+    // a worker that has not wound down, which keeps the runtime alive);
+    // kept as a defensive exit so the action contract holds regardless.
+    p.mutable_program().exit();
+    return;
+  }
+  append_next(it->second, p, static_cast<int>(net::endpoint_rank(p.id())));
+}
+
+void Engine::absorb_reply(node::Process& p) {
+  const auto it = runtimes_.find(p.job());
+  if (it == runtimes_.end()) {
+    p.mutable_program().exit();
+    return;
+  }
+  Runtime& rt = it->second;
+  const int rank = static_cast<int>(net::endpoint_rank(p.id()));
+  Worker& w = rt.workers[static_cast<std::size_t>(rank)];
+  if (!w.in_flight.empty()) {
+    // Grant: the migrated tasklets join the back of the thief's deque (it
+    // is empty -- the thief only steals when out of local work).
+    rt.in_flight_tasks -= w.in_flight.size();
+    for (Tasklet& t : w.in_flight) w.deque.push_back(t);
+    w.in_flight.clear();
+    w.denials = 0;
+  } else {
+    w.last_victim = -1;
+    ++w.denials;
+  }
+  if (job_tracer_ != nullptr) job_tracer_->steal_end(p.job(), sim_.now());
+  append_next(rt, p, rank);
+}
+
+void Engine::append_next(Runtime& rt, node::Process& p, int rank) {
+  Worker& w = rt.workers[static_cast<std::size_t>(rank)];
+  node::Program& prog = p.mutable_program();
+  const JobId job = p.job();
+
+  if (!w.deque.empty()) {
+    const Tasklet t = w.deque.back();
+    w.deque.pop_back();
+    const bool ship_result = rank != 0 && t.result_bytes > 0;
+    if (ship_result) ++rt.remote_results;
+    prog.compute(t.cost);
+    if (ship_result) {
+      prog.send(endpoint_of(job, 0), kTagStealResult, t.result_bytes);
+    }
+    prog.control(params_.control_cpu,
+                 [this](node::Process& q) { control_step(q); });
+    return;
+  }
+
+  if (params_.enabled() && rt.workers.size() > 1 && work_available(rt)) {
+    const int victim = pick_victim(rt, p, rank);
+    w.last_victim = victim;
+    if (w.denials > 0) {
+      // Escalating poll interval: 1/rate after the first deny, doubling per
+      // consecutive deny, capped at 64x.
+      const std::int64_t mult = std::int64_t{1}
+                                << std::min(w.denials - 1, 6);
+      prog.compute(params_.poll_interval() * mult);
+    }
+    if (timeline_ != nullptr) {
+      w.open_flow = next_steal_flow_++;
+      timeline_->flow_start(
+          node_track_base_ + static_cast<obs::TrackId>(p.node()), name_req_,
+          sim_.now(), w.open_flow, static_cast<double>(job));
+    }
+    if (job_tracer_ != nullptr) job_tracer_->steal_begin(job, sim_.now());
+    prog.send(endpoint_of(job, victim), kTagStealReq, params_.request_bytes);
+    prog.receive(kTagStealReply);
+    prog.control(params_.control_cpu,
+                 [this](node::Process& q) { absorb_reply(q); });
+    return;
+  }
+
+  wind_down(rt, p, rank);
+}
+
+void Engine::wind_down(Runtime& rt, node::Process& p, int rank) {
+  Worker& w = rt.workers[static_cast<std::size_t>(rank)];
+  assert(!w.wound_down);
+  w.wound_down = true;
+  --rt.active;
+  node::Program& prog = p.mutable_program();
+  if (rank == 0) {
+    // Every tasklet has been popped (that is what let rank 0 get here), so
+    // remote_results is final: absorb exactly that many result messages,
+    // pay the final merge, exit.
+    for (std::uint64_t i = 0; i < rt.remote_results; ++i) {
+      prog.receive(kTagStealResult);
+    }
+    if (!rt.finish_cost.is_zero()) prog.compute(rt.finish_cost);
+  }
+  prog.exit();
+  if (rt.active == 0) runtimes_.erase(p.job());
+}
+
+int Engine::pick_victim(Runtime& rt, const node::Process& p, int rank) {
+  const int procs = static_cast<int>(rt.workers.size());
+  const JobId job = p.job();
+  if (params_.victim == VictimPolicy::kNearest) {
+    int best = -1;
+    int best_distance = std::numeric_limits<int>::max();
+    for (int v = 0; v < procs; ++v) {
+      if (v == rank) continue;
+      const node::Process* vp = comm_.find(endpoint_of(job, v));
+      if (vp == nullptr) continue;  // fault teardown race
+      const int d = router_.distance(p.node(), vp->node());
+      if (d < best_distance) {
+        best_distance = d;
+        best = v;
+      }
+    }
+    if (best >= 0) return best;
+  } else if (params_.victim == VictimPolicy::kLastVictim) {
+    const int last = rt.workers[static_cast<std::size_t>(rank)].last_victim;
+    if (last >= 0 && last != rank && last < procs) return last;
+  }
+  const auto draw = static_cast<int>(
+      rt.rng.uniform(static_cast<std::uint64_t>(procs - 1)));
+  return draw >= rank ? draw + 1 : draw;
+}
+
+bool Engine::on_message(const net::Message& msg) {
+  if (msg.tag != kTagStealReq) return false;
+  ++stats_.requests;
+  const auto job = static_cast<node::JobId>(msg.job);
+  node::Process* victim = comm_.find(msg.dst_endpoint);
+  const auto it = runtimes_.find(job);
+  std::size_t granted = 0;
+  std::size_t bytes = 0;
+  std::uint64_t epoch = 0;
+  if (it != runtimes_.end()) {
+    Runtime& rt = it->second;
+    epoch = rt.epoch;
+    const auto victim_rank =
+        static_cast<std::size_t>(net::endpoint_rank(msg.dst_endpoint));
+    const auto thief_rank =
+        static_cast<std::size_t>(net::endpoint_rank(msg.src_endpoint));
+    if (victim_rank < rt.workers.size() && thief_rank < rt.workers.size()) {
+      Worker& v = rt.workers[victim_rank];
+      Worker& t = rt.workers[thief_rank];
+      if (!v.deque.empty()) {
+        granted = params_.granularity == Granularity::kHalfDeque
+                      ? (v.deque.size() + 1) / 2
+                      : std::size_t{1};
+        for (std::size_t i = 0; i < granted; ++i) {
+          bytes += v.deque[i].migrate_bytes;
+          t.in_flight.push_back(v.deque[i]);
+        }
+        v.deque.erase(v.deque.begin(),
+                      v.deque.begin() + static_cast<std::ptrdiff_t>(granted));
+        rt.in_flight_tasks += granted;
+        stats_.tasks_migrated += granted;
+        stats_.bytes_migrated += bytes;
+      }
+      if (timeline_ != nullptr && t.open_flow != 0 && victim != nullptr) {
+        timeline_->flow_finish(
+            node_track_base_ + static_cast<obs::TrackId>(victim->node()),
+            granted > 0 ? name_grant_ : name_deny_, sim_.now(), t.open_flow,
+            static_cast<double>(granted));
+        t.open_flow = 0;
+      }
+    }
+  }
+  if (granted > 0) {
+    ++stats_.grants;
+  } else {
+    ++stats_.denials;
+  }
+  if (victim == nullptr) {
+    // Fault teardown race: the endpoint vanished during the deposit charge
+    // yet the message survived the comm re-checks. The thief's job is being
+    // torn down with it; no reply is owed.
+    return true;
+  }
+  // The victim's node pays the handler cost as high-priority (interrupting)
+  // work, then the reply is injected from the victim's endpoint. The epoch
+  // check makes a reply deferred across a job abort/restart a no-op.
+  const bool check_epoch = it != runtimes_.end();
+  const net::EndpointId victim_ep = msg.dst_endpoint;
+  const net::EndpointId thief_ep = msg.src_endpoint;
+  const std::size_t reply_bytes = params_.reply_header_bytes + bytes;
+  cpus_[static_cast<std::size_t>(victim->node())]->post_high(
+      params_.handler_cpu,
+      [this, job, epoch, check_epoch, victim_ep, thief_ep, reply_bytes] {
+        if (check_epoch) {
+          const auto rit = runtimes_.find(job);
+          if (rit == runtimes_.end() || rit->second.epoch != epoch) return;
+        }
+        node::Process* src = comm_.find(victim_ep);
+        if (src == nullptr) return;
+        comm_.inject(*src, thief_ep, kTagStealReply, reply_bytes);
+      });
+  return true;
+}
+
+}  // namespace tmc::sched::stealing

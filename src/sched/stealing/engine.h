@@ -1,0 +1,138 @@
+// tmcsim -- the work-stealing runtime engine.
+//
+// One Engine per machine (created only when MachineConfig.stealing is
+// enabled). At submission the machine hands it every kStealing job
+// (adopt()); the engine swaps the job's program builder for its own, which
+// invokes the workload's TaskletBuilder and emits per-rank scripts that
+// alternate compute bursts with ControlOp steps. Each control step pops the
+// worker's deque (owner end: back), or -- when the deque is empty and work
+// remains elsewhere -- sends a real steal-request message to a victim and
+// blocks on the reply. The victim's node intercepts the request at mailbox
+// delivery (CommSystem steal hook), pays a high-priority handler charge,
+// pops the front of the victim's deque (single task or half, per
+// granularity) and injects a grant carrying the migrate bytes, or a deny.
+//
+// Determinism: victim selection draws from a per-job xoshiro stream seeded
+// from (params.seed, job id), consumed in simulation event order; the sweep
+// runner farms whole machines to threads, so every machine replays its own
+// event order and tables stay bit-identical at any --threads.
+//
+// Termination: a tasklet can never spawn new tasklets, so "every deque
+// empty and no grant in flight" is a stable property. A worker observing it
+// winds down (rank > 0 exits; rank 0 absorbs the exactly-counted remote
+// results, pays the finish cost, and exits). Any outstanding request
+// implies a thief still blocked on its reply -- so the per-job runtime is
+// alive whenever protocol traffic is in flight, and the interceptor can
+// always answer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/router.h"
+#include "node/comm.h"
+#include "node/transputer.h"
+#include "obs/timeline.h"
+#include "sched/job.h"
+#include "sched/stealing/stealing.h"
+#include "sched/stealing/work.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace tmc::obs {
+class JobTracer;
+}
+
+namespace tmc::sched::stealing {
+
+class Engine {
+ public:
+  /// Installs itself as `comm`'s steal hook. `cpus[i]` must be node i's
+  /// Transputer (handler charges); `router` prices nearest-victim
+  /// selection.
+  Engine(sim::Simulation& sim, node::CommSystem& comm,
+         const net::Router& router, std::vector<node::Transputer*> cpus,
+         StealParams params);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Adopts a kStealing job at submission: swaps its program builder for
+  /// the engine's tasklet-driven build (the spec's fallback builder -- the
+  /// fixed-architecture script -- is what runs on machines without an
+  /// engine). Re-admission after a fault restart rebuilds through the same
+  /// path with a fresh runtime epoch.
+  void adopt(Job& job);
+
+  /// Steal request->grant flow arrows on the node tracks (null = off).
+  void set_timeline(obs::Timeline* timeline, obs::TrackId node_track_base);
+  /// Per-job "steal" overlay spans (null = off).
+  void set_job_tracer(obs::JobTracer* tracer) { job_tracer_ = tracer; }
+
+  [[nodiscard]] const StealStats& stats() const { return stats_; }
+  [[nodiscard]] const StealParams& params() const { return params_; }
+
+ private:
+  struct Worker {
+    std::vector<Tasklet> deque;      // back = owner pop, front = steal
+    std::vector<Tasklet> in_flight;  // granted, riding a reply to this rank
+    std::uint64_t open_flow = 0;     // flow id of the outstanding request
+    int last_victim = -1;            // last successful victim (kLastVictim)
+    int denials = 0;                 // consecutive denials (backoff)
+    bool wound_down = false;
+  };
+  struct Runtime {
+    std::vector<Worker> workers;
+    sim::Rng rng;
+    sim::SimTime finish_cost;
+    /// Result messages rank 0 must absorb: one per tasklet popped by a
+    /// non-zero rank with result bytes. Final once every deque is empty.
+    std::uint64_t remote_results = 0;
+    std::size_t in_flight_tasks = 0;
+    int active = 0;  // workers not yet wound down
+    /// Distinguishes this runtime from earlier lives of a recycled or
+    /// restarted job id; deferred handler callbacks compare it before
+    /// injecting a reply.
+    std::uint64_t epoch = 0;
+  };
+
+  std::vector<node::Program> build_programs(const Job& job,
+                                            int partition_size);
+  /// The ControlOp actions: decide the worker's next ops.
+  void control_step(node::Process& p);
+  void absorb_reply(node::Process& p);
+  void append_next(Runtime& rt, node::Process& p, int rank);
+  void wind_down(Runtime& rt, node::Process& p, int rank);
+  int pick_victim(Runtime& rt, const node::Process& p, int rank);
+  /// CommSystem delivery hook; consumes kTagStealReq messages.
+  bool on_message(const net::Message& msg);
+
+  [[nodiscard]] bool work_available(const Runtime& rt) const {
+    if (rt.in_flight_tasks > 0) return true;
+    for (const Worker& w : rt.workers) {
+      if (!w.deque.empty()) return true;
+    }
+    return false;
+  }
+
+  sim::Simulation& sim_;
+  node::CommSystem& comm_;
+  const net::Router& router_;
+  std::vector<node::Transputer*> cpus_;
+  StealParams params_;
+  std::unordered_map<node::JobId, Runtime> runtimes_;
+  std::uint64_t next_epoch_ = 1;
+  StealStats stats_;
+  obs::Timeline* timeline_ = nullptr;
+  obs::TrackId node_track_base_ = 0;
+  obs::NameId name_req_ = 0;
+  obs::NameId name_grant_ = 0;
+  obs::NameId name_deny_ = 0;
+  /// Steal flow ids live far above message ids (which start at 1 and count
+  /// deliveries): 2^50 is exact in the JSON doubles and leaves no overlap.
+  std::uint64_t next_steal_flow_ = std::uint64_t{1} << 50;
+  obs::JobTracer* job_tracer_ = nullptr;
+};
+
+}  // namespace tmc::sched::stealing

@@ -1,0 +1,244 @@
+#include "sched/stealing/stealing.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace tmc::sched::stealing {
+
+std::string_view to_string(VictimPolicy policy) {
+  switch (policy) {
+    case VictimPolicy::kRandom: return "random";
+    case VictimPolicy::kNearest: return "nearest";
+    case VictimPolicy::kLastVictim: return "last";
+  }
+  return "?";
+}
+
+std::string_view to_string(Granularity granularity) {
+  switch (granularity) {
+    case Granularity::kSingleTask: return "task";
+    case Granularity::kHalfDeque: return "half";
+  }
+  return "?";
+}
+
+std::string_view to_string(Chunking chunking) {
+  switch (chunking) {
+    case Chunking::kStatic: return "static";
+    case Chunking::kGuided: return "guided";
+    case Chunking::kFactoring: return "factoring";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> chunk_sizes(std::size_t total, int workers,
+                                     Chunking chunking,
+                                     int chunks_per_worker) {
+  std::vector<std::size_t> sizes;
+  if (total == 0) return sizes;
+  const auto w = static_cast<std::size_t>(std::max(1, workers));
+  switch (chunking) {
+    case Chunking::kStatic: {
+      const std::size_t want =
+          w * static_cast<std::size_t>(std::max(1, chunks_per_worker));
+      const std::size_t count = std::min(total, want);
+      sizes.reserve(count);
+      // Largest-remainder split: first (total % count) chunks get the extra
+      // unit, mirroring the fixed builders' rows_of() convention.
+      for (std::size_t i = 0; i < count; ++i) {
+        sizes.push_back(total / count + (i < total % count ? 1 : 0));
+      }
+      return sizes;
+    }
+    case Chunking::kGuided: {
+      std::size_t remaining = total;
+      while (remaining > 0) {
+        const std::size_t chunk = std::max<std::size_t>(
+            1, (remaining + w - 1) / w);
+        sizes.push_back(chunk);
+        remaining -= chunk;
+      }
+      return sizes;
+    }
+    case Chunking::kFactoring: {
+      std::size_t remaining = total;
+      while (remaining > 0) {
+        // One batch of `workers` chunks, each ceil(R / 2W) of the remainder
+        // at batch start (Hummel et al.'s factoring with alpha = 2).
+        const std::size_t chunk = std::max<std::size_t>(
+            1, (remaining + 2 * w - 1) / (2 * w));
+        for (std::size_t i = 0; i < w && remaining > 0; ++i) {
+          const std::size_t take = std::min(chunk, remaining);
+          sizes.push_back(take);
+          remaining -= take;
+        }
+      }
+      return sizes;
+    }
+  }
+  return sizes;
+}
+
+namespace {
+
+bool match_flag(std::string_view arg, std::string_view flag, bool& has_value,
+                std::string_view& value) {
+  if (arg == flag) {
+    has_value = false;
+    return true;
+  }
+  if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    has_value = true;
+    value = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+bool take_value(std::string_view flag, int argc, char** argv, int& i,
+                bool has_inline, std::string_view inline_value,
+                std::string& out, std::string& error) {
+  if (has_inline) {
+    out.assign(inline_value);
+    return true;
+  }
+  if (i + 1 >= argc) {
+    error = std::string(flag) + " requires a value";
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+bool parse_double(std::string_view flag, const std::string& text, double min,
+                  double* dst, std::string& error) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(v >= min)) {
+    error = std::string(flag) + ": expected a number >= " +
+            std::to_string(min) + ", got '" + text + "'";
+    return false;
+  }
+  *dst = v;
+  return true;
+}
+
+bool parse_int(std::string_view flag, const std::string& text, long min,
+               long* dst, std::string& error) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < min) {
+    error = std::string(flag) + ": expected an integer >= " +
+            std::to_string(min) + ", got '" + text + "'";
+    return false;
+  }
+  *dst = v;
+  return true;
+}
+
+}  // namespace
+
+bool parse_cli_flag(int argc, char** argv, int& i, StealParams& params,
+                    bool& seen, std::string& error) {
+  const std::string_view arg = argv[i];
+  bool has_inline = false;
+  std::string_view inline_value;
+  std::string text;
+
+  const auto value_of = [&](std::string_view flag) {
+    return take_value(flag, argc, argv, i, has_inline, inline_value, text,
+                      error);
+  };
+
+  if (match_flag(arg, "--steal-rate", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-rate")) {
+      parse_double("--steal-rate", text, 0.0, &params.steal_rate, error);
+    }
+    return true;
+  }
+  if (match_flag(arg, "--steal-victim", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-victim")) {
+      if (text == "random") {
+        params.victim = VictimPolicy::kRandom;
+      } else if (text == "nearest") {
+        params.victim = VictimPolicy::kNearest;
+      } else if (text == "last") {
+        params.victim = VictimPolicy::kLastVictim;
+      } else {
+        error = "--steal-victim: expected random, nearest or last, got '" +
+                text + "'";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--steal-granularity", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-granularity")) {
+      if (text == "task") {
+        params.granularity = Granularity::kSingleTask;
+      } else if (text == "half") {
+        params.granularity = Granularity::kHalfDeque;
+      } else {
+        error = "--steal-granularity: expected task or half, got '" + text +
+                "'";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--steal-chunk", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-chunk")) {
+      if (text == "static") {
+        params.chunking = Chunking::kStatic;
+      } else if (text == "guided") {
+        params.chunking = Chunking::kGuided;
+      } else if (text == "factoring") {
+        params.chunking = Chunking::kFactoring;
+      } else {
+        error = "--steal-chunk: expected static, guided or factoring, got '" +
+                text + "'";
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--steal-chunks", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-chunks")) {
+      long v = 0;
+      if (parse_int("--steal-chunks", text, 1, &v, error)) {
+        params.chunks_per_worker = static_cast<int>(v);
+      }
+    }
+    return true;
+  }
+  if (match_flag(arg, "--steal-seed", has_inline, inline_value)) {
+    seen = true;
+    if (value_of("--steal-seed")) {
+      long v = 0;
+      if (parse_int("--steal-seed", text, 0, &v, error)) {
+        params.seed = static_cast<std::uint64_t>(v);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+const char* cli_help() {
+  return "  --steal-rate R         idle-worker steal attempts per second "
+         "(0 = stealing off)\n"
+         "  --steal-victim V       victim selection: random | nearest | "
+         "last\n"
+         "  --steal-granularity G  per-grant migration: task | half "
+         "(half the victim's deque)\n"
+         "  --steal-chunk C        decomposition schedule: static | guided "
+         "| factoring\n"
+         "  --steal-chunks N       chunks per worker under --steal-chunk "
+         "static (default 8)\n"
+         "  --steal-seed S         seed of the victim-selection streams\n";
+}
+
+}  // namespace tmc::sched::stealing

@@ -1,0 +1,57 @@
+// tmcsim -- tasklet decomposition for the work-stealing architecture.
+//
+// A kStealing job is decomposed, once the partition size is known, into one
+// tasklet deque per worker rank. Owners pop from the back (LIFO, cache-warm
+// work first); thieves are granted from the front (FIFO, the oldest -- and
+// for divide-and-conquer decompositions the largest -- work migrates). The
+// decomposition is pure data: the stealing Engine turns it into op scripts
+// and drives the steal protocol over the simulated network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tmc::sched::stealing {
+
+/// One unit of migratable work.
+struct Tasklet {
+  /// CPU cost of executing the tasklet on whichever worker runs it.
+  sim::SimTime cost;
+  /// Payload bytes shipped to a thief when this tasklet migrates (operands
+  /// plus descriptor); priced through the wormhole network like any send.
+  std::size_t migrate_bytes = 0;
+  /// Result bytes the executing worker ships to rank 0 on completion
+  /// (rank 0 running its own tasklets keeps results local).
+  std::size_t result_bytes = 0;
+};
+
+/// Per-rank initial state of a decomposed job.
+struct WorkerWork {
+  /// Initial deque; back = next tasklet the owner pops.
+  std::vector<Tasklet> deque;
+  /// Resident working set allocated before any tasklet runs.
+  std::size_t alloc_bytes = 0;
+  /// Bytes of the initial work parcel rank 0 ships to this rank before the
+  /// stealing loop starts (ranks > 0; ignored for rank 0).
+  std::size_t init_bytes = 0;
+};
+
+/// A job's full decomposition. Element i of `workers` is rank i; rank 0 is
+/// the coordinator that distributes initial parcels and merges results.
+struct JobWork {
+  std::vector<WorkerWork> workers;
+  /// Rank-0 setup compute before distributing the initial parcels.
+  sim::SimTime init_cost;
+  /// Rank-0 final merge/reduce compute after every result has arrived.
+  sim::SimTime finish_cost;
+
+  [[nodiscard]] std::size_t total_tasklets() const {
+    std::size_t n = 0;
+    for (const auto& w : workers) n += w.deque.size();
+    return n;
+  }
+};
+
+}  // namespace tmc::sched::stealing

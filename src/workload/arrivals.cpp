@@ -240,6 +240,7 @@ sched::JobSpec make_arrival_job(const JobClass& cls, const Arrival& arrival) {
   params.arch = cls.arch;
   params.fixed_processes = cls.processes;
   params.message_bytes = cls.message_bytes;
+  params.skew = cls.skew;
   sched::JobSpec spec = make_synthetic_job(
       params, sim::SimTime::nanoseconds(
                   static_cast<std::int64_t>(arrival.demand_s * 1e9)));

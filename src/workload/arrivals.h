@@ -78,6 +78,9 @@ struct JobClass {
   int processes = 16;
   /// Fork/join message size of the generated synthetic jobs.
   std::size_t message_bytes = 1024;
+  /// Intra-job imbalance of the generated jobs (SyntheticParams::skew):
+  /// rank 0 becomes a straggler, total demand preserved. 0 = even split.
+  double skew = 0.0;
 };
 
 /// The arrival-instant process (class and service draws are orthogonal).

@@ -55,6 +55,7 @@ sched::JobSpec make_spec(const BatchParams& params, bool large) {
       sp.elements = size;
       sp.arch = params.arch;
       sp.fixed_processes = params.fixed_processes;
+      sp.skew = params.sort_skew;
       sp.costs = params.costs;
       return make_sort_job(sp, large);
     }

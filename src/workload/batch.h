@@ -40,6 +40,9 @@ struct BatchParams {
   /// Work-distribution algorithm for matmul jobs (extension bench A8).
   MatMulParams::Broadcast matmul_broadcast =
       MatMulParams::Broadcast::kPointToPoint;
+  /// Pivot skew of the sort divide tree (SortParams::skew); matmul ignores
+  /// it. 0 = the paper's balanced tree.
+  double sort_skew = 0.0;
   Costs costs{};
 
   [[nodiscard]] int total() const { return small_count + large_count; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sched/stealing/stealing.h"
+
 namespace tmc::workload {
 namespace {
 
@@ -73,9 +75,12 @@ sim::SimTime matmul_serial_demand(const MatMulParams& params) {
 std::vector<node::Program> build_matmul_programs(const MatMulParams& params,
                                                  sched::JobId job,
                                                  int partition_size) {
-  const int procs = params.arch == sched::SoftwareArch::kFixed
-                        ? params.fixed_processes
-                        : partition_size;
+  // Only the adaptive architecture molds itself to the partition; fixed and
+  // stealing both bake in the compile-time process count (stealing falls
+  // back to this very script when the machine has no steal engine).
+  const int procs = params.arch == sched::SoftwareArch::kAdaptive
+                        ? partition_size
+                        : params.fixed_processes;
   assert(procs >= 1);
   const std::size_t n = params.n;
   const std::size_t esz = params.costs.element_bytes;
@@ -152,6 +157,48 @@ std::vector<node::Program> build_matmul_programs(const MatMulParams& params,
   return programs;
 }
 
+sched::stealing::JobWork decompose_matmul(
+    const MatMulParams& params, int procs,
+    const sched::stealing::StealParams& steal) {
+  assert(procs >= 1);
+  const std::size_t n = params.n;
+  const std::size_t esz = params.costs.element_bytes;
+  const std::size_t matrix_bytes = n * n * esz;
+
+  sched::stealing::JobWork work;
+  work.workers.resize(static_cast<std::size_t>(procs));
+
+  // Row bands of C become tasklets under the configured self-scheduling
+  // chunk schedule, dealt round-robin so every worker starts with a spread
+  // of sizes. A migrating tasklet carries its band of A on the grant and
+  // ships its band of C home.
+  const auto chunks = sched::stealing::chunk_sizes(
+      n, procs, steal.chunking, steal.chunks_per_worker);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const std::size_t rows = chunks[i];
+    sched::stealing::Tasklet t;
+    t.cost = params.costs.t_madd * (static_cast<std::int64_t>(rows) *
+                                    static_cast<std::int64_t>(n) *
+                                    static_cast<std::int64_t>(n));
+    t.migrate_bytes = rows * n * esz;
+    t.result_bytes = rows * n * esz;
+    auto& w = work.workers[i % static_cast<std::size_t>(procs)];
+    w.deque.push_back(t);
+  }
+
+  for (int r = 0; r < procs; ++r) {
+    auto& w = work.workers[static_cast<std::size_t>(r)];
+    std::size_t band = 0;
+    for (const auto& t : w.deque) band += t.migrate_bytes;
+    // Same working sets as the fixed script: the coordinator holds all
+    // three matrices, a worker holds B plus its A and C bands.
+    w.alloc_bytes = params.costs.process_overhead_bytes +
+                    (r == 0 ? 3 * matrix_bytes : matrix_bytes + 2 * band);
+    w.init_bytes = matrix_bytes + band;  // work parcel: B + the A band
+  }
+  return work;
+}
+
 sched::JobSpec make_matmul_job(const MatMulParams& params, bool large) {
   sched::JobSpec spec;
   spec.app = "matmul";
@@ -162,6 +209,12 @@ sched::JobSpec make_matmul_job(const MatMulParams& params, bool large) {
   spec.builder = [params](const sched::Job& job, int partition_size) {
     return build_matmul_programs(params, job.id(), partition_size);
   };
+  if (params.arch == sched::SoftwareArch::kStealing) {
+    spec.tasklet_builder = [params](const sched::Job&, int,
+                                    const sched::stealing::StealParams& sp) {
+      return decompose_matmul(params, params.fixed_processes, sp);
+    };
+  }
   return spec;
 }
 

@@ -40,4 +40,10 @@ struct MatMulParams {
 [[nodiscard]] std::vector<node::Program> build_matmul_programs(
     const MatMulParams& params, sched::JobId job, int partition_size);
 
+/// Work-stealing decomposition: row bands of C as migratable tasklets under
+/// the configured chunk schedule, dealt round-robin over `procs` workers.
+[[nodiscard]] sched::stealing::JobWork decompose_matmul(
+    const MatMulParams& params, int procs,
+    const sched::stealing::StealParams& steal);
+
 }  // namespace tmc::workload

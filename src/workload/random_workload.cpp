@@ -24,7 +24,8 @@ std::vector<node::Program> build(const RandomWorkloadParams& params,
   sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
 
   int procs;
-  if (params.arch == sched::SoftwareArch::kFixed) {
+  // Everything but the adaptive architecture bakes in its own count.
+  if (params.arch != sched::SoftwareArch::kAdaptive) {
     procs = static_cast<int>(
         rng.uniform_int(params.min_processes, params.max_processes));
   } else {

@@ -1,8 +1,12 @@
 #include "workload/sort.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
+#include <functional>
 #include <vector>
+
+#include "sched/stealing/stealing.h"
 
 namespace tmc::workload {
 namespace {
@@ -15,6 +19,16 @@ sim::SimTime selection_sort_cost(const Costs& costs, std::size_t len) {
   // len*(len-1)/2 compare/update steps.
   const auto l = static_cast<std::int64_t>(len);
   return costs.t_compare * (l * (l - 1) / 2);
+}
+
+/// Elements the parent keeps at a divide step. skew == 0 takes the exact
+/// integer halving of the historical builder (golden identity); a skewed
+/// pivot keeps the larger share, clamped so both sides stay non-empty.
+std::size_t keep_of(std::size_t len, double skew) {
+  if (skew <= 0.0 || len < 2) return len / 2;
+  const auto keep = static_cast<std::size_t>(
+      static_cast<double>(len) * (0.5 + skew));
+  return std::clamp<std::size_t>(keep, 1, len - 1);
 }
 
 struct TreeBuilder {
@@ -35,7 +49,7 @@ struct TreeBuilder {
       return;
     }
     const int child = rank + (procs >> (depth + 1));
-    const std::size_t keep = len / 2;
+    const std::size_t keep = keep_of(len, params.skew);
     const std::size_t give = len - keep;
     const std::size_t esz = params.costs.element_bytes;
 
@@ -66,9 +80,12 @@ sim::SimTime sort_serial_demand(const SortParams& params) {
 std::vector<node::Program> build_sort_programs(const SortParams& params,
                                                sched::JobId job,
                                                int partition_size) {
-  int procs = params.arch == sched::SoftwareArch::kFixed
-                  ? params.fixed_processes
-                  : partition_size;
+  // Fixed and stealing both bake in the compile-time process count; only
+  // adaptive molds itself to the partition (stealing falls back to this
+  // script on machines without a steal engine).
+  int procs = params.arch == sched::SoftwareArch::kAdaptive
+                  ? partition_size
+                  : params.fixed_processes;
   assert(procs >= 1);
   // The divide tree needs a power-of-two process count.
   procs = static_cast<int>(std::bit_floor(static_cast<unsigned>(procs)));
@@ -95,6 +112,61 @@ std::vector<node::Program> build_sort_programs(const SortParams& params,
   return builder.programs;
 }
 
+sched::stealing::JobWork decompose_sort(
+    const SortParams& params, int procs,
+    const sched::stealing::StealParams& steal) {
+  assert(procs >= 1);
+  const std::size_t esz = params.costs.element_bytes;
+
+  // Split to at least procs*chunks_per_worker leaves with the same skewed
+  // pivot the tree builder uses: a skewed run makes some leaves quadratic
+  // monsters, and the contiguous deal parks them on the low ranks.
+  const auto target = static_cast<unsigned>(
+      std::max(2, procs * std::max(1, steal.chunks_per_worker)));
+  const int levels = static_cast<int>(std::bit_width(target - 1));
+  std::vector<std::size_t> leaves;
+  const std::function<void(std::size_t, int)> split =
+      [&](std::size_t len, int depth) {
+        if (depth == levels || len < 2) {
+          leaves.push_back(len);
+          return;
+        }
+        const std::size_t keep = keep_of(len, params.skew);
+        split(keep, depth + 1);
+        split(len - keep, depth + 1);
+      };
+  split(params.elements, 0);
+
+  sched::stealing::JobWork work;
+  work.workers.resize(static_cast<std::size_t>(procs));
+  const std::size_t count = leaves.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    sched::stealing::Tasklet t;
+    t.cost = selection_sort_cost(params.costs, leaves[i]);
+    t.migrate_bytes = leaves[i] * esz;
+    t.result_bytes = leaves[i] * esz;
+    const auto owner = std::min(i * static_cast<std::size_t>(procs) / count,
+                                static_cast<std::size_t>(procs) - 1);
+    work.workers[owner].deque.push_back(t);
+  }
+
+  for (int r = 0; r < procs; ++r) {
+    auto& w = work.workers[static_cast<std::size_t>(r)];
+    std::size_t seg = 0;
+    for (const auto& t : w.deque) seg += t.migrate_bytes;
+    w.alloc_bytes = std::max<std::size_t>(
+        params.costs.process_overhead_bytes + 2 * seg, 1);
+    w.init_bytes = seg;
+  }
+  // The divide phase is serialised up front; the final merge folds the
+  // sorted leaves back together, one merge level per split level.
+  work.init_cost =
+      params.costs.t_divide * static_cast<std::int64_t>(params.elements);
+  work.finish_cost = params.costs.t_merge *
+                     (static_cast<std::int64_t>(params.elements) * levels);
+  return work;
+}
+
 sched::JobSpec make_sort_job(const SortParams& params, bool large) {
   sched::JobSpec spec;
   spec.app = "sort";
@@ -105,6 +177,12 @@ sched::JobSpec make_sort_job(const SortParams& params, bool large) {
   spec.builder = [params](const sched::Job& job, int partition_size) {
     return build_sort_programs(params, job.id(), partition_size);
   };
+  if (params.arch == sched::SoftwareArch::kStealing) {
+    spec.tasklet_builder = [params](const sched::Job&, int,
+                                    const sched::stealing::StealParams& sp) {
+      return decompose_sort(params, params.fixed_processes, sp);
+    };
+  }
   return spec;
 }
 

@@ -20,6 +20,12 @@ struct SortParams {
   sched::SoftwareArch arch = sched::SoftwareArch::kFixed;
   /// Process count under the fixed architecture (must be a power of two).
   int fixed_processes = 16;
+  /// Pivot skew: each divide keeps a len*(0.5+skew) fraction instead of an
+  /// even split (0 = the paper's balanced tree, bit-exact historical
+  /// behaviour). Skewed trees concentrate the quadratic leaf sorts on the
+  /// keep-side ranks -- the imbalance regime where work stealing pays.
+  /// Range [0, 0.5).
+  double skew = 0.0;
   Costs costs{};
 };
 
@@ -34,5 +40,13 @@ struct SortParams {
 /// size under the adaptive architecture.
 [[nodiscard]] std::vector<node::Program> build_sort_programs(
     const SortParams& params, sched::JobId job, int partition_size);
+
+/// Work-stealing decomposition: the array is split (with the configured
+/// pivot skew) to ~procs*chunks_per_worker leaf segments, each a migratable
+/// selection-sort tasklet; leaves are dealt contiguously so a skewed tree
+/// loads the low ranks, which is exactly what stealing redistributes.
+[[nodiscard]] sched::stealing::JobWork decompose_sort(
+    const SortParams& params, int procs,
+    const sched::stealing::StealParams& steal);
 
 }  // namespace tmc::workload

@@ -4,21 +4,38 @@
 #include <cassert>
 #include <cmath>
 
+#include "sched/stealing/stealing.h"
+
 namespace tmc::workload {
 namespace {
 
 constexpr int kTagWork = 1;
 constexpr int kTagResult = 2;
 
+/// Rank `rank`'s compute share of `demand` over `procs` ranks. skew == 0 is
+/// the historical even integer split (golden identity); skew > 0 inflates
+/// rank 0 into a straggler and deflates everyone else, preserving the
+/// total.
+sim::SimTime share_of(const SyntheticParams& params, sim::SimTime demand,
+                      int procs, int rank) {
+  const std::int64_t base = demand.ns() / procs;
+  if (params.skew <= 0.0) return sim::SimTime::nanoseconds(base);
+  const double factor = rank == 0
+                            ? 1.0 + params.skew * static_cast<double>(procs - 1)
+                            : 1.0 - params.skew;
+  return sim::SimTime::nanoseconds(
+      static_cast<std::int64_t>(static_cast<double>(base) * factor));
+}
+
 std::vector<node::Program> build(const SyntheticParams& params,
                                  sim::SimTime demand, sched::JobId job,
                                  int partition_size) {
-  const int procs = params.arch == sched::SoftwareArch::kFixed
-                        ? params.fixed_processes
-                        : partition_size;
+  // Adaptive molds itself to the partition; fixed and stealing bake in the
+  // compile-time count (stealing falls back here without a steal engine).
+  const int procs = params.arch == sched::SoftwareArch::kAdaptive
+                        ? partition_size
+                        : params.fixed_processes;
   assert(procs >= 1);
-  const sim::SimTime share =
-      sim::SimTime::nanoseconds(demand.ns() / procs);
   std::vector<node::Program> programs(static_cast<std::size_t>(procs));
 
   node::Program& coord = programs[0];
@@ -26,7 +43,7 @@ std::vector<node::Program> build(const SyntheticParams& params,
   for (int rank = 1; rank < procs; ++rank) {
     coord.send(sched::endpoint_of(job, rank), kTagWork, params.message_bytes);
   }
-  coord.compute(share);
+  coord.compute(share_of(params, demand, procs, 0));
   for (int rank = 1; rank < procs; ++rank) coord.receive(kTagResult);
   coord.exit();
 
@@ -34,11 +51,39 @@ std::vector<node::Program> build(const SyntheticParams& params,
     node::Program& worker = programs[static_cast<std::size_t>(rank)];
     worker.alloc(std::max<std::size_t>(params.message_bytes, 1));
     worker.receive(kTagWork);
-    worker.compute(share);
+    worker.compute(share_of(params, demand, procs, rank));
     worker.send(sched::endpoint_of(job, 0), kTagResult, params.message_bytes);
     worker.exit();
   }
   return programs;
+}
+
+/// Stealing decomposition: each rank's share splits into chunks_per_worker
+/// equal tasklets (token migrate/result bytes). The initial deal follows
+/// the skewed shares, so the straggler's surplus is exactly what thieves
+/// drain.
+sched::stealing::JobWork decompose(const SyntheticParams& params,
+                                   sim::SimTime demand, int procs,
+                                   const sched::stealing::StealParams& steal) {
+  sched::stealing::JobWork work;
+  work.workers.resize(static_cast<std::size_t>(procs));
+  const int per = std::max(1, steal.chunks_per_worker);
+  for (int r = 0; r < procs; ++r) {
+    auto& w = work.workers[static_cast<std::size_t>(r)];
+    const std::int64_t share = share_of(params, demand, procs, r).ns();
+    for (int c = 0; c < per; ++c) {
+      sched::stealing::Tasklet t;
+      // Largest-remainder split of the share's nanoseconds.
+      t.cost = sim::SimTime::nanoseconds(share / per +
+                                         (c < share % per ? 1 : 0));
+      t.migrate_bytes = params.message_bytes;
+      t.result_bytes = params.message_bytes;
+      w.deque.push_back(t);
+    }
+    w.alloc_bytes = std::max<std::size_t>(params.message_bytes, 1);
+    w.init_bytes = params.message_bytes;
+  }
+  return work;
 }
 
 }  // namespace
@@ -54,6 +99,13 @@ sched::JobSpec make_synthetic_job(const SyntheticParams& params,
   spec.builder = [params, demand](const sched::Job& job, int partition_size) {
     return build(params, demand, job.id(), partition_size);
   };
+  if (params.arch == sched::SoftwareArch::kStealing) {
+    spec.tasklet_builder = [params, demand](
+                               const sched::Job&, int,
+                               const sched::stealing::StealParams& sp) {
+      return decompose(params, demand, params.fixed_processes, sp);
+    };
+  }
   return spec;
 }
 

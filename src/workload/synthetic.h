@@ -27,6 +27,12 @@ struct SyntheticParams {
   int fixed_processes = 16;
   /// Token message size for the fork and join phases.
   std::size_t message_bytes = 1024;
+  /// Intra-job imbalance: rank 0's compute share grows to
+  /// base*(1 + skew*(procs-1)) while every other rank shrinks to
+  /// base*(1-skew); total demand is preserved. 0 = the historical even
+  /// split, bit-exact. A skewed fork/join job has a built-in straggler --
+  /// the regime where work stealing redistributes and wins. Range [0, 1).
+  double skew = 0.0;
 };
 
 /// Builds one fork/join job with the given total demand.

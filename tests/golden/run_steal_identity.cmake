@@ -1,0 +1,47 @@
+# Differential identity runner, invoked by ctest:
+#
+#   cmake -DBENCH=<fig7 binary> -DTHREADS=<n> -DGOLDEN=<fig3_quick.txt>
+#         -P run_steal_identity.cmake
+#
+# Runs the stealing-architecture figure bench with --steal-rate 0 and
+# requires its result TABLE to be byte-identical to figure 3's checked-in
+# golden. With the rate at zero no engine is built and every kStealing job
+# runs its fallback fixed-architecture script, so the third architecture
+# must collapse onto the first exactly -- same events, same numbers, same
+# formatting -- at any thread count. Only the table block is compared (the
+# banner title and the trailing prose legitimately name different figures).
+foreach(var BENCH THREADS GOLDEN)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_steal_identity.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+# The table block: the "config ..." header, the dash rule, then every
+# non-empty row up to the first blank line.
+function(extract_table text label out)
+  string(REGEX MATCH "config[^\n]*\n-+\n([^\n]+\n)*" table "${text}")
+  if(table STREQUAL "")
+    message(FATAL_ERROR "run_steal_identity.cmake: no result table in ${label}")
+  endif()
+  set(${out} "${table}" PARENT_SCOPE)
+endfunction()
+
+execute_process(
+  COMMAND "${BENCH}" --threads "${THREADS}" --quick --steal-rate 0
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH} --threads ${THREADS} --quick --steal-rate 0 exited with ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+extract_table("${actual}" "steal-rate-0 output" actual_table)
+extract_table("${expected}" "${GOLDEN}" expected_table)
+if(NOT actual_table STREQUAL expected_table)
+  message(FATAL_ERROR
+    "stealing architecture with --steal-rate 0 diverged from the fixed "
+    "golden (threads=${THREADS}):\n--- expected (${GOLDEN})\n"
+    "${expected_table}\n--- actual\n${actual_table}")
+endif()

@@ -1,0 +1,141 @@
+// ControlOp: the interpreter's escape hatch for runtime-driven scripts
+// (the work-stealing engine decides each next op only when the previous
+// one finishes). These tests pin the contract the engine leans on: the
+// action runs exactly once per ControlOp, after the pc has advanced, in
+// normal op context only -- never on the preemption or force-exit paths --
+// and appends are safe even when they reallocate the op vector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/mmu.h"
+#include "node/transputer.h"
+#include "sim/simulation.h"
+
+namespace tmc::node {
+namespace {
+
+using sim::SimTime;
+
+class ControlOpTest : public ::testing::Test {
+ protected:
+  ControlOpTest() : mmu(sim, 64 * 1024), cpu(sim, 0, mmu) {}
+
+  std::unique_ptr<Process> make_process(net::EndpointId id, Program prog) {
+    auto p = std::make_unique<Process>(id, 1, std::move(prog));
+    p->bind_to_node(0);
+    p->set_on_exit(
+        [this](Process& self) { exit_ids.push_back(self.id()); });
+    return p;
+  }
+
+  sim::Simulation sim;
+  mem::Mmu mmu;
+  Transputer cpu;
+  std::vector<net::EndpointId> exit_ids;
+};
+
+constexpr auto kCtx = SimTime::microseconds(10);
+
+TEST_F(ControlOpTest, ActionAppendsNextOpsAndCostIsCharged) {
+  int fired = 0;
+  Program prog;
+  prog.control(SimTime::microseconds(5), [&](Process& self) {
+    ++fired;
+    self.mutable_program().compute(SimTime::milliseconds(2)).exit();
+  });
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(p->done());
+  // Context switch + control cost + appended compute.
+  EXPECT_EQ(sim.now(),
+            kCtx + SimTime::microseconds(5) + SimTime::milliseconds(2));
+}
+
+TEST_F(ControlOpTest, ChainedControlOpsEachFireOnce) {
+  // A self-extending script: each action appends the next ControlOp until
+  // five have run, then exits. This is exactly the stealing runtime's
+  // shape (decide, run, decide again).
+  int fired = 0;
+  std::function<void(Process&)> step = [&](Process& self) {
+    if (++fired < 5) {
+      self.mutable_program().control(SimTime::microseconds(1), step);
+    } else {
+      self.mutable_program().exit();
+    }
+  };
+  Program prog;
+  prog.control(SimTime::microseconds(1), step);
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_TRUE(p->done());
+  EXPECT_EQ(sim.now(), kCtx + 5 * SimTime::microseconds(1));
+}
+
+TEST_F(ControlOpTest, ReallocatingAppendIsSafe) {
+  // The action appends enough ops to force the op vector to regrow; the
+  // interpreter must not hold references across the callback.
+  Program prog;
+  prog.control(SimTime::microseconds(1), [](Process& self) {
+    for (int i = 0; i < 64; ++i) {
+      self.mutable_program().compute(SimTime::microseconds(10));
+    }
+    self.mutable_program().exit();
+  });
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.run();
+  EXPECT_TRUE(p->done());
+  EXPECT_EQ(p->cpu_time(),
+            SimTime::microseconds(1) + 64 * SimTime::microseconds(10));
+}
+
+TEST_F(ControlOpTest, PreemptedControlOpFiresActionExactlyOnce) {
+  // Control cost longer than the 2 ms quantum with a competitor ready:
+  // the op is preempted mid-charge, resumes later, and the action still
+  // runs exactly once, when the charge completes.
+  int fired = 0;
+  Program prog;
+  prog.control(SimTime::milliseconds(5), [&](Process& self) {
+    ++fired;
+    self.mutable_program().exit();
+  });
+  Program rival;
+  rival.compute(SimTime::milliseconds(5)).exit();
+  auto p = make_process(1, std::move(prog));
+  auto q = make_process(2, std::move(rival));
+  cpu.make_ready(*p);
+  cpu.make_ready(*q);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(p->done());
+  EXPECT_TRUE(q->done());
+}
+
+TEST_F(ControlOpTest, ForceExitNeverRunsTheAction) {
+  // Tear the process down while its ControlOp is still charging: the
+  // action must not fire (the stealing runtime may already be gone).
+  int fired = 0;
+  Program prog;
+  prog.control(SimTime::milliseconds(10), [&](Process& self) {
+    ++fired;
+    self.mutable_program().exit();
+  });
+  auto p = make_process(1, std::move(prog));
+  cpu.make_ready(*p);
+  sim.schedule_at(SimTime::milliseconds(1), [&] { cpu.force_exit(*p); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(p->done());
+  // force_exit is the scheduler unwinding the job itself: it must not see
+  // a completion, so the exit handler is skipped too.
+  EXPECT_TRUE(exit_ids.empty());
+}
+
+}  // namespace
+}  // namespace tmc::node

@@ -126,8 +126,11 @@ def check_timeline(path: str, flows: bool = False) -> None:
     # events the same way, so a malformed stack here renders wrong there.
     async_open: dict[tuple, list[str]] = {}
     async_pairs = 0
-    flow_start_ts: dict[object, float] = {}
+    steal_spans = 0
+    flow_start_ts: dict[object, tuple[float, str]] = {}
     flow_pairs = 0
+    steal_grants = 0
+    steal_denies = 0
     fault_instants = 0
     fault_state: dict[tuple, str] = {}
     for e in events:
@@ -177,7 +180,17 @@ def check_timeline(path: str, flows: bool = False) -> None:
             require("id" in e, path, f"async event without id: {e}")
             key = (e["pid"], e.get("tid"), e["id"])
             if ph == "b":
-                async_open.setdefault(key, []).append(e.get("name", ""))
+                stack = async_open.setdefault(key, [])
+                # The steal overlay is strictly interior to a job group: it
+                # opens only while that job's envelope (and a phase span
+                # inside it) is already open, so the per-id decomposition
+                # stays exact. A top-level "steal" would double-count.
+                if e.get("name") == "steal":
+                    require("job" in stack and len(stack) >= 2, path,
+                            f"'steal' span outside a job envelope + phase "
+                            f"(open stack {stack}): {e}")
+                    steal_spans += 1
+                stack.append(e.get("name", ""))
             else:
                 stack = async_open.get(key)
                 require(bool(stack), path,
@@ -195,7 +208,7 @@ def check_timeline(path: str, flows: bool = False) -> None:
             if ph == "s":
                 require(e["id"] not in flow_start_ts, path,
                         f"duplicate flow start id {e['id']}")
-                flow_start_ts[e["id"]] = e["ts"]
+                flow_start_ts[e["id"]] = (e["ts"], e.get("name", ""))
             else:
                 require(e.get("bp") == "e", path,
                         f"flow finish without bp='e' (arrow would bind to "
@@ -203,9 +216,27 @@ def check_timeline(path: str, flows: bool = False) -> None:
                 start = flow_start_ts.pop(e["id"], None)
                 require(start is not None, path,
                         f"flow finish with no open start (id {e['id']})")
-                require(e["ts"] >= start, path,
+                start_ts, start_name = start
+                require(e["ts"] >= start_ts, path,
                         f"flow finish at ts {e['ts']} precedes its start "
-                        f"at {start} (id {e['id']})")
+                        f"at {start_ts} (id {e['id']})")
+                # Steal arrows carry the protocol verdict in their names:
+                # every request resolves as exactly one grant or deny, and
+                # only requests resolve that way.
+                finish_name = e.get("name", "")
+                if start_name == "steal-req" \
+                        or finish_name in ("steal-grant", "steal-deny"):
+                    require(start_name == "steal-req", path,
+                            f"flow finish {finish_name!r} closes a "
+                            f"non-steal start {start_name!r} (id {e['id']})")
+                    require(finish_name in ("steal-grant", "steal-deny"),
+                            path,
+                            f"steal request resolved by {finish_name!r}, "
+                            f"want steal-grant or steal-deny (id {e['id']})")
+                    if finish_name == "steal-grant":
+                        steal_grants += 1
+                    else:
+                        steal_denies += 1
                 flow_pairs += 1
         else:
             fail(path, f"unknown event phase {ph!r}: {e}")
@@ -238,13 +269,24 @@ def check_timeline(path: str, flows: bool = False) -> None:
                     f"{len(flow_start_ts)} flow starts never finished "
                     f"(first ids: {sorted(flow_start_ts)[:4]})")
         require(flow_pairs > 0, path, "no cross-node flow (s/f) pairs")
-    truncated = len(flow_start_ts)
+    # A steal request aimed at a node that died mid-protocol is truncated by
+    # faults exactly like an application message's flow; count the two
+    # populations separately so the report shows what the protocol lost.
+    truncated_steals = sum(1 for _, name in flow_start_ts.values()
+                           if name == "steal-req")
+    truncated = len(flow_start_ts) - truncated_steals
+    steal_note = ""
+    if steal_grants or steal_denies or steal_spans:
+        steal_note = (f", {steal_grants} steal grants + {steal_denies} "
+                      f"denies, {steal_spans} steal spans")
     print(f"check_obs_json: {path}: {len(events)} events, {node_threads} node "
           f"tracks, {link_threads} link tracks, {spans} spans, "
           f"{len(counters)} counter series, {async_pairs} job spans, "
-          f"{flow_pairs} flow pairs ok"
+          f"{flow_pairs} flow pairs ok" + steal_note
           + (f", {fault_instants} fault instants" if fault_instants else "")
           + (f", {truncated} flows truncated by faults" if truncated else "")
+          + (f", {truncated_steals} steals truncated by faults"
+             if truncated_steals else "")
           + (" (flows)" if flows else ""))
 
 

@@ -37,6 +37,12 @@ import sys
 PHASES = ("wait", "dispatch", "run", "rotation", "retry")
 COLUMNS = ("wait", "dispatch", "service", "rotation", "retry")
 
+# Overlay spans nest inside the phases above but are *not* part of the
+# response decomposition (their time is already counted by the enclosing
+# phase). "steal" is open while any thief is mid-protocol against the job;
+# its column appears after the phases only when some job actually stole.
+OVERLAYS = ("steal",)
+
 # Timestamps are microseconds with exact sub-us decimals; parsing them into
 # doubles loses at most ~1 ulp per value. A microsecond of slack per job is
 # orders of magnitude above that noise and far below any real phase.
@@ -54,7 +60,7 @@ class JobInstance:
 
     def __init__(self, start: float) -> None:
         self.start = start
-        self.phase_us = dict.fromkeys(PHASES, 0.0)
+        self.phase_us = dict.fromkeys(PHASES + OVERLAYS, 0.0)
 
 
 def load_jobs(path: str):
@@ -115,7 +121,9 @@ def load_jobs(path: str):
                      f"on track/id {key}")
             if name == "job":
                 response_us = e["ts"] - inst.start
-                total = sum(inst.phase_us.values())
+                # Overlays ("steal") ride inside the phases; summing them
+                # too would double-count, so the identity is phases-only.
+                total = sum(inst.phase_us[p] for p in PHASES)
                 if abs(total - response_us) > RECONCILE_TOL_US:
                     fail(f"{path}: job on track/id {key} does not "
                          f"reconcile: phases sum to {total:.3f} us, "
@@ -124,7 +132,7 @@ def load_jobs(path: str):
                 per_class.setdefault(cls, []).append(
                     (response_us, inst.phase_us))
                 del current[key]
-            elif name in PHASES:
+            elif name in PHASES or name in OVERLAYS:
                 inst.phase_us[name] += e["ts"] - start
             else:
                 fail(f"{path}: unknown job phase {name!r}")
@@ -138,8 +146,13 @@ def load_jobs(path: str):
 def render(per_class) -> str:
     any_retry = any(j[1]["retry"] > 0.0
                     for jobs in per_class.values() for j in jobs)
+    any_steal = any(j[1]["steal"] > 0.0
+                    for jobs in per_class.values() for j in jobs)
     phases = PHASES if any_retry else PHASES[:-1]
     columns = COLUMNS if any_retry else COLUMNS[:-1]
+    if any_steal:
+        phases = (*phases, "steal")
+        columns = (*columns, "steal")
     headers = ["class", "jobs", *[f"{c} (ms)" for c in columns],
                "response (ms)"]
     rows = [headers]
@@ -155,9 +168,10 @@ def render(per_class) -> str:
     if len(rows) == 1:
         fail("no completed jobs in trace")
     widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
-    decomposition = " + ".join(columns)
+    decomposition = " + ".join(c for c in columns if c not in OVERLAYS)
+    overlay_note = "; steal overlays service" if any_steal else ""
     out = ["obs_report: per-class mean response decomposition "
-           f"({decomposition} = response)", ""]
+           f"({decomposition} = response{overlay_note})", ""]
     for r in rows:
         out.append("  ".join(
             c.ljust(w) if i == 0 else c.rjust(w)
